@@ -1,0 +1,66 @@
+// Command eeggen exports the Bonn-substitute EEG dataset as CSV files so
+// the synthetic records can be inspected or consumed by external tooling
+// (plotting, alternative detectors). One file is written per record plus a
+// manifest with the ground-truth labels.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"efficsense/internal/eeg"
+	"efficsense/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("eeggen: ")
+	records := flag.Int("records", 10, "number of records to synthesize")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	artifacts := flag.Bool("artifacts", false, "add ocular/EMG/mains artefacts")
+	native := flag.Bool("native", false, "emit at the 173.61 Hz native rate (skip Step 4 upsampling)")
+	out := flag.String("out", "eeg-out", "output directory")
+	flag.Parse()
+
+	cfg := eeg.DefaultConfig(*seed, *records)
+	cfg.Artifacts = *artifacts
+	cfg.Upsample = !*native
+	ds := eeg.Synthesize(cfg)
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	manifest, err := os.Create(filepath.Join(*out, "manifest.csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer manifest.Close()
+	rows := make([][]interface{}, 0, len(ds.Records))
+	for _, r := range ds.Records {
+		name := fmt.Sprintf("record_%03d_%s.csv", r.ID, r.Label)
+		if err := writeRecord(filepath.Join(*out, name), r); err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []interface{}{r.ID, r.Label.String(), name, r.Rate, len(r.Samples)})
+	}
+	if err := report.CSV(manifest, []string{"id", "label", "file", "rate_hz", "samples"}, rows); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records @ %.2f Hz to %s\n", len(ds.Records), ds.Rate, *out)
+}
+
+func writeRecord(path string, r eeg.Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rows := make([][]interface{}, len(r.Samples))
+	for i, v := range r.Samples {
+		rows[i] = []interface{}{float64(i) / r.Rate, v}
+	}
+	return report.CSV(f, []string{"t_s", "v"}, rows)
+}

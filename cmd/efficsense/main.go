@@ -1,0 +1,403 @@
+// Command efficsense regenerates every table and figure of the paper's
+// evaluation section from the reproduction library, and exposes the
+// pathfinding framework for ad-hoc design-point studies.
+//
+// Usage:
+//
+//	efficsense <subcommand> [flags]
+//
+// Subcommands:
+//
+//	tables   print Table II (power models) and Table III (parameters)
+//	dataset  summarise the synthesized EEG dataset
+//	point    evaluate a single design point
+//	fig4     LNA noise sweep: SNDR + power + breakdown
+//	fig7a    Pareto fronts, SNR vs power
+//	fig7b    Pareto fronts, accuracy vs power (+ headline optima)
+//	fig8     power breakdown of the two optimal designs
+//	fig9     accuracy vs capacitor area
+//	fig10    area-constrained Pareto fronts
+//	sweep    dump the raw design-space sweep as CSV
+//	all      run every figure in sequence
+//
+// Common flags (suite subcommands): -records, -seed, -workers,
+// -noise-steps, -epochs, -min-accuracy, -csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"efficsense/internal/classify"
+	"efficsense/internal/core"
+	"efficsense/internal/dse"
+	"efficsense/internal/eeg"
+	"efficsense/internal/experiments"
+	"efficsense/internal/report"
+	"efficsense/internal/tech"
+	"efficsense/internal/units"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "tables":
+		err = cmdTables(args)
+	case "dataset":
+		err = cmdDataset(args)
+	case "point":
+		err = cmdPoint(args)
+	case "fig4":
+		err = cmdFig4(args)
+	case "fig7a", "fig7b", "fig8", "fig9", "fig10", "sweep", "all":
+		err = cmdSuite(cmd, args)
+	case "variants":
+		err = cmdVariants(args)
+	case "refine":
+		err = cmdRefine(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "efficsense: unknown subcommand %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "efficsense %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `efficsense — architectural pathfinding for energy-constrained sensing
+
+  efficsense tables                     Table II & III
+  efficsense dataset  [-records N]      EEG dataset summary
+  efficsense point    -arch A -bits N -noise V [-m M]
+  efficsense fig4     [-bits N] [-csv F]
+  efficsense fig7a    [suite flags]
+  efficsense fig7b    [suite flags]
+  efficsense fig8     [suite flags]
+  efficsense fig9     [suite flags]
+  efficsense fig10    [-caps 500,2000,8000,32000] [suite flags]
+  efficsense sweep    -csv F [suite flags]
+  efficsense variants [-bits N] [-noise V] [-m M] [suite flags]
+  efficsense refine   -arch A -bits N [-m M] [-min-accuracy A] [suite flags]
+  efficsense all      [suite flags]
+
+suite flags: -records N (default 40; paper uses 500) -seed S -workers W
+             -noise-steps N -epochs E -min-accuracy A -csv F
+`)
+}
+
+// suiteFlags registers the shared suite options on a FlagSet.
+func suiteFlags(fs *flag.FlagSet) *experiments.Options {
+	opts := &experiments.Options{}
+	fs.Int64Var(&opts.Seed, "seed", 1, "root seed for every stochastic element")
+	fs.IntVar(&opts.Records, "records", 40, "evaluation records (paper: 500)")
+	fs.IntVar(&opts.TrainRecords, "train-records", 120, "detector training records")
+	fs.IntVar(&opts.NoiseSteps, "noise-steps", 8, "LNA-noise grid resolution")
+	fs.IntVar(&opts.Workers, "workers", 0, "sweep workers (0 = GOMAXPROCS)")
+	fs.IntVar(&opts.Epochs, "epochs", 150, "detector training epochs")
+	fs.Float64Var(&opts.MinAccuracy, "min-accuracy", 0.98, "application accuracy constraint")
+	return opts
+}
+
+func newSuite(opts *experiments.Options, verbose bool) *experiments.Suite {
+	if verbose {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	return experiments.NewSuite(*opts)
+}
+
+func writeCSV(path string, write func(f *os.File) error) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}
+
+func cmdTables(args []string) error {
+	fs := flag.NewFlagSet("tables", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Println("Table II — power models of the building blocks")
+	t2 := report.NewTable("circuit", "model", "reference")
+	t2.AddRow("LNA", "Vdd·max(2π·GBW·Cload/(gm/Id), Vref·fclk·Cload, (NEF/vn)²·2π·4kT·BW·VT)", "[16]")
+	t2.AddRow("Sample & Hold", "Vref·fclk·12kT·2^(2N)/VFS²", "[14]")
+	t2.AddRow("Comparator", "2N·ln2·(fclk−fs)·Cload·VFS·Veff", "[14]")
+	t2.AddRow("SAR logic", "0.4·(2N+1)·Clogic·Vdd²·(fclk−fs)", "[17]")
+	t2.AddRow("DAC", "2^N·fclk·Cu/(N+1)·{(5/6−2^−N−2^−2N/3)·Vref² − Vin²/2 − 2^−N·Vin·Vref}", "[15]")
+	t2.AddRow("Transmitter", "fclk/(N+1)·N·Ebit", "[4],[12]")
+	t2.AddRow("CS encoder logic", "(⌈log2 NΦ⌉+1)·NΦ·8·Clogic·Vdd²·fclk", "[17]")
+	t2.Render(os.Stdout)
+
+	fmt.Println("\nTable III — technology parameters (gpdk045 extraction)")
+	tp := tech.GPDK045()
+	t3 := report.NewTable("parameter", "symbol", "value")
+	t3.AddRow("min logic capacitance", "Clogic", units.Format(tp.CLogic, "F"))
+	t3.AddRow("transconductance efficiency", "gm/Id", fmt.Sprintf("%g /V", tp.GmOverId))
+	t3.AddRow("capacitor density", "/", fmt.Sprintf("%.3f fF/µm²", tp.CapDensity*1e15))
+	t3.AddRow("min unit capacitor", "Cu,min", units.Format(tp.CUnitMin, "F"))
+	t3.AddRow("cap mismatch coefficient", "Cpk", fmt.Sprintf("%g /µm²", tp.CPk))
+	t3.AddRow("switch leakage", "Ileak", units.Format(tp.ILeak, "A"))
+	t3.AddRow("transmit energy per bit", "Ebit", units.Format(tp.EBit, "J"))
+	t3.AddRow("thermal voltage", "VT", units.Format(tp.VT, "V"))
+	t3.Render(os.Stdout)
+
+	fmt.Println("\nTable III — design parameters")
+	sys := tech.DefaultSystem()
+	t4 := report.NewTable("parameter", "symbol", "value")
+	t4.AddRow("input bandwidth", "BWin", fmt.Sprintf("%g Hz", sys.BWInput))
+	t4.AddRow("measurements / frame", "M, NΦ", "75-150-192, 384")
+	t4.AddRow("LNA noise sweep", "vn", "1 - 20 µVrms")
+	t4.AddRow("ADC resolution", "N", "6 - 8 bit")
+	t4.AddRow("supply", "Vdd", fmt.Sprintf("%g V", sys.VDD))
+	t4.AddRow("sample rate", "fsample", fmt.Sprintf("%.1f Hz (2.1·BWin)", sys.FSample()))
+	t4.AddRow("SAR clock", "fclk", "(N+1)·fsample")
+	t4.AddRow("full scale / reference", "VFS, Vref", fmt.Sprintf("%g V", sys.VFS))
+	t4.AddRow("LNA bandwidth", "BWLNA", fmt.Sprintf("%g Hz (3·BWin)", sys.LNABandwidth()))
+	t4.Render(os.Stdout)
+	return nil
+}
+
+func cmdDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	records := fs.Int("records", 40, "record count")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds := eeg.Synthesize(eeg.DefaultConfig(*seed, *records))
+	counts := ds.CountByClass()
+	fmt.Printf("Bonn-substitute EEG dataset: %d records @ %.0f Hz (upsampled from %.2f Hz)\n",
+		len(ds.Records), ds.Rate, eeg.NativeRate)
+	fmt.Printf("  interictal %d, ictal %d, %.1f s per record (%d samples)\n",
+		counts[eeg.Interictal], counts[eeg.Ictal],
+		float64(len(ds.Records[0].Samples))/ds.Rate, len(ds.Records[0].Samples))
+	// Quick detector sanity check mirrors the paper's ~99 % clean regime.
+	train, test := ds.Split(0.25)
+	det := classify.TrainDetector(train, classify.DetectorConfig{Seed: *seed,
+		Train: classify.TrainOptions{Epochs: 120}})
+	conf := det.EvaluateDataset(test)
+	fmt.Printf("  clean detector accuracy on held-out records: %.3f (sens %.3f, spec %.3f)\n",
+		conf.Accuracy(), conf.Sensitivity(), conf.Specificity())
+	return nil
+}
+
+func cmdPoint(args []string) error {
+	fs := flag.NewFlagSet("point", flag.ExitOnError)
+	arch := fs.String("arch", "baseline", "architecture: baseline | cs")
+	bits := fs.Int("bits", 8, "ADC resolution")
+	noise := fs.Float64("noise", 5e-6, "LNA input-referred noise (V rms)")
+	m := fs.Int("m", 150, "CS measurements per frame")
+	records := fs.Int("records", 20, "evaluation records")
+	seed := fs.Int64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := experiments.NewSuite(experiments.Options{Seed: *seed, Records: *records})
+	p := core.DesignPoint{Bits: *bits, LNANoise: *noise}
+	switch *arch {
+	case "baseline":
+		p.Arch = core.ArchBaseline
+	case "cs":
+		p.Arch = core.ArchCS
+		p.M = *m
+	default:
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+	r := suite.Evaluator().Evaluate(p)
+	fmt.Println(dse.Describe(r))
+	experiments.RenderBreakdown(os.Stdout, "power breakdown", r.Power)
+	return nil
+}
+
+func cmdVariants(args []string) error {
+	fs := flag.NewFlagSet("variants", flag.ExitOnError)
+	opts := suiteFlags(fs)
+	bits := fs.Int("bits", 8, "ADC resolution")
+	noise := fs.Float64("noise", 6e-6, "LNA noise floor (V rms)")
+	m := fs.Int("m", 150, "CS measurements per frame")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := experiments.NewSuite(*opts)
+	experiments.RenderVariants(os.Stdout, suite.Variants(*bits, *noise, *m))
+	return nil
+}
+
+func cmdRefine(args []string) error {
+	fs := flag.NewFlagSet("refine", flag.ExitOnError)
+	opts := suiteFlags(fs)
+	arch := fs.String("arch", "cs", "architecture: baseline | cs | cs-digital | cs-active")
+	bits := fs.Int("bits", 8, "ADC resolution")
+	m := fs.Int("m", 150, "CS measurements per frame")
+	iters := fs.Int("iters", 6, "bisection evaluations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := core.DesignPoint{Bits: *bits}
+	switch *arch {
+	case "baseline":
+		p.Arch = core.ArchBaseline
+	case "cs":
+		p.Arch, p.M = core.ArchCS, *m
+	case "cs-digital":
+		p.Arch, p.M = core.ArchCSDigital, *m
+	case "cs-active":
+		p.Arch, p.M = core.ArchCSActive, *m
+	default:
+		return fmt.Errorf("unknown architecture %q", *arch)
+	}
+	suite := experiments.NewSuite(*opts)
+	best, ok := dse.BisectNoiseFloor(suite.Evaluator(), p, dse.QualityAccuracy,
+		opts.MinAccuracy, 1e-6, 20e-6, *iters)
+	if !ok {
+		fmt.Printf("no %s design meets accuracy >= %.2f even at vn = 1 µVrms\n",
+			*arch, opts.MinAccuracy)
+		return nil
+	}
+	fmt.Printf("refined optimum: %s\n", dse.Describe(best))
+	experiments.RenderBreakdown(os.Stdout, "power breakdown", best.Power)
+	return nil
+}
+
+func cmdFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ExitOnError)
+	opts := suiteFlags(fs)
+	bits := fs.Int("bits", 8, "ADC resolution for the sweep")
+	csv := fs.String("csv", "", "write the sweep as CSV to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := experiments.NewSuite(*opts)
+	pts := suite.Fig4(*bits)
+	experiments.RenderFig4(os.Stdout, pts)
+	return writeCSV(*csv, func(f *os.File) error { return experiments.CSVFig4(f, pts) })
+}
+
+// figSource abstracts a live suite and a loaded sweep for the figure
+// subcommands.
+type figSource interface {
+	Fig7a() experiments.Fronts
+	Fig7b() experiments.Fig7b
+	Fig9() []experiments.Fig9Point
+	Fig10(caps []float64) []experiments.Fig10Front
+}
+
+func cmdSuite(cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	opts := suiteFlags(fs)
+	csv := fs.String("csv", "", "write the underlying sweep as CSV to this path")
+	from := fs.String("from", "", "re-render from a sweep CSV written earlier (skips re-evaluation; fig7a/7b/9/10 only)")
+	capsFlag := fs.String("caps", "", "fig10 area caps, comma separated (Cu,min multiples)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var source figSource
+	var suite *experiments.Suite
+	if *from != "" {
+		f, err := os.Open(*from)
+		if err != nil {
+			return err
+		}
+		rs, err := experiments.LoadResults(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d sweep results from %s\n", len(rs), *from)
+		source = experiments.NewFigsFromResults(rs, opts.MinAccuracy)
+	} else {
+		suite = newSuite(opts, true)
+		source = suite
+	}
+	var caps []float64
+	if *capsFlag != "" {
+		for _, part := range strings.Split(*capsFlag, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return fmt.Errorf("bad -caps entry %q: %w", part, err)
+			}
+			caps = append(caps, v)
+		}
+	}
+	run := func(name string) error {
+		switch name {
+		case "fig7a":
+			experiments.RenderFig7a(os.Stdout, source.Fig7a())
+		case "fig7b":
+			experiments.RenderFig7b(os.Stdout, source.Fig7b())
+		case "fig8":
+			if suite == nil {
+				return fmt.Errorf("fig8 needs the full power breakdowns; run without -from")
+			}
+			if base, cs, ok := suite.Fig8(); ok {
+				experiments.RenderFig8(os.Stdout, base, cs)
+			} else {
+				fmt.Println("fig8: no optima met the accuracy constraint; relax -min-accuracy")
+			}
+		case "fig9":
+			experiments.RenderFig9(os.Stdout, source.Fig9())
+		case "fig10":
+			experiments.RenderFig10(os.Stdout, source.Fig10(caps))
+		}
+		return nil
+	}
+	switch cmd {
+	case "sweep":
+		if *csv == "" {
+			return fmt.Errorf("sweep requires -csv")
+		}
+		if suite == nil {
+			return fmt.Errorf("sweep re-evaluates; run without -from")
+		}
+		suite.SweepResults()
+	case "all":
+		if suite == nil {
+			return fmt.Errorf("all re-evaluates; run without -from")
+		}
+		experiments.RenderFig4(os.Stdout, suite.Fig4(8))
+		fmt.Println()
+		for _, name := range []string{"fig7a", "fig7b", "fig8", "fig9", "fig10"} {
+			if err := run(name); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	default:
+		if err := run(cmd); err != nil {
+			return err
+		}
+	}
+	if suite == nil {
+		return nil
+	}
+	return writeCSV(*csv, func(f *os.File) error {
+		return experiments.CSVResults(f, suite.SweepResults())
+	})
+}

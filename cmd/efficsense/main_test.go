@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout for the duration of f.
+func captureStdout(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	errRun := f()
+	w.Close()
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), errRun
+}
+
+func TestCmdTables(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdTables(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table II", "Table III", "LNA", "Transmitter",
+		"537.6 Hz", "1fF", "1nJ", "25.27mV"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tables output missing %q", want)
+		}
+	}
+}
+
+func TestCmdPointRejectsUnknownArch(t *testing.T) {
+	if err := cmdPoint([]string{"-arch", "martian"}); err == nil {
+		t.Fatal("unknown architecture should error")
+	}
+}
+
+func TestCmdRefineRejectsUnknownArch(t *testing.T) {
+	if err := cmdRefine([]string{"-arch", "martian"}); err == nil {
+		t.Fatal("unknown architecture should error")
+	}
+}
+
+func TestCmdSuiteRequiresCSVForSweep(t *testing.T) {
+	if err := cmdSuite("sweep", nil); err == nil {
+		t.Fatal("sweep without -csv should error")
+	}
+}
+
+func TestCmdSuiteFromRejectsSweepAndAll(t *testing.T) {
+	// Build a tiny sweep CSV in-memory via a temp file.
+	f, err := os.CreateTemp(t.TempDir(), "sweep*.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("arch,bits,noise_vrms,m,chold_f,snr_db,accuracy,total_w,area_caps\n" +
+		"baseline,8,2e-06,0,0,18,1,8.3e-06,257\n" +
+		"cs,8,6e-06,150,8e-14,5.5,0.99,2.7e-06,12266\n")
+	f.Close()
+	for _, cmd := range []string{"sweep", "all"} {
+		if err := cmdSuite(cmd, []string{"-from", f.Name(), "-csv", "/dev/null"}); err == nil {
+			t.Fatalf("%s with -from should error", cmd)
+		}
+	}
+	// fig7b from the same file renders the optima.
+	out, err := captureStdout(t, func() error {
+		return cmdSuite("fig7b", []string{"-from", f.Name()})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cs optimum") || !strings.Contains(out, "power saving") {
+		t.Fatalf("fig7b -from output incomplete:\n%s", out)
+	}
+}
+
+func TestCmdSuiteBadCapsFlag(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "sweep*.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("arch,bits,noise_vrms,m,chold_f,snr_db,accuracy,total_w,area_caps\n" +
+		"baseline,8,2e-06,0,0,18,1,8.3e-06,257\n")
+	f.Close()
+	if err := cmdSuite("fig10", []string{"-from", f.Name(), "-caps", "10,abc"}); err == nil {
+		t.Fatal("malformed -caps should error")
+	}
+}

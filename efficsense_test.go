@@ -1,0 +1,96 @@
+package efficsense_test
+
+import (
+	"math"
+	"testing"
+
+	"efficsense"
+)
+
+func TestFacadeTechDefaults(t *testing.T) {
+	tp := efficsense.GPDK045()
+	if err := tp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sys := efficsense.DefaultSystem()
+	if math.Abs(sys.FSample()-537.6) > 1e-9 {
+		t.Fatalf("FSample = %g", sys.FSample())
+	}
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	// The README quickstart path: synthesize data, train, evaluate one
+	// point of each architecture through the public surface only.
+	ds := efficsense.SynthesizeEEG(efficsense.DefaultEEGConfig(1, 16))
+	train, test := ds.Split(0.25)
+	det := efficsense.TrainDetector(train, efficsense.DetectorConfig{
+		Seed:  1,
+		Train: efficsense.TrainOptions{Epochs: 60},
+	})
+	ev, err := efficsense.NewEvaluator(efficsense.EvaluatorConfig{
+		Tech:     efficsense.GPDK045(),
+		Sys:      efficsense.DefaultSystem(),
+		Dataset:  test,
+		Detector: det,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ev.Evaluate(efficsense.DesignPoint{
+		Arch: efficsense.ArchBaseline, Bits: 8, LNANoise: 2e-6,
+	})
+	cs := ev.Evaluate(efficsense.DesignPoint{
+		Arch: efficsense.ArchCS, Bits: 8, LNANoise: 6e-6, M: 150,
+	})
+	if base.TotalPower <= cs.TotalPower {
+		t.Fatalf("baseline power %g should exceed CS %g at these points",
+			base.TotalPower, cs.TotalPower)
+	}
+	front := efficsense.ParetoFront([]efficsense.Result{base, cs}, efficsense.QualityAccuracy)
+	if len(front) == 0 {
+		t.Fatal("empty front")
+	}
+	if _, ok := efficsense.Optimum([]efficsense.Result{base, cs}, efficsense.QualityAccuracy, 2); ok {
+		t.Fatal("impossible optimum accepted")
+	}
+}
+
+func TestFacadeChains(t *testing.T) {
+	cfg := efficsense.ChainCommon{
+		Tech:     efficsense.GPDK045(),
+		Sys:      efficsense.DefaultSystem(),
+		Bits:     8,
+		LNANoise: 5e-6,
+		Seed:     2,
+	}
+	in := make([]float64, 4096)
+	for i := range in {
+		in[i] = 50e-6 * math.Sin(2*math.Pi*11*float64(i)/512)
+	}
+	out := efficsense.NewBaselineChain(cfg).Run(in, 512)
+	if len(out.Samples) == 0 || out.Power.Total() <= 0 {
+		t.Fatal("baseline chain produced nothing")
+	}
+	ref := efficsense.ChainReference(cfg, in, 512)
+	if len(ref) == 0 {
+		t.Fatal("empty reference")
+	}
+	csOut := efficsense.NewCSChain(efficsense.CSChainConfig{Common: cfg, M: 96, NPhi: 192}).Run(in, 512)
+	if len(csOut.Samples) == 0 {
+		t.Fatal("CS chain produced nothing")
+	}
+}
+
+func TestFacadeSineAndSpace(t *testing.T) {
+	r := efficsense.EvaluateSine(efficsense.EvaluatorConfig{
+		Tech: efficsense.GPDK045(), Sys: efficsense.DefaultSystem(), Seed: 3,
+	}, efficsense.DesignPoint{Arch: efficsense.ArchBaseline, Bits: 8, LNANoise: 2e-6}, 0, 5)
+	if r.SNDRdB < 20 {
+		t.Fatalf("SNDR = %g", r.SNDRdB)
+	}
+	space := efficsense.PaperSpace(4)
+	if space.Size() != 3*4+3*4*3 {
+		t.Fatalf("space size %d", space.Size())
+	}
+}

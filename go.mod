@@ -1,0 +1,3 @@
+module efficsense
+
+go 1.22

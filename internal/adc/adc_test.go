@@ -1,0 +1,177 @@
+package adc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"efficsense/internal/dsp"
+	"efficsense/internal/siggen"
+)
+
+func TestIdealQuantiserENOB(t *testing.T) {
+	const fs = 16384.0
+	for _, bits := range []int{6, 8, 10} {
+		q := NewIdeal(bits, 2)
+		in := siggen.Sine(1<<15, 1001.3, fs, 0.999, 0)
+		out := q.Convert(in)
+		m := dsp.AnalyzeSine(out, fs)
+		if math.Abs(m.ENOB-float64(bits)) > 0.35 {
+			t.Errorf("ideal %d-bit ENOB = %g", bits, m.ENOB)
+		}
+	}
+}
+
+func TestSARMatchesIdealWhenPerfect(t *testing.T) {
+	s := New(Config{Bits: 8, VFS: 2, Seed: 1})
+	q := NewIdeal(8, 2)
+	in := siggen.Ramp(1000, -0.999, 0.999)
+	so := s.Convert(in)
+	qo := q.Convert(in)
+	for i := range so {
+		if math.Abs(so[i]-qo[i]) > 1e-12 {
+			t.Fatalf("perfect SAR differs from ideal quantiser at %d: %g vs %g (in %g)",
+				i, so[i], qo[i], in[i])
+		}
+	}
+}
+
+func TestSARENOBWithNoise(t *testing.T) {
+	const fs = 16384.0
+	// Comparator noise of 2 LSB rms should cost ~several dB of SNDR.
+	clean := New(Config{Bits: 8, VFS: 2, Seed: 2})
+	lsb := clean.LSB()
+	noisy := New(Config{Bits: 8, VFS: 2, ComparatorNoise: 2 * lsb, Seed: 2})
+	in := siggen.Sine(1<<15, 1001.3, fs, 0.999, 0)
+	mClean := dsp.AnalyzeSine(clean.Convert(in), fs)
+	mNoisy := dsp.AnalyzeSine(noisy.Convert(in), fs)
+	if mClean.SNDRdB-mNoisy.SNDRdB < 3 {
+		t.Fatalf("comparator noise cost only %g dB", mClean.SNDRdB-mNoisy.SNDRdB)
+	}
+}
+
+func TestSARMismatchDegradesSNDR(t *testing.T) {
+	const fs = 16384.0
+	in := siggen.Sine(1<<15, 1001.3, fs, 0.999, 0)
+	clean := New(Config{Bits: 10, VFS: 2, Seed: 3})
+	// 5 % unit-cap mismatch is gross but demonstrates the mechanism.
+	bad := New(Config{Bits: 10, VFS: 2, UnitCap: 1e-15, MismatchCoeff: 0.05, Seed: 3})
+	mc := dsp.AnalyzeSine(clean.Convert(in), fs)
+	mb := dsp.AnalyzeSine(bad.Convert(in), fs)
+	if mc.SNDRdB-mb.SNDRdB < 3 {
+		t.Fatalf("mismatch cost only %g dB (clean %g, mismatched %g)",
+			mc.SNDRdB-mb.SNDRdB, mc.SNDRdB, mb.SNDRdB)
+	}
+}
+
+func TestSARCodesMonotoneIdeal(t *testing.T) {
+	s := New(Config{Bits: 8, VFS: 2, Seed: 4})
+	prev := -1
+	for v := -1.0; v <= 1.0; v += 0.001 {
+		code := s.ConvertCode(v)
+		if code < prev {
+			t.Fatalf("codes not monotone at %g: %d < %d", v, code, prev)
+		}
+		prev = code
+	}
+}
+
+func TestSARCodeRangeProperty(t *testing.T) {
+	s := New(Config{Bits: 6, VFS: 2, UnitCap: 1e-15, MismatchCoeff: 0.01, Seed: 5})
+	f := func(raw int16) bool {
+		v := float64(raw) / math.MaxInt16 * 3 // deliberately overranges
+		code := s.ConvertCode(v)
+		return code >= 0 && code < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSARRoundTripWithinLSB(t *testing.T) {
+	s := New(Config{Bits: 8, VFS: 2, Seed: 6})
+	lsb := s.LSB()
+	for v := -0.99; v < 0.99; v += 0.0137 {
+		got := s.CodeToVoltage(s.ConvertCode(v))
+		if math.Abs(got-v) > lsb {
+			t.Fatalf("reconstruction error %g > 1 LSB at %g", got-v, v)
+		}
+	}
+}
+
+func TestSARClipsGracefully(t *testing.T) {
+	s := New(Config{Bits: 8, VFS: 2, Seed: 7})
+	if got := s.ConvertCode(10); got != 255 {
+		t.Fatalf("overrange code = %d, want 255", got)
+	}
+	if got := s.ConvertCode(-10); got != 0 {
+		t.Fatalf("underrange code = %d, want 0", got)
+	}
+}
+
+func TestSARINL(t *testing.T) {
+	perfect := New(Config{Bits: 8, VFS: 2, Seed: 8})
+	for code, v := range perfect.INL() {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("perfect SAR INL[%d] = %g", code, v)
+		}
+	}
+	bad := New(Config{Bits: 8, VFS: 2, UnitCap: 1e-15, MismatchCoeff: 0.02, Seed: 8})
+	var maxINL float64
+	for _, v := range bad.INL() {
+		if a := math.Abs(v); a > maxINL {
+			maxINL = a
+		}
+	}
+	if maxINL == 0 {
+		t.Fatal("mismatched SAR should show nonzero INL")
+	}
+}
+
+func TestSARDeterministicMismatch(t *testing.T) {
+	a := New(Config{Bits: 8, VFS: 2, UnitCap: 1e-15, MismatchCoeff: 0.01, Seed: 9})
+	b := New(Config{Bits: 8, VFS: 2, UnitCap: 1e-15, MismatchCoeff: 0.01, Seed: 9})
+	for i := range a.weights {
+		if a.weights[i] != b.weights[i] {
+			t.Fatal("same seed should give identical mismatch realisation")
+		}
+	}
+	c := New(Config{Bits: 8, VFS: 2, UnitCap: 1e-15, MismatchCoeff: 0.01, Seed: 10})
+	same := true
+	for i := range a.weights {
+		if a.weights[i] != c.weights[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different mismatch")
+	}
+}
+
+func TestSARAccessors(t *testing.T) {
+	s := New(Config{Bits: 7, VFS: 2, Seed: 11})
+	if s.Bits() != 7 || s.VFS() != 2 {
+		t.Fatal("accessors wrong")
+	}
+	if got := s.LSB(); math.Abs(got-2.0/128) > 1e-15 {
+		t.Fatalf("LSB = %g", got)
+	}
+	codes := s.ConvertCodes([]float64{-1, 0, 0.999})
+	if len(codes) != 3 || codes[0] != 0 || codes[2] != 127 {
+		t.Fatalf("ConvertCodes = %v", codes)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero bits", func() { New(Config{Bits: 0, VFS: 2}) })
+	mustPanic("zero vfs", func() { New(Config{Bits: 8}) })
+	mustPanic("ideal zero bits", func() { NewIdeal(0, 2) })
+}

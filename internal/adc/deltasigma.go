@@ -1,0 +1,82 @@
+package adc
+
+import (
+	"math"
+
+	"efficsense/internal/dsp"
+)
+
+// DeltaSigma is a behavioural first-order, single-bit ΔΣ modulator with a
+// decimating lowpass backend. The paper's Table I cites ΔΣ behavioural
+// modelling ([11]) as the classical mixed-signal methodology EffiCSense
+// generalises; this block demonstrates how an alternative converter slots
+// into the library next to the SAR (Step 1's "choose a suitable circuit
+// topology for each block").
+type DeltaSigma struct {
+	// OSR is the oversampling ratio: the modulator runs at OSR × the
+	// output rate.
+	OSR int
+	// VFS is the full-scale range (V), bipolar [-VFS/2, +VFS/2].
+	VFS float64
+	// IntegratorLeak models finite integrator DC gain as a per-sample
+	// retention factor (1 = ideal; 0.999 ≈ 60 dB).
+	IntegratorLeak float64
+	// DecimationTaps sizes the decimation FIR (default 255).
+	DecimationTaps int
+}
+
+// NewDeltaSigma returns a modulator with the given oversampling ratio and
+// full scale. It panics on non-physical parameters.
+func NewDeltaSigma(osr int, vfs float64) *DeltaSigma {
+	if osr < 4 {
+		panic("adc: DeltaSigma OSR must be >= 4")
+	}
+	if vfs <= 0 {
+		panic("adc: DeltaSigma VFS must be positive")
+	}
+	return &DeltaSigma{OSR: osr, VFS: vfs, IntegratorLeak: 1}
+}
+
+// Modulate runs the first-order loop over the oversampled input and
+// returns the ±VFS/2 bitstream.
+func (d *DeltaSigma) Modulate(in []float64) []float64 {
+	out := make([]float64, len(in))
+	half := d.VFS / 2
+	leak := d.IntegratorLeak
+	if leak <= 0 || leak > 1 {
+		leak = 1
+	}
+	var integ, fb float64
+	for i, x := range in {
+		integ = integ*leak + (x - fb)
+		if integ >= 0 {
+			out[i] = half
+		} else {
+			out[i] = -half
+		}
+		fb = out[i]
+	}
+	return out
+}
+
+// Convert digitises an oversampled waveform (sampled at OSR × the output
+// rate) and returns the decimated output at the output rate: modulate,
+// lowpass at 0.45 × the output Nyquist, downsample by OSR.
+func (d *DeltaSigma) Convert(in []float64) []float64 {
+	bits := d.Modulate(in)
+	taps := d.DecimationTaps
+	if taps <= 0 {
+		taps = 255
+	}
+	// Normalised rates: output band is 1/(2·OSR) of the modulator rate.
+	fir := dsp.LowpassFIR(0.45/float64(d.OSR), 1, taps)
+	filtered := fir.Apply(bits)
+	return dsp.Decimate(filtered, d.OSR)
+}
+
+// TheoreticalSQNR returns the ideal first-order ΔΣ in-band
+// signal-to-quantisation-noise ratio (dB) for a full-scale sine:
+// SQNR = 6.02·1 + 1.76 − 5.17 + 30·log10(OSR).
+func (d *DeltaSigma) TheoreticalSQNR() float64 {
+	return 6.02 + 1.76 - 5.17 + 30*math.Log10(float64(d.OSR))
+}

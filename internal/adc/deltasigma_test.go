@@ -1,0 +1,105 @@
+package adc
+
+import (
+	"math"
+	"testing"
+
+	"efficsense/internal/dsp"
+	"efficsense/internal/siggen"
+)
+
+func TestDeltaSigmaBitstreamIsBinary(t *testing.T) {
+	d := NewDeltaSigma(32, 2)
+	in := siggen.Sine(4096, 10, 32*256, 0.8, 0)
+	bits := d.Modulate(in)
+	for i, b := range bits {
+		if b != 1 && b != -1 {
+			t.Fatalf("bit %d = %g, want ±1", i, b)
+		}
+	}
+}
+
+func TestDeltaSigmaTracksDC(t *testing.T) {
+	// The bitstream mean must equal the DC input (the defining ΔΣ
+	// property).
+	d := NewDeltaSigma(32, 2)
+	for _, dc := range []float64{-0.7, -0.2, 0, 0.3, 0.9} {
+		in := make([]float64, 20000)
+		for i := range in {
+			in[i] = dc
+		}
+		bits := d.Modulate(in)
+		if got := dsp.Mean(bits[1000:]); math.Abs(got-dc) > 0.01 {
+			t.Fatalf("bitstream mean %g, want %g", got, dc)
+		}
+	}
+}
+
+func TestDeltaSigmaConvertSNR(t *testing.T) {
+	// A first-order modulator at OSR 64 should comfortably exceed 40 dB
+	// in-band SNDR on a near-full-scale sine.
+	const osr = 64
+	const outRate = 1024.0
+	d := NewDeltaSigma(osr, 2)
+	in := siggen.Sine(1<<17, 31, osr*outRate, 0.8, 0)
+	out := d.Convert(in)
+	m := dsp.AnalyzeSine(out[200:], outRate)
+	if m.SNDRdB < 40 {
+		t.Fatalf("ΔΣ SNDR = %g dB, want > 40", m.SNDRdB)
+	}
+	// Higher OSR buys SNR (the noise-shaping law).
+	d2 := NewDeltaSigma(16, 2)
+	in2 := siggen.Sine(1<<15, 31, 16*outRate, 0.8, 0)
+	m2 := dsp.AnalyzeSine(d2.Convert(in2)[200:], outRate)
+	if m2.SNDRdB >= m.SNDRdB {
+		t.Fatalf("OSR 16 SNDR %g should trail OSR 64 SNDR %g", m2.SNDRdB, m.SNDRdB)
+	}
+}
+
+func TestDeltaSigmaLeakDegrades(t *testing.T) {
+	const osr = 64
+	const outRate = 1024.0
+	in := siggen.Sine(1<<16, 31, osr*outRate, 0.8, 0)
+	ideal := NewDeltaSigma(osr, 2)
+	leaky := NewDeltaSigma(osr, 2)
+	leaky.IntegratorLeak = 0.95 // gross leak: ~26 dB integrator gain
+	mi := dsp.AnalyzeSine(ideal.Convert(in)[200:], outRate)
+	ml := dsp.AnalyzeSine(leaky.Convert(in)[200:], outRate)
+	if ml.SNDRdB >= mi.SNDRdB {
+		t.Fatalf("integrator leak should cost SNDR: %g vs %g", ml.SNDRdB, mi.SNDRdB)
+	}
+}
+
+func TestDeltaSigmaOutputLength(t *testing.T) {
+	d := NewDeltaSigma(16, 2)
+	out := d.Convert(make([]float64, 1600))
+	if len(out) != 100 {
+		t.Fatalf("output length %d, want 100", len(out))
+	}
+}
+
+func TestDeltaSigmaTheoreticalSQNR(t *testing.T) {
+	d := NewDeltaSigma(64, 2)
+	want := 6.02 + 1.76 - 5.17 + 30*math.Log10(64)
+	if got := d.TheoreticalSQNR(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SQNR = %g, want %g", got, want)
+	}
+	// Each doubling of OSR is worth ~9 dB.
+	d2 := NewDeltaSigma(128, 2)
+	if diff := d2.TheoreticalSQNR() - d.TheoreticalSQNR(); math.Abs(diff-9.03) > 0.01 {
+		t.Fatalf("per-octave gain = %g dB, want ~9", diff)
+	}
+}
+
+func TestDeltaSigmaPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("low OSR", func() { NewDeltaSigma(2, 2) })
+	mustPanic("bad VFS", func() { NewDeltaSigma(16, 0) })
+}

@@ -1,0 +1,217 @@
+// Package blocks provides the behavioural (functional) models of the
+// analog building blocks in the EffiCSense library — the Go counterpart of
+// the paper's Simulink block set (Step 1 of the framework). Each block
+// consumes and produces discrete-time waveforms on a common simulation
+// grid; blocks that change the rate (the sample & hold) are explicit about
+// it. Non-idealities (noise, finite bandwidth, nonlinearity, clipping)
+// follow the structure of the paper's Fig 3 LNA example.
+package blocks
+
+import (
+	"math"
+
+	"efficsense/internal/dsp"
+	"efficsense/internal/xrand"
+)
+
+// Context carries the simulation environment shared by the blocks of one
+// chain run: the "continuous-time" grid rate and the noise stream.
+type Context struct {
+	// Rate is the simulation grid rate in Hz. It must comfortably exceed
+	// the ADC sample rate (the chain builders use an integer multiple).
+	Rate float64
+	// RNG is the root noise stream; blocks derive private substreams.
+	RNG *xrand.Source
+}
+
+// NewContext returns a context at the given rate with a seeded stream.
+func NewContext(rate float64, seed int64) *Context {
+	return &Context{Rate: rate, RNG: xrand.New(seed)}
+}
+
+// Block is a rate-preserving waveform processor.
+type Block interface {
+	// Name identifies the block in power breakdowns and reports.
+	Name() string
+	// Process transforms the input waveform (same rate, same length).
+	Process(ctx *Context, in []float64) []float64
+}
+
+// Series chains blocks sequentially.
+type Series struct {
+	Blocks []Block
+}
+
+// Name implements Block.
+func (s *Series) Name() string { return "series" }
+
+// Process runs the input through every block in order.
+func (s *Series) Process(ctx *Context, in []float64) []float64 {
+	out := in
+	for _, b := range s.Blocks {
+		out = b.Process(ctx, out)
+	}
+	return out
+}
+
+// LNA models the low-noise amplifier of Fig 3: white input-referred noise
+// is added to the signal, the sum is amplified, band-limited by a one-pole
+// lowpass at Bandwidth, passed through a third-order nonlinearity and
+// finally hard-clipped at the supply rails.
+type LNA struct {
+	// Gain is the voltage gain (V/V).
+	Gain float64
+	// NoiseRMS is the input-referred noise integrated over Bandwidth (V).
+	// This is the "LNA noise floor" swept in the paper's Fig 4 and the
+	// variable of the noise-limited power term.
+	NoiseRMS float64
+	// Bandwidth is the -3 dB bandwidth (Hz), BW_LNA = 3·BW_in in Table III.
+	Bandwidth float64
+	// HD3FullScale is the third-harmonic distortion, as an amplitude
+	// ratio, produced by a full-scale (ClipLevel) output sine. Zero
+	// disables the nonlinearity.
+	HD3FullScale float64
+	// FlickerCorner is the 1/f noise corner frequency (Hz): below it the
+	// input-referred noise density exceeds the thermal floor. Zero
+	// disables flicker noise (the paper's Fig 3 models the thermal floor
+	// only; the corner is a library extension for chopper-less designs).
+	FlickerCorner float64
+	// ClipLevel is the output saturation level (V), typically VDD/2 for a
+	// mid-rail referenced amplifier.
+	ClipLevel float64
+}
+
+// Name implements Block.
+func (l *LNA) Name() string { return "LNA" }
+
+// Process implements Block following the Fig 3 signal flow.
+func (l *LNA) Process(ctx *Context, in []float64) []float64 {
+	out := make([]float64, len(in))
+	// Per-sample white noise sigma such that the 0..Bandwidth in-band
+	// portion of the flat spectrum integrates to NoiseRMS².
+	var sigma float64
+	if l.NoiseRMS > 0 && l.Bandwidth > 0 && ctx.Rate > 2*l.Bandwidth {
+		sigma = l.NoiseRMS * math.Sqrt(ctx.Rate/(2*l.Bandwidth))
+	} else if l.NoiseRMS > 0 {
+		sigma = l.NoiseRMS
+	}
+	rng := ctx.RNG.Derive("lna-noise")
+	var flicker []float64
+	if l.FlickerCorner > 0 && l.NoiseRMS > 0 && l.Bandwidth > 0 {
+		// Flicker density equals the thermal density at the corner; its
+		// in-band RMS follows from integrating k/f from fLow to BW with
+		// k = (thermal density)·corner.
+		const fLow = 0.1
+		thermalDensity := l.NoiseRMS * l.NoiseRMS / l.Bandwidth
+		flickerPower := thermalDensity * l.FlickerCorner * math.Log(l.Bandwidth/fLow)
+		flicker = make([]float64, len(in))
+		rng.Derive("flicker").OneOverF(flicker, 1)
+		scale := math.Sqrt(flickerPower)
+		for i := range flicker {
+			flicker[i] *= scale
+		}
+	}
+	for i, x := range in {
+		n := rng.Normal(0, sigma)
+		if flicker != nil {
+			n += flicker[i]
+		}
+		out[i] = (x + n) * l.Gain
+	}
+	if l.Bandwidth > 0 && l.Bandwidth < ctx.Rate/2 {
+		lp := dsp.NewOnePoleLP(l.Bandwidth, ctx.Rate)
+		out = lp.Apply(out)
+	}
+	if l.HD3FullScale > 0 && l.ClipLevel > 0 {
+		// y = x + c3·x³ with c3 chosen so a ClipLevel-amplitude sine shows
+		// the requested HD3: HD3 ≈ c3·A²/4 → c3 = 4·HD3/A².
+		c3 := -4 * l.HD3FullScale / (l.ClipLevel * l.ClipLevel)
+		for i, x := range out {
+			out[i] = x + c3*x*x*x
+		}
+	}
+	if l.ClipLevel > 0 {
+		for i, x := range out {
+			if x > l.ClipLevel {
+				out[i] = l.ClipLevel
+			} else if x < -l.ClipLevel {
+				out[i] = -l.ClipLevel
+			}
+		}
+	}
+	return out
+}
+
+// SampleHold models the track-and-hold: it picks every Decimation-th grid
+// sample and adds kT/C sampling noise set by the hold capacitor. It
+// reduces the rate by Decimation, so it is not a Block.
+type SampleHold struct {
+	// Decimation is the integer ratio between the grid rate and f_sample.
+	Decimation int
+	// Cap is the sampling capacitor (F); kT/C noise sigma = sqrt(kT/Cap).
+	Cap float64
+	// Temperature in kelvin for the kT/C noise (0 → 300 K).
+	Temperature float64
+}
+
+// Sample returns the held samples (length ceil(len(in)/Decimation)).
+func (s *SampleHold) Sample(ctx *Context, in []float64) []float64 {
+	if s.Decimation <= 0 {
+		panic("blocks: SampleHold.Decimation must be positive")
+	}
+	temp := s.Temperature
+	if temp <= 0 {
+		temp = 300
+	}
+	var sigma float64
+	if s.Cap > 0 {
+		sigma = math.Sqrt(1.380649e-23 * temp / s.Cap)
+	}
+	rng := ctx.RNG.Derive("sh-noise")
+	out := make([]float64, 0, len(in)/s.Decimation+1)
+	for i := 0; i < len(in); i += s.Decimation {
+		out = append(out, in[i]+rng.Normal(0, sigma))
+	}
+	return out
+}
+
+// Attenuator is a fixed gain (or loss) block, useful for referring
+// electrode-scale signals into the ADC range in idealised chains.
+type Attenuator struct{ K float64 }
+
+// Name implements Block.
+func (a *Attenuator) Name() string { return "gain" }
+
+// Process implements Block.
+func (a *Attenuator) Process(_ *Context, in []float64) []float64 {
+	out := make([]float64, len(in))
+	for i, x := range in {
+		out[i] = a.K * x
+	}
+	return out
+}
+
+// AdditiveNoise injects white Gaussian noise of the given RMS, a generic
+// imperfection block for ablation studies.
+type AdditiveNoise struct {
+	RMS   float64
+	Label string
+}
+
+// Name implements Block.
+func (n *AdditiveNoise) Name() string {
+	if n.Label != "" {
+		return n.Label
+	}
+	return "noise"
+}
+
+// Process implements Block.
+func (n *AdditiveNoise) Process(ctx *Context, in []float64) []float64 {
+	rng := ctx.RNG.Derive("additive-" + n.Name())
+	out := make([]float64, len(in))
+	for i, x := range in {
+		out[i] = x + rng.Normal(0, n.RMS)
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package classify
+
+import (
+	"math"
+	"testing"
+
+	"efficsense/internal/dsp"
+	"efficsense/internal/eeg"
+	"efficsense/internal/siggen"
+	"efficsense/internal/xrand"
+)
+
+func TestFeaturesGainInvariantExceptScale(t *testing.T) {
+	rng := xrand.New(1)
+	v := siggen.ColoredNoise(rng, 4096, 1, 1e-5)
+	f1 := Features(v, 512)
+	f2 := Features(dsp.Scale(dsp.Clone(v), 1e4), 512)
+	for i := 0; i < FeatureCount-1; i++ {
+		if math.Abs(f1[i]-f2[i]) > 1e-9*(1+math.Abs(f1[i])) {
+			t.Fatalf("feature %d (%s) not gain invariant: %g vs %g",
+				i, FeatureNames[i], f1[i], f2[i])
+		}
+	}
+	// The scale feature moves by exactly the gain in decades.
+	if math.Abs((f2[13]-f1[13])-4) > 1e-9 {
+		t.Fatalf("log-rms moved by %g decades, want 4", f2[13]-f1[13])
+	}
+}
+
+func TestFeaturesRhythmicitySeparatesDischargeFromNoise(t *testing.T) {
+	rng := xrand.New(21)
+	const rate = 537.6
+	sw := siggen.SpikeWave(rng.Derive("sw"), 8192, rate, 4, 50e-6, 0.03)
+	noise := siggen.ColoredNoise(rng.Derive("n"), 8192, 1.5, 50e-6)
+	fsw := Features(sw, rate)
+	fn := Features(noise, rate)
+	if fsw[11] <= fn[11] {
+		t.Fatalf("rhythmicity should favour the discharge: %g vs %g", fsw[11], fn[11])
+	}
+}
+
+func TestFeaturesSeparateClasses(t *testing.T) {
+	ds := eeg.Synthesize(eeg.DefaultConfig(2, 10))
+	// Delta+theta relative power must be systematically higher for ictal
+	// records (3–5 Hz discharges).
+	var ictal, inter float64
+	var nIc, nIn int
+	for _, r := range ds.Records {
+		f := Features(r.Samples, r.Rate)
+		lowFrac := f[0] + f[1]
+		if r.Label == eeg.Ictal {
+			ictal += lowFrac
+			nIc++
+		} else {
+			inter += lowFrac
+			nIn++
+		}
+	}
+	ictal /= float64(nIc)
+	inter /= float64(nIn)
+	if ictal <= inter {
+		t.Fatalf("low-band fraction: ictal %g <= interictal %g", ictal, inter)
+	}
+}
+
+func TestFeaturesDegenerateInputs(t *testing.T) {
+	if f := Features(nil, 512); len(f) != FeatureCount {
+		t.Fatal("nil input feature length")
+	}
+	if f := Features(make([]float64, 1000), 512); dsp.MaxAbs(f) != 0 {
+		t.Fatal("all-zero input should give zero features")
+	}
+	short := Features([]float64{1, 2}, 512)
+	if len(short) != FeatureCount {
+		t.Fatal("short input feature length")
+	}
+}
+
+func TestScalerStandardises(t *testing.T) {
+	rng := xrand.New(3)
+	rows := make([][]float64, 500)
+	for i := range rows {
+		rows[i] = []float64{rng.Normal(5, 2), rng.Normal(-1, 0.1)}
+	}
+	s := FitScaler(rows)
+	var mean0, mean1, var0, var1 float64
+	for _, r := range rows {
+		tr := s.Transform(r)
+		mean0 += tr[0]
+		mean1 += tr[1]
+		var0 += tr[0] * tr[0]
+		var1 += tr[1] * tr[1]
+	}
+	n := float64(len(rows))
+	if math.Abs(mean0/n) > 1e-9 || math.Abs(mean1/n) > 1e-9 {
+		t.Fatal("standardised mean not zero")
+	}
+	if math.Abs(var0/n-1) > 1e-9 || math.Abs(var1/n-1) > 1e-9 {
+		t.Fatal("standardised variance not one")
+	}
+}
+
+func TestScalerConstantFeature(t *testing.T) {
+	s := FitScaler([][]float64{{1, 7}, {2, 7}})
+	tr := s.Transform([]float64{1.5, 7})
+	if math.IsNaN(tr[1]) || math.IsInf(tr[1], 0) {
+		t.Fatal("constant feature produced NaN/Inf")
+	}
+}
+
+func TestScalerEmpty(t *testing.T) {
+	s := FitScaler(nil)
+	got := s.Transform([]float64{1, 2})
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatal("empty scaler should pass through")
+	}
+}
+
+func TestMLPLearnsXORLike(t *testing.T) {
+	// A linearly inseparable problem: the MLP must beat a linear model.
+	x := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []float64{0, 1, 1, 0}
+	// Replicate for batching.
+	var bx [][]float64
+	var by []float64
+	for i := 0; i < 50; i++ {
+		bx = append(bx, x...)
+		by = append(by, y...)
+	}
+	net := NewMLP(2, 8, 4)
+	loss := net.Train(bx, by, TrainOptions{Epochs: 300, Seed: 4})
+	if loss > 0.1 {
+		t.Fatalf("XOR training loss = %g", loss)
+	}
+	for i, xi := range x {
+		p := net.Predict(xi)
+		if (p >= 0.5) != (y[i] == 1) {
+			t.Fatalf("XOR case %v misclassified: p=%g", xi, p)
+		}
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	mk := func() float64 {
+		net := NewMLP(3, 5, 9)
+		x := [][]float64{{1, 0, 0}, {0, 1, 0}}
+		y := []float64{0, 1}
+		net.Train(x, y, TrainOptions{Epochs: 10, Seed: 9})
+		return net.Predict([]float64{0.5, 0.5, 0})
+	}
+	if mk() != mk() {
+		t.Fatal("training not deterministic for fixed seeds")
+	}
+}
+
+func TestMLPPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-dim MLP should panic")
+		}
+	}()
+	NewMLP(0, 4, 1)
+}
+
+func TestMLPTrainEmpty(t *testing.T) {
+	net := NewMLP(2, 2, 1)
+	if loss := net.Train(nil, nil, TrainOptions{}); loss != 0 {
+		t.Fatal("empty training should be a no-op")
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	c := Confusion{TP: 45, TN: 40, FP: 10, FN: 5}
+	if got := c.Accuracy(); math.Abs(got-0.85) > 1e-12 {
+		t.Errorf("accuracy = %g", got)
+	}
+	if got := c.Sensitivity(); math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("sensitivity = %g", got)
+	}
+	if got := c.Specificity(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("specificity = %g", got)
+	}
+	var zero Confusion
+	if zero.Accuracy() != 0 || zero.Sensitivity() != 0 || zero.Specificity() != 0 {
+		t.Error("zero confusion should yield zero metrics")
+	}
+}
+
+func TestDetectorCleanAccuracy(t *testing.T) {
+	// The substitute detector must reach the paper's ~99 % regime on
+	// clean records — the premise of the Fig 7 accuracy goal function.
+	ds := eeg.Synthesize(eeg.DefaultConfig(5, 80))
+	train, test := ds.Split(0.25)
+	det := TrainDetector(train, DetectorConfig{Seed: 5, Train: TrainOptions{Epochs: 150}})
+	conf := det.EvaluateDataset(test)
+	if acc := conf.Accuracy(); acc < 0.95 {
+		t.Fatalf("clean test accuracy = %g, want >= 0.95 (confusion %+v)", acc, conf)
+	}
+}
+
+func TestDetectorDegradesWithNoise(t *testing.T) {
+	ds := eeg.Synthesize(eeg.DefaultConfig(6, 60))
+	train, test := ds.Split(0.25)
+	det := TrainDetector(train, DetectorConfig{Seed: 6, Train: TrainOptions{Epochs: 150}})
+	rng := xrand.New(66)
+	noisy := func(level float64) float64 {
+		waves := make([][]float64, len(test.Records))
+		labels := make([]eeg.Class, len(test.Records))
+		for i, r := range test.Records {
+			w := dsp.Clone(r.Samples)
+			sigma := level * dsp.RMS(w)
+			for j := range w {
+				w[j] += rng.Normal(0, sigma)
+			}
+			waves[i] = w
+			labels[i] = r.Label
+		}
+		return det.EvaluateWaves(waves, test.Rate, labels).Accuracy()
+	}
+	clean := noisy(0)
+	drowned := noisy(20)
+	if clean < 0.9 {
+		t.Fatalf("clean accuracy = %g", clean)
+	}
+	if drowned > clean-0.2 {
+		t.Fatalf("accuracy did not degrade with overwhelming noise: clean %g vs drowned %g", clean, drowned)
+	}
+}
+
+func TestDetectorExpectsElectrodeScale(t *testing.T) {
+	// The detector contract: waveforms are referred to electrode scale.
+	// A correctly referred copy classifies identically to the original; a
+	// copy left at ADC scale (gain not removed) is out of contract and
+	// may not.
+	ds := eeg.Synthesize(eeg.DefaultConfig(7, 20))
+	train, test := ds.Split(0.25)
+	det := TrainDetector(train, DetectorConfig{Seed: 7, Train: TrainOptions{Epochs: 100}})
+	const gain = 2800.0
+	for _, r := range test.Records {
+		amplified := dsp.Scale(dsp.Clone(r.Samples), gain)
+		referred := dsp.Scale(dsp.Clone(amplified), 1/gain)
+		a := det.Classify(r.Samples, r.Rate)
+		b := det.Classify(referred, r.Rate)
+		if a != b {
+			t.Fatalf("record %d classification changed after gain round trip", r.ID)
+		}
+	}
+}
+
+func TestClassifyWindowedFallbacks(t *testing.T) {
+	ds := eeg.Synthesize(eeg.DefaultConfig(8, 12))
+	train, test := ds.Split(0.25)
+	det := TrainDetector(train, DetectorConfig{Seed: 8, Train: TrainOptions{Epochs: 60}})
+	r := test.Records[0]
+	// windowSamples <= 0 or longer than the record: whole-record result.
+	whole := det.Classify(r.Samples, r.Rate)
+	if det.ClassifyWindowed(r.Samples, r.Rate, 0) != whole {
+		t.Fatal("zero window should fall back to whole-record classification")
+	}
+	if det.ClassifyWindowed(r.Samples, r.Rate, len(r.Samples)+1) != whole {
+		t.Fatal("oversized window should fall back to whole-record classification")
+	}
+}
+
+func TestEvaluateWavesWindowedRuns(t *testing.T) {
+	ds := eeg.Synthesize(eeg.DefaultConfig(9, 12))
+	train, test := ds.Split(0.25)
+	det := TrainDetector(train, DetectorConfig{
+		Seed: 9, WindowSeconds: 3, Train: TrainOptions{Epochs: 60},
+	})
+	waves := make([][]float64, len(test.Records))
+	labels := make([]eeg.Class, len(test.Records))
+	for i, r := range test.Records {
+		waves[i] = r.Samples
+		labels[i] = r.Label
+	}
+	win := int(3 * test.Rate)
+	conf := det.EvaluateWavesWindowed(waves, test.Rate, labels, win)
+	if conf.TP+conf.TN+conf.FP+conf.FN != len(test.Records) {
+		t.Fatalf("confusion does not cover all records: %+v", conf)
+	}
+	// Window-trained detector should still be decent on clean records.
+	if conf.Accuracy() < 0.7 {
+		t.Fatalf("windowed clean accuracy = %g", conf.Accuracy())
+	}
+}

@@ -1,0 +1,219 @@
+package classify
+
+import (
+	"math"
+
+	"efficsense/internal/xrand"
+)
+
+// MLP is a single-hidden-layer perceptron with tanh activations and a
+// sigmoid output, trained with Adam on binary cross-entropy. It stands in
+// for the paper's deep detector [20]; at this feature dimensionality a
+// small network reaches the same ~99 % clean accuracy regime.
+type MLP struct {
+	in, hidden int
+	w1         []float64 // hidden×in
+	b1         []float64 // hidden
+	w2         []float64 // hidden
+	b2         float64
+}
+
+// NewMLP initialises a network with Xavier-scaled weights.
+func NewMLP(in, hidden int, seed int64) *MLP {
+	if in < 1 || hidden < 1 {
+		panic("classify: MLP dimensions must be positive")
+	}
+	rng := xrand.Derive(seed, "mlp-init")
+	m := &MLP{
+		in: in, hidden: hidden,
+		w1: make([]float64, hidden*in),
+		b1: make([]float64, hidden),
+		w2: make([]float64, hidden),
+	}
+	s1 := math.Sqrt(2.0 / float64(in+hidden))
+	for i := range m.w1 {
+		m.w1[i] = rng.Normal(0, s1)
+	}
+	s2 := math.Sqrt(2.0 / float64(hidden+1))
+	for i := range m.w2 {
+		m.w2[i] = rng.Normal(0, s2)
+	}
+	return m
+}
+
+// Predict returns the ictal probability for a (standardised) feature row.
+func (m *MLP) Predict(x []float64) float64 {
+	h := make([]float64, m.hidden)
+	m.forward(x, h)
+	return m.output(h)
+}
+
+func (m *MLP) forward(x []float64, h []float64) {
+	for j := 0; j < m.hidden; j++ {
+		sum := m.b1[j]
+		row := m.w1[j*m.in : (j+1)*m.in]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		h[j] = math.Tanh(sum)
+	}
+}
+
+func (m *MLP) output(h []float64) float64 {
+	sum := m.b2
+	for j, hj := range h {
+		sum += m.w2[j] * hj
+	}
+	return sigmoid(sum)
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// TrainOptions controls MLP optimisation.
+type TrainOptions struct {
+	// Epochs over the training set (default 200).
+	Epochs int
+	// LearnRate is the Adam step size (default 0.01).
+	LearnRate float64
+	// L2 is the weight-decay coefficient (default 1e-4).
+	L2 float64
+	// BatchSize for mini-batching (default 16).
+	BatchSize int
+	// Seed orders the shuffling.
+	Seed int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.Epochs <= 0 {
+		o.Epochs = 200
+	}
+	if o.LearnRate <= 0 {
+		o.LearnRate = 0.01
+	}
+	if o.L2 < 0 {
+		o.L2 = 0
+	} else if o.L2 == 0 {
+		o.L2 = 1e-4
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	return o
+}
+
+// adamState holds first/second moment estimates for one parameter slice.
+type adamState struct {
+	m, v []float64
+	t    int
+}
+
+func newAdam(n int) *adamState { return &adamState{m: make([]float64, n), v: make([]float64, n)} }
+
+func (a *adamState) step(params, grads []float64, lr float64) {
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	a.t++
+	c1 := 1 - math.Pow(beta1, float64(a.t))
+	c2 := 1 - math.Pow(beta2, float64(a.t))
+	for i := range params {
+		a.m[i] = beta1*a.m[i] + (1-beta1)*grads[i]
+		a.v[i] = beta2*a.v[i] + (1-beta2)*grads[i]*grads[i]
+		params[i] -= lr * (a.m[i] / c1) / (math.Sqrt(a.v[i]/c2) + eps)
+	}
+}
+
+// Train fits the network on rows x with binary labels y (0/1) using Adam
+// and mini-batch SGD. It returns the final average training loss.
+func (m *MLP) Train(x [][]float64, y []float64, opts TrainOptions) float64 {
+	opts = opts.withDefaults()
+	n := len(x)
+	if n == 0 || len(y) != n {
+		return 0
+	}
+	rng := xrand.Derive(opts.Seed, "mlp-shuffle")
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	gW1 := make([]float64, len(m.w1))
+	gB1 := make([]float64, len(m.b1))
+	gW2 := make([]float64, len(m.w2))
+	gB2 := make([]float64, 1)
+	aW1, aB1, aW2, aB2 := newAdam(len(m.w1)), newAdam(len(m.b1)), newAdam(len(m.w2)), newAdam(1)
+	h := make([]float64, m.hidden)
+	var lastLoss float64
+	b2slice := []float64{m.b2}
+	for epoch := 0; epoch < opts.Epochs; epoch++ {
+		rng.Shuffle(idx)
+		var epochLoss float64
+		for start := 0; start < n; start += opts.BatchSize {
+			end := start + opts.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := idx[start:end]
+			for i := range gW1 {
+				gW1[i] = 0
+			}
+			for i := range gB1 {
+				gB1[i] = 0
+			}
+			for i := range gW2 {
+				gW2[i] = 0
+			}
+			gB2[0] = 0
+			for _, k := range batch {
+				xi := x[k]
+				m.forward(xi, h)
+				p := m.output(h)
+				t := y[k]
+				epochLoss += bce(p, t)
+				// dL/dz_out for sigmoid+BCE is (p - t).
+				dOut := (p - t) / float64(len(batch))
+				gB2[0] += dOut
+				for j := 0; j < m.hidden; j++ {
+					gW2[j] += dOut * h[j]
+					// Backprop through tanh.
+					dH := dOut * m.w2[j] * (1 - h[j]*h[j])
+					gB1[j] += dH
+					row := gW1[j*m.in : (j+1)*m.in]
+					for i, xv := range xi {
+						row[i] += dH * xv
+					}
+				}
+			}
+			if opts.L2 > 0 {
+				for i, w := range m.w1 {
+					gW1[i] += opts.L2 * w
+				}
+				for i, w := range m.w2 {
+					gW2[i] += opts.L2 * w
+				}
+			}
+			aW1.step(m.w1, gW1, opts.LearnRate)
+			aB1.step(m.b1, gB1, opts.LearnRate)
+			aW2.step(m.w2, gW2, opts.LearnRate)
+			b2slice[0] = m.b2
+			aB2.step(b2slice, gB2, opts.LearnRate)
+			m.b2 = b2slice[0]
+		}
+		lastLoss = epochLoss / float64(n)
+	}
+	return lastLoss
+}
+
+func bce(p, t float64) float64 {
+	const eps = 1e-12
+	if p < eps {
+		p = eps
+	}
+	if p > 1-eps {
+		p = 1 - eps
+	}
+	return -(t*math.Log(p) + (1-t)*math.Log(1-p))
+}

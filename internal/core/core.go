@@ -1,0 +1,329 @@
+// Package core is the EffiCSense pathfinding framework itself: it couples
+// the behavioural chains (internal/chain), the power/area models
+// (internal/power), the application dataset (internal/eeg) and the
+// accuracy metric (internal/classify) behind a single
+// design-point → figures-of-interest evaluation, the operation every
+// sweep and Pareto search in the paper is built from (framework Steps 1–5,
+// Fig 2).
+package core
+
+import (
+	"fmt"
+
+	"efficsense/internal/chain"
+	"efficsense/internal/classify"
+	"efficsense/internal/dsp"
+	"efficsense/internal/eeg"
+	"efficsense/internal/power"
+	"efficsense/internal/siggen"
+	"efficsense/internal/tech"
+	"efficsense/internal/units"
+)
+
+// Architecture selects one of the paper's two systems (Fig 1).
+type Architecture int
+
+const (
+	// ArchBaseline is the classical chain (Fig 1a).
+	ArchBaseline Architecture = iota
+	// ArchCS is the passive charge-sharing analog CS chain (Fig 1b).
+	ArchCS
+	// ArchCSDigital is the digital CS variant: Nyquist ADC + MAC
+	// compression (refs [2], [12]).
+	ArchCSDigital
+	// ArchCSActive is the active analog CS variant: OTA integrators
+	// instead of passive sharing (the counterpoint of ref [10]).
+	ArchCSActive
+)
+
+// String implements fmt.Stringer.
+func (a Architecture) String() string {
+	switch a {
+	case ArchBaseline:
+		return "baseline"
+	case ArchCS:
+		return "cs"
+	case ArchCSDigital:
+		return "cs-digital"
+	case ArchCSActive:
+		return "cs-active"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// DesignPoint is one configuration in the search space of Table III.
+type DesignPoint struct {
+	// Arch selects the system.
+	Arch Architecture
+	// Bits is the ADC resolution N (6–8).
+	Bits int
+	// LNANoise is the input-referred LNA noise floor (V rms, swept
+	// 1–20 µV).
+	LNANoise float64
+	// M is the CS measurement count (75/150/192); ignored for baseline.
+	M int
+	// CHold is the CS hold capacitor (F); 0 selects the default. Ignored
+	// for baseline.
+	CHold float64
+}
+
+// String renders the point compactly for reports.
+func (d DesignPoint) String() string {
+	if d.Arch == ArchBaseline {
+		return fmt.Sprintf("baseline N=%d vn=%s", d.Bits, units.Format(d.LNANoise, "V"))
+	}
+	s := fmt.Sprintf("%s N=%d vn=%s M=%d", d.Arch, d.Bits, units.Format(d.LNANoise, "V"), d.M)
+	if d.CHold > 0 {
+		s += " Ch=" + units.Format(d.CHold, "F")
+	}
+	return s
+}
+
+// Result carries every figure of interest for one design point — the
+// quantities the paper's Figs 4 and 7–10 are plotted from.
+type Result struct {
+	Point DesignPoint
+	// MeanSNRdB is the record-averaged SNR versus the band-limited
+	// reference (goal function of Fig 7a).
+	MeanSNRdB float64
+	// Accuracy is the seizure-detection accuracy (goal function of
+	// Fig 7b); Confusion carries the full matrix.
+	Accuracy  float64
+	Confusion classify.Confusion
+	// Power is the record-averaged Table II breakdown; TotalPower its sum.
+	Power      power.Breakdown
+	TotalPower float64
+	// AreaCaps is the total design capacitance in C_u,min multiples
+	// (Fig 9/10 metric).
+	AreaCaps float64
+}
+
+// Config assembles an Evaluator.
+type Config struct {
+	Tech tech.Params
+	Sys  tech.System
+	// Dataset holds the evaluation records (typically a test split).
+	Dataset *eeg.Dataset
+	// Detector is the trained accuracy metric. Nil skips accuracy (SNR
+	// sweeps like Fig 4 don't need it).
+	Detector *classify.Detector
+	// NPhi and Sparsity fix the CS frame geometry (defaults 384 / 2).
+	NPhi     int
+	Sparsity int
+	// SimOversample is the grid multiple (default 4).
+	SimOversample int
+	// WindowSeconds selects the windowed detection protocol: each record
+	// is split into windows of this duration, classified per window and
+	// decided by majority vote (ref [20] classifies ≈3 s segments). Zero
+	// classifies whole records. Use classify.DefaultWindowSeconds for the
+	// paper-faithful protocol; the detector should be trained with the
+	// same WindowSeconds.
+	WindowSeconds float64
+	// Seed drives every stochastic realisation.
+	Seed int64
+}
+
+// Evaluator scores design points on a fixed dataset. It pre-resamples all
+// records to the simulation grid once, so sweeping many points stays
+// cheap. Evaluate is safe for concurrent use on *different* points
+// (internal state is read-only after construction).
+type Evaluator struct {
+	cfg    Config
+	common chain.Common // template (per-point fields zeroed)
+	grids  [][]float64  // records on the simulation grid
+	refs   [][]float64  // band-limited references at f_sample
+	labels []eeg.Class
+}
+
+// NewEvaluator precomputes the per-record grid inputs and references.
+func NewEvaluator(cfg Config) (*Evaluator, error) {
+	if cfg.Dataset == nil || len(cfg.Dataset.Records) == 0 {
+		return nil, fmt.Errorf("core: evaluator requires a dataset")
+	}
+	if err := cfg.Tech.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := cfg.Sys.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.NPhi <= 0 {
+		cfg.NPhi = 384
+	}
+	if cfg.Sparsity <= 0 {
+		cfg.Sparsity = 2
+	}
+	if cfg.SimOversample < 2 {
+		cfg.SimOversample = 4
+	}
+	e := &Evaluator{
+		cfg: cfg,
+		common: chain.Common{
+			Tech:          cfg.Tech,
+			Sys:           cfg.Sys,
+			SimOversample: cfg.SimOversample,
+			Seed:          cfg.Seed,
+		},
+	}
+	gridRate := e.common.GridRate()
+	for _, r := range cfg.Dataset.Records {
+		grid := dsp.Resample(r.Samples, r.Rate, gridRate)
+		e.grids = append(e.grids, grid)
+		e.refs = append(e.refs, chain.ReferenceGrid(e.common, grid))
+		e.labels = append(e.labels, r.Label)
+	}
+	return e, nil
+}
+
+// csConfig assembles the CS-family chain configuration for a point.
+func (e *Evaluator) csConfig(common chain.Common, p DesignPoint) chain.CSConfig {
+	return chain.CSConfig{
+		Common:   common,
+		M:        p.M,
+		NPhi:     e.cfg.NPhi,
+		Sparsity: e.cfg.Sparsity,
+		CHold:    p.CHold,
+	}
+}
+
+// Records returns the number of evaluation records.
+func (e *Evaluator) Records() int { return len(e.grids) }
+
+// OutputRate returns the rate of chain outputs (f_sample).
+func (e *Evaluator) OutputRate() float64 { return e.cfg.Sys.FSample() }
+
+// Evaluate scores one design point over every record.
+func (e *Evaluator) Evaluate(p DesignPoint) Result {
+	common := e.common
+	common.Bits = p.Bits
+	common.LNANoise = p.LNANoise
+	var run func(grid []float64) chain.Output
+	var area float64
+	switch p.Arch {
+	case ArchBaseline:
+		b := chain.NewBaseline(common)
+		run = b.RunGrid
+		area = b.Area()
+	case ArchCS:
+		c := chain.NewCS(e.csConfig(common, p))
+		run = c.RunGrid
+		area = c.Area()
+	case ArchCSDigital:
+		c := chain.NewDigitalCS(e.csConfig(common, p))
+		run = c.RunGrid
+		area = c.Area()
+	case ArchCSActive:
+		c := chain.NewActiveCS(e.csConfig(common, p))
+		run = c.RunGrid
+		area = c.Area()
+	default:
+		panic(fmt.Sprintf("core: unknown architecture %d", p.Arch))
+	}
+	res := Result{Point: p, AreaCaps: area, Power: power.Breakdown{}}
+	waves := make([][]float64, len(e.grids))
+	var snrSum float64
+	var rate float64
+	for i, grid := range e.grids {
+		out := run(grid)
+		rate = out.Rate
+		// Refer the output back to electrode scale for the detector (the
+		// chain gain is a known design value, not information).
+		if out.Gain > 0 {
+			for j := range out.Samples {
+				out.Samples[j] /= out.Gain
+			}
+		}
+		waves[i] = out.Samples
+		n := len(out.Samples)
+		ref := e.refs[i]
+		if len(ref) < n {
+			n = len(ref)
+		}
+		snrSum += dsp.SNRVersusReference(ref[:n], out.Samples[:n])
+		for c, v := range out.Power {
+			res.Power[c] += v
+		}
+	}
+	nRec := float64(len(e.grids))
+	for c := range res.Power {
+		res.Power[c] /= nRec
+	}
+	res.TotalPower = res.Power.Total()
+	res.MeanSNRdB = snrSum / nRec
+	if e.cfg.Detector != nil {
+		win := 0
+		if e.cfg.WindowSeconds > 0 {
+			win = int(e.cfg.WindowSeconds * rate)
+		}
+		res.Confusion = e.cfg.Detector.EvaluateWavesWindowed(waves, rate, e.labels, win)
+		res.Accuracy = res.Confusion.Accuracy()
+	}
+	return res
+}
+
+// SineResult is the outcome of a single-tone characterisation (Fig 4).
+type SineResult struct {
+	Point      DesignPoint
+	SNDRdB     float64
+	ENOB       float64
+	Power      power.Breakdown
+	TotalPower float64
+}
+
+// EvaluateSine characterises a design point with a full-signal-band sine
+// (the paper's Fig 4 stimulus: a sine through the Fig 1a system),
+// returning SNDR and the power breakdown. freq of 0 selects a tone near
+// one third of the input bandwidth; seconds of 0 selects 30 s.
+func EvaluateSine(cfg Config, p DesignPoint, freq, seconds float64) SineResult {
+	if cfg.NPhi <= 0 {
+		cfg.NPhi = 384
+	}
+	if cfg.Sparsity <= 0 {
+		cfg.Sparsity = 2
+	}
+	if cfg.SimOversample < 2 {
+		cfg.SimOversample = 4
+	}
+	if freq <= 0 {
+		freq = cfg.Sys.BWInput / 3.1
+	}
+	if seconds <= 0 {
+		seconds = 30
+	}
+	common := chain.Common{
+		Tech:          cfg.Tech,
+		Sys:           cfg.Sys,
+		Bits:          p.Bits,
+		LNANoise:      p.LNANoise,
+		SimOversample: cfg.SimOversample,
+		Seed:          cfg.Seed,
+	}
+	gridRate := common.GridRate()
+	n := int(seconds * gridRate)
+	// Drive at ~70 % of the input range (matching the chain headroom).
+	in := siggen.Sine(n, freq, gridRate, 175e-6, 0)
+	csCfg := chain.CSConfig{
+		Common: common, M: p.M, NPhi: cfg.NPhi, Sparsity: cfg.Sparsity, CHold: p.CHold,
+	}
+	var out chain.Output
+	switch p.Arch {
+	case ArchBaseline:
+		out = chain.NewBaseline(common).RunGrid(in)
+	case ArchCS:
+		out = chain.NewCS(csCfg).RunGrid(in)
+	case ArchCSDigital:
+		out = chain.NewDigitalCS(csCfg).RunGrid(in)
+	case ArchCSActive:
+		out = chain.NewActiveCS(csCfg).RunGrid(in)
+	default:
+		panic(fmt.Sprintf("core: unknown architecture %d", p.Arch))
+	}
+	m := dsp.AnalyzeSine(out.Samples, out.Rate)
+	return SineResult{
+		Point:      p,
+		SNDRdB:     m.SNDRdB,
+		ENOB:       m.ENOB,
+		Power:      out.Power,
+		TotalPower: out.Power.Total(),
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"efficsense/internal/classify"
+	"efficsense/internal/eeg"
+	"efficsense/internal/power"
+	"efficsense/internal/tech"
+)
+
+// testEvaluator builds a small evaluator shared by the tests (training the
+// detector once keeps the suite fast).
+var (
+	evalOnce sync.Once
+	evalInst *Evaluator
+)
+
+func testEvaluator(t *testing.T) *Evaluator {
+	t.Helper()
+	evalOnce.Do(func() {
+		ds := eeg.Synthesize(eeg.DefaultConfig(42, 24))
+		train, test := ds.Split(0.34)
+		det := classify.TrainDetector(train, classify.DetectorConfig{
+			Seed:  42,
+			Train: classify.TrainOptions{Epochs: 80},
+		})
+		ev, err := NewEvaluator(Config{
+			Tech:     tech.GPDK045(),
+			Sys:      tech.DefaultSystem(),
+			Dataset:  test,
+			Detector: det,
+			Seed:     42,
+		})
+		if err != nil {
+			panic(err)
+		}
+		evalInst = ev
+	})
+	if evalInst == nil {
+		t.Fatal("evaluator construction failed")
+	}
+	return evalInst
+}
+
+func TestNewEvaluatorValidation(t *testing.T) {
+	if _, err := NewEvaluator(Config{Tech: tech.GPDK045(), Sys: tech.DefaultSystem()}); err == nil {
+		t.Fatal("missing dataset should error")
+	}
+	bad := tech.GPDK045()
+	bad.EBit = 0
+	ds := eeg.Synthesize(eeg.DefaultConfig(1, 2))
+	if _, err := NewEvaluator(Config{Tech: bad, Sys: tech.DefaultSystem(), Dataset: ds}); err == nil {
+		t.Fatal("invalid technology should error")
+	}
+	badSys := tech.DefaultSystem()
+	badSys.BWInput = -1
+	if _, err := NewEvaluator(Config{Tech: tech.GPDK045(), Sys: badSys, Dataset: ds}); err == nil {
+		t.Fatal("invalid system should error")
+	}
+}
+
+func TestEvaluateBaselinePoint(t *testing.T) {
+	ev := testEvaluator(t)
+	res := ev.Evaluate(DesignPoint{Arch: ArchBaseline, Bits: 8, LNANoise: 2e-6})
+	if res.TotalPower < 4e-6 || res.TotalPower > 16e-6 {
+		t.Errorf("baseline power = %g W, outside expected band", res.TotalPower)
+	}
+	if res.MeanSNRdB < 10 {
+		t.Errorf("baseline SNR = %g dB, too low", res.MeanSNRdB)
+	}
+	if res.Accuracy < 0.8 {
+		t.Errorf("baseline accuracy = %g, want high at low noise", res.Accuracy)
+	}
+	if res.AreaCaps < 256 {
+		t.Errorf("baseline area = %g", res.AreaCaps)
+	}
+	if res.Power[power.CompTransmitter] <= 0 {
+		t.Error("transmitter power missing")
+	}
+}
+
+func TestEvaluateCSPoint(t *testing.T) {
+	ev := testEvaluator(t)
+	res := ev.Evaluate(DesignPoint{Arch: ArchCS, Bits: 8, LNANoise: 6e-6, M: 150})
+	if res.TotalPower > 6e-6 {
+		t.Errorf("CS power = %g W, should be well below baseline's ~9 µW", res.TotalPower)
+	}
+	if res.Power[power.CompCSEncoder] <= 0 {
+		t.Error("CS encoder power missing")
+	}
+	if res.MeanSNRdB < 3 {
+		t.Errorf("CS SNR = %g dB, too low", res.MeanSNRdB)
+	}
+	if res.Accuracy < 0.7 {
+		t.Errorf("CS accuracy = %g", res.Accuracy)
+	}
+}
+
+func TestSNRImprovesWithLowerNoise(t *testing.T) {
+	ev := testEvaluator(t)
+	lo := ev.Evaluate(DesignPoint{Arch: ArchBaseline, Bits: 8, LNANoise: 1e-6})
+	hi := ev.Evaluate(DesignPoint{Arch: ArchBaseline, Bits: 8, LNANoise: 20e-6})
+	if lo.MeanSNRdB <= hi.MeanSNRdB {
+		t.Fatalf("SNR should improve with a lower noise floor: %g vs %g dB",
+			lo.MeanSNRdB, hi.MeanSNRdB)
+	}
+	if lo.TotalPower <= hi.TotalPower {
+		t.Fatalf("power should grow with a lower noise floor: %g vs %g W",
+			lo.TotalPower, hi.TotalPower)
+	}
+}
+
+func TestCSAreaExceedsBaseline(t *testing.T) {
+	ev := testEvaluator(t)
+	b := ev.Evaluate(DesignPoint{Arch: ArchBaseline, Bits: 8, LNANoise: 5e-6})
+	c := ev.Evaluate(DesignPoint{Arch: ArchCS, Bits: 8, LNANoise: 5e-6, M: 150})
+	if c.AreaCaps < 3*b.AreaCaps {
+		t.Fatalf("CS area %g should far exceed baseline %g (Fig 9)", c.AreaCaps, b.AreaCaps)
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	ev := testEvaluator(t)
+	p := DesignPoint{Arch: ArchCS, Bits: 7, LNANoise: 4e-6, M: 96}
+	a := ev.Evaluate(p)
+	b := ev.Evaluate(p)
+	if a.MeanSNRdB != b.MeanSNRdB || a.Accuracy != b.Accuracy || a.TotalPower != b.TotalPower {
+		t.Fatal("evaluation not deterministic for a fixed seed")
+	}
+}
+
+func TestEvaluateConcurrent(t *testing.T) {
+	ev := testEvaluator(t)
+	points := []DesignPoint{
+		{Arch: ArchBaseline, Bits: 6, LNANoise: 5e-6},
+		{Arch: ArchBaseline, Bits: 8, LNANoise: 5e-6},
+		{Arch: ArchCS, Bits: 8, LNANoise: 5e-6, M: 75},
+	}
+	serial := make([]Result, len(points))
+	for i, p := range points {
+		serial[i] = ev.Evaluate(p)
+	}
+	parallel := make([]Result, len(points))
+	var wg sync.WaitGroup
+	for i, p := range points {
+		wg.Add(1)
+		go func(i int, p DesignPoint) {
+			defer wg.Done()
+			parallel[i] = ev.Evaluate(p)
+		}(i, p)
+	}
+	wg.Wait()
+	for i := range points {
+		if serial[i].MeanSNRdB != parallel[i].MeanSNRdB ||
+			serial[i].TotalPower != parallel[i].TotalPower {
+			t.Fatalf("point %d differs under concurrency", i)
+		}
+	}
+}
+
+func TestEvaluateSineFig4Shape(t *testing.T) {
+	cfg := Config{Tech: tech.GPDK045(), Sys: tech.DefaultSystem(), Seed: 7}
+	quiet := EvaluateSine(cfg, DesignPoint{Arch: ArchBaseline, Bits: 8, LNANoise: 1e-6}, 0, 20)
+	noisy := EvaluateSine(cfg, DesignPoint{Arch: ArchBaseline, Bits: 8, LNANoise: 20e-6}, 0, 20)
+	if quiet.SNDRdB <= noisy.SNDRdB {
+		t.Fatalf("SNDR should fall with the noise floor: %g vs %g dB", quiet.SNDRdB, noisy.SNDRdB)
+	}
+	// Quiet chain approaches the 8-bit quantisation limit (49.9 dB) minus
+	// implementation losses.
+	if quiet.SNDRdB < 30 || quiet.SNDRdB > 52 {
+		t.Fatalf("quiet-chain SNDR = %g dB, implausible for 8 bits", quiet.SNDRdB)
+	}
+	if quiet.TotalPower <= noisy.TotalPower {
+		t.Fatal("quiet chain must burn more power (Fig 4 trade-off)")
+	}
+	if quiet.ENOB <= noisy.ENOB {
+		t.Fatal("ENOB ordering wrong")
+	}
+}
+
+func TestArchitectureAndPointStrings(t *testing.T) {
+	if ArchBaseline.String() != "baseline" || ArchCS.String() != "cs" {
+		t.Fatal("architecture names")
+	}
+	if Architecture(9).String() == "" {
+		t.Fatal("unknown architecture should render")
+	}
+	p := DesignPoint{Arch: ArchCS, Bits: 8, LNANoise: 5e-6, M: 150, CHold: 80e-15}
+	s := p.String()
+	if s == "" || math.Signbit(1) {
+		t.Fatalf("point string = %q", s)
+	}
+	if (DesignPoint{Arch: ArchBaseline, Bits: 6, LNANoise: 1e-6}).String() == "" {
+		t.Fatal("baseline point string empty")
+	}
+}
+
+func TestEvaluatorAccessors(t *testing.T) {
+	ev := testEvaluator(t)
+	if ev.Records() == 0 {
+		t.Fatal("no records")
+	}
+	if math.Abs(ev.OutputRate()-537.6) > 1e-9 {
+		t.Fatalf("output rate = %g", ev.OutputRate())
+	}
+}
+
+func TestEvaluateVariantArchitectures(t *testing.T) {
+	ev := testEvaluator(t)
+	dig := ev.Evaluate(DesignPoint{Arch: ArchCSDigital, Bits: 8, LNANoise: 5e-6, M: 96})
+	act := ev.Evaluate(DesignPoint{Arch: ArchCSActive, Bits: 8, LNANoise: 5e-6, M: 96})
+	pas := ev.Evaluate(DesignPoint{Arch: ArchCS, Bits: 8, LNANoise: 5e-6, M: 96})
+	if dig.TotalPower <= 0 || act.TotalPower <= 0 {
+		t.Fatal("variant evaluation failed")
+	}
+	if pas.TotalPower >= act.TotalPower || pas.TotalPower >= dig.TotalPower {
+		t.Fatalf("passive CS (%g) should be the cheapest CS variant (active %g, digital %g)",
+			pas.TotalPower, act.TotalPower, dig.TotalPower)
+	}
+	if dig.MeanSNRdB < 3 || act.MeanSNRdB < 3 {
+		t.Fatalf("variant SNRs too low: digital %g, active %g", dig.MeanSNRdB, act.MeanSNRdB)
+	}
+	if (DesignPoint{Arch: ArchCSDigital, Bits: 8, LNANoise: 1e-6, M: 96}).String() == "" {
+		t.Fatal("variant point string empty")
+	}
+	if ArchCSDigital.String() != "cs-digital" || ArchCSActive.String() != "cs-active" {
+		t.Fatal("variant architecture names")
+	}
+}

@@ -1,0 +1,176 @@
+package cs
+
+import "math"
+
+// BatchOMP is an orthogonal-matching-pursuit solver specialised for a
+// fixed dictionary reused across many measurement vectors (every frame of
+// a record, every record of a sweep). It precomputes the Gram matrix
+// G = DᵀD once, then solves each frame with correlation updates in the
+// coefficient domain and an incrementally grown Cholesky factor — the
+// "Batch-OMP" formulation. Results match the direct OMP function to
+// numerical precision; the per-frame cost drops from O(atoms·M·K) to
+// O(atoms·K + atoms²·K).
+type BatchOMP struct {
+	cols  [][]float64 // K dictionary columns, each length M
+	gram  [][]float64 // K×K Gram matrix
+	norms []float64   // column norms
+	k, m  int
+}
+
+// NewBatchOMP precomputes the Gram matrix of the dictionary columns.
+func NewBatchOMP(cols [][]float64) *BatchOMP {
+	k := len(cols)
+	b := &BatchOMP{cols: cols, k: k}
+	if k == 0 {
+		return b
+	}
+	b.m = len(cols[0])
+	b.norms = make([]float64, k)
+	b.gram = make([][]float64, k)
+	for i := range b.gram {
+		b.gram[i] = make([]float64, k)
+	}
+	for i := 0; i < k; i++ {
+		ci := cols[i]
+		for j := i; j < k; j++ {
+			cj := cols[j]
+			var dot float64
+			for t := range ci {
+				dot += ci[t] * cj[t]
+			}
+			b.gram[i][j] = dot
+			b.gram[j][i] = dot
+		}
+		b.norms[i] = math.Sqrt(b.gram[i][i])
+	}
+	return b
+}
+
+// Solve returns the sparse coefficient vector for measurement y, with the
+// same maxAtoms/tol semantics (and the same diminishing-returns early
+// exit) as OMP.
+func (b *BatchOMP) Solve(y []float64, maxAtoms int, tol float64) []float64 {
+	theta := make([]float64, b.k)
+	if b.k == 0 || len(y) == 0 || maxAtoms <= 0 {
+		return theta
+	}
+	var yEnergy float64
+	for _, v := range y {
+		yEnergy += v * v
+	}
+	if yEnergy == 0 {
+		return theta
+	}
+	// p = Dᵀy, the only O(K·M) step per solve.
+	p := make([]float64, b.k)
+	for j, c := range b.cols {
+		var dot float64
+		for i, v := range y {
+			dot += c[i] * v
+		}
+		p[j] = dot
+	}
+	// c = p - G_S·coef is the running residual correlation.
+	corr := make([]float64, b.k)
+	copy(corr, p)
+	support := make([]int, 0, maxAtoms)
+	inSupport := make([]bool, b.k)
+	// Incremental lower-triangular Cholesky factor of G restricted to the
+	// support, stored row-major with stride maxAtoms.
+	lf := make([]float64, maxAtoms*maxAtoms)
+	coef := make([]float64, 0, maxAtoms)
+	pS := make([]float64, 0, maxAtoms)
+	prevEnergy := yEnergy
+	limit := maxAtoms
+	if limit > b.m {
+		limit = b.m
+	}
+	for len(support) < limit {
+		best, bestVal := -1, 0.0
+		for j := 0; j < b.k; j++ {
+			if inSupport[j] || b.norms[j] == 0 {
+				continue
+			}
+			if a := math.Abs(corr[j]) / b.norms[j]; a > bestVal {
+				best, bestVal = j, a
+			}
+		}
+		if best < 0 || bestVal < 1e-15 {
+			break
+		}
+		// Grow the Cholesky factor with atom `best`.
+		s := len(support)
+		w := make([]float64, s)
+		for i, si := range support {
+			w[i] = b.gram[si][best]
+		}
+		// Forward substitution L·z = w.
+		for i := 0; i < s; i++ {
+			sum := w[i]
+			for t := 0; t < i; t++ {
+				sum -= lf[i*maxAtoms+t] * w[t] // w reused as z in place
+			}
+			w[i] = sum / lf[i*maxAtoms+i]
+		}
+		var zz float64
+		for _, v := range w {
+			zz += v * v
+		}
+		diag := b.gram[best][best] - zz
+		if diag <= 1e-300 {
+			break // numerically dependent atom: stop
+		}
+		for t := 0; t < s; t++ {
+			lf[s*maxAtoms+t] = w[t]
+		}
+		lf[s*maxAtoms+s] = math.Sqrt(diag)
+		support = append(support, best)
+		inSupport[best] = true
+		pS = append(pS, p[best])
+		// Solve L·Lᵀ·coef = p_S.
+		coef = coef[:len(support)]
+		z := make([]float64, len(support))
+		for i := range support {
+			sum := pS[i]
+			for t := 0; t < i; t++ {
+				sum -= lf[i*maxAtoms+t] * z[t]
+			}
+			z[i] = sum / lf[i*maxAtoms+i]
+		}
+		for i := len(support) - 1; i >= 0; i-- {
+			sum := z[i]
+			for t := i + 1; t < len(support); t++ {
+				sum -= lf[t*maxAtoms+i] * coef[t]
+			}
+			coef[i] = sum / lf[i*maxAtoms+i]
+		}
+		// Update residual correlations: corr = p - G_S·coef.
+		copy(corr, p)
+		for si, sIdx := range support {
+			g := b.gram[sIdx]
+			c := coef[si]
+			for j := 0; j < b.k; j++ {
+				corr[j] -= c * g[j]
+			}
+		}
+		// Residual energy for the exact LS solution: ||y||² - coefᵀ·p_S.
+		rEnergy := yEnergy
+		for i, c := range coef {
+			rEnergy -= c * pS[i]
+		}
+		if rEnergy < 0 {
+			rEnergy = 0
+		}
+		if rEnergy <= tol*yEnergy {
+			break
+		}
+		if prevEnergy > 0 && (prevEnergy-rEnergy) < 0.005*prevEnergy {
+			break
+		}
+		prevEnergy = rEnergy
+	}
+	for i, j := range support {
+		theta[j] = coef[i]
+	}
+	return theta
+}

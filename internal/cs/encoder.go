@@ -1,0 +1,194 @@
+package cs
+
+import (
+	"fmt"
+	"math"
+
+	"efficsense/internal/xrand"
+)
+
+// EncoderConfig parameterises the passive charge-sharing CS encoder of
+// paper Fig 5. CSample and CHold set the sharing ratio (Eq 1) and, with
+// the technology's matching law and kT/C, the analog imperfections.
+type EncoderConfig struct {
+	// Phi is the sensing matrix (owned by the encoder afterwards).
+	Phi *SRBM
+	// CSample is the sampling capacitor C_sample (F).
+	CSample float64
+	// CHold is the per-measurement hold capacitor C_hold (F).
+	CHold float64
+	// MismatchSigmaSample and MismatchSigmaHold are the relative 1-sigma
+	// value errors of the sampling and hold capacitors (from
+	// tech.Params.MismatchSigma). Zero disables mismatch.
+	MismatchSigmaSample float64
+	MismatchSigmaHold   float64
+	// Temperature (K) for the kT/C sharing noise; 0 disables noise.
+	Temperature float64
+	// LeakageCurrent models switch leakage droop on the hold capacitors
+	// (A); 0 disables. Droop is applied per input-sample period.
+	LeakageCurrent float64
+	// SamplePeriod is the input sample period (s), needed for droop.
+	SamplePeriod float64
+	// Seed fixes the mismatch realisation and the noise stream.
+	Seed int64
+}
+
+// Encoder implements the passive charge-sharing matrix multiplier. One
+// frame consumes Phi.N input samples and produces Phi.M measurements, each
+// the Eq (1) weighted sum of its column-selected samples.
+type Encoder struct {
+	cfg EncoderConfig
+	// cs[k] is the actual value of sampling capacitor k (one per non-zero
+	// per column position, i.e. S physical capacitors reused each sample).
+	cs []float64
+	// ch[i] is the actual value of hold capacitor i.
+	ch    []float64
+	noise *xrand.Source
+}
+
+// NewEncoder builds an encoder, drawing one mismatch realisation. It
+// panics on a missing matrix or non-positive capacitors (programming
+// errors in a sweep definition).
+func NewEncoder(cfg EncoderConfig) *Encoder {
+	if cfg.Phi == nil {
+		panic("cs: encoder requires a sensing matrix")
+	}
+	if cfg.CSample <= 0 || cfg.CHold <= 0 {
+		panic("cs: encoder capacitors must be positive")
+	}
+	rng := xrand.Derive(cfg.Seed, "cs-encoder")
+	mm := rng.Derive("mismatch")
+	e := &Encoder{
+		cfg:   cfg,
+		cs:    make([]float64, cfg.Phi.S),
+		ch:    make([]float64, cfg.Phi.M),
+		noise: rng.Derive("ktc"),
+	}
+	for k := range e.cs {
+		e.cs[k] = cfg.CSample * (1 + mm.Normal(0, cfg.MismatchSigmaSample))
+	}
+	for i := range e.ch {
+		e.ch[i] = cfg.CHold * (1 + mm.Normal(0, cfg.MismatchSigmaHold))
+	}
+	return e
+}
+
+// Phi returns the sensing matrix.
+func (e *Encoder) Phi() *SRBM { return e.cfg.Phi }
+
+// FrameLen returns the input samples consumed per frame (N_Φ).
+func (e *Encoder) FrameLen() int { return e.cfg.Phi.N }
+
+// Measurements returns the outputs produced per frame (M).
+func (e *Encoder) Measurements() int { return e.cfg.Phi.M }
+
+// EncodeFrame processes one frame of exactly N_Φ samples and returns the M
+// hold-capacitor voltages at the end of the frame. Hold capacitors are
+// reset (discharged) at frame start, as in the paper's frame-based
+// operation.
+func (e *Encoder) EncodeFrame(x []float64) []float64 {
+	n := e.cfg.Phi.N
+	if len(x) != n {
+		panic(fmt.Sprintf("cs: EncodeFrame needs %d samples, got %d", n, len(x)))
+	}
+	v := make([]float64, e.cfg.Phi.M)
+	kt := 0.0
+	if e.cfg.Temperature > 0 {
+		kt = 1.380649e-23 * e.cfg.Temperature
+	}
+	droop := 0.0
+	if e.cfg.LeakageCurrent > 0 && e.cfg.SamplePeriod > 0 {
+		droop = e.cfg.LeakageCurrent * e.cfg.SamplePeriod
+	}
+	for j := 0; j < n; j++ {
+		if droop > 0 {
+			for i := range v {
+				// dV = I·t/C, pulled toward ground.
+				d := droop / e.ch[i]
+				switch {
+				case v[i] > d:
+					v[i] -= d
+				case v[i] < -d:
+					v[i] += d
+				default:
+					v[i] = 0
+				}
+			}
+		}
+		for k, row := range e.cfg.Phi.Support[j] {
+			csk := e.cs[k%len(e.cs)]
+			chi := e.ch[row]
+			// φ1: sample x[j] on C_sample (kT/C sampling noise);
+			sample := x[j]
+			if kt > 0 {
+				sample += e.noise.Normal(0, math.Sqrt(kt/csk))
+			}
+			// φ2: share with C_hold (kT/C redistribution noise on the sum
+			// node, referred to the merged capacitance).
+			alpha := csk / (csk + chi)
+			v[row] = alpha*sample + (1-alpha)*v[row]
+			if kt > 0 {
+				v[row] += e.noise.Normal(0, math.Sqrt(kt/(csk+chi)))
+			}
+		}
+	}
+	return v
+}
+
+// Encode processes a waveform frame by frame, dropping a trailing partial
+// frame, and returns the concatenated measurements (len = frames·M).
+func (e *Encoder) Encode(x []float64) []float64 {
+	n := e.cfg.Phi.N
+	frames := len(x) / n
+	out := make([]float64, 0, frames*e.cfg.Phi.M)
+	for f := 0; f < frames; f++ {
+		out = append(out, e.EncodeFrame(x[f*n:(f+1)*n])...)
+	}
+	return out
+}
+
+// EffectiveMatrix returns the M×N linear map actually implemented by the
+// charge-sharing network: A[i][j] is the end-of-frame weight of sample j
+// in measurement i, per Eq (1) with the per-row share ordering. If
+// nominal is true the design-value capacitors are used (what the
+// reconstructor knows); otherwise the mismatched realisation (what the
+// silicon does).
+func (e *Encoder) EffectiveMatrix(nominal bool) [][]float64 {
+	m, n := e.cfg.Phi.M, e.cfg.Phi.N
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for k, row := range e.cfg.Phi.Support[j] {
+			var csk, chi float64
+			if nominal {
+				csk, chi = e.cfg.CSample, e.cfg.CHold
+			} else {
+				csk, chi = e.cs[k%len(e.cs)], e.ch[row]
+			}
+			alpha := csk / (csk + chi)
+			// This share scales everything already accumulated in row by
+			// (1-alpha) and adds alpha·x[j].
+			for jj := 0; jj < j; jj++ {
+				a[row][jj] *= 1 - alpha
+			}
+			a[row][j] = alpha
+		}
+	}
+	return a
+}
+
+// Eq1Weights returns the analytic Eq (1) weights for a row that receives
+// shares at 1-based positions 1..count with capacitors c1 (sample) and c2
+// (hold): weight of the m-th shared sample is a·b^(count-m) with
+// a = c1/(c1+c2), b = c2/(c1+c2). Exposed for tests and documentation.
+func Eq1Weights(c1, c2 float64, count int) []float64 {
+	a := c1 / (c1 + c2)
+	b := c2 / (c1 + c2)
+	w := make([]float64, count)
+	for m := 1; m <= count; m++ {
+		w[m-1] = a * math.Pow(b, float64(count-m))
+	}
+	return w
+}

@@ -1,0 +1,32 @@
+package cs_test
+
+import (
+	"fmt"
+
+	"efficsense/internal/cs"
+)
+
+// ExampleEq1Weights reproduces the paper's Eq (1): repeated charge sharing
+// weights the j-th of N sampled voltages by C1/(C1+C2)·(C2/(C1+C2))^(N−j).
+func ExampleEq1Weights() {
+	for _, w := range cs.Eq1Weights(1, 1, 3) {
+		fmt.Printf("%.3f\n", w)
+	}
+	// Output:
+	// 0.125
+	// 0.250
+	// 0.500
+}
+
+// ExampleGenerateSRBM draws a 2-sparse random binary sensing matrix and
+// checks its column structure.
+func ExampleGenerateSRBM() {
+	phi := cs.GenerateSRBM(4, 6, 2, 1)
+	fmt.Println(phi.Validate() == nil)
+	fmt.Println(len(phi.Support), len(phi.Support[0]))
+	fmt.Printf("%.1f\n", phi.CompressionRatio())
+	// Output:
+	// true
+	// 6 2
+	// 1.5
+}

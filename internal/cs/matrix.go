@@ -1,0 +1,89 @@
+// Package cs implements the compressive-sensing subsystem of EffiCSense
+// (paper Section III): s-sparse random binary measurement matrices
+// (s-SRBM), the passive charge-sharing switched-capacitor encoder of
+// Fig 5/6 with its analog imperfections (capacitor mismatch, kT/C noise,
+// leakage droop), and sparse reconstruction (orthogonal matching pursuit
+// in the DCT dictionary).
+package cs
+
+import (
+	"fmt"
+
+	"efficsense/internal/xrand"
+)
+
+// SRBM is an M×N s-sparse random binary matrix: every column holds exactly
+// S ones. A one at (i, j) means input sample j is accumulated into
+// measurement i. Rows are stored as per-column support lists because the
+// encoder walks columns sample by sample.
+type SRBM struct {
+	M, N, S int
+	// Support[j] lists the S row indices with a one in column j, ascending.
+	Support [][]int
+}
+
+// GenerateSRBM draws an s-SRBM with the given shape from a stream derived
+// from seed. Each column's S rows are chosen uniformly without
+// replacement. It panics on impossible shapes (s > M, non-positive dims).
+func GenerateSRBM(m, n, s int, seed int64) *SRBM {
+	if m <= 0 || n <= 0 || s <= 0 || s > m {
+		panic(fmt.Sprintf("cs: invalid SRBM shape M=%d N=%d S=%d", m, n, s))
+	}
+	rng := xrand.Derive(seed, fmt.Sprintf("srbm-%dx%d-s%d", m, n, s))
+	mat := &SRBM{M: m, N: n, S: s, Support: make([][]int, n)}
+	for j := 0; j < n; j++ {
+		mat.Support[j] = rng.Choose(m, s)
+	}
+	return mat
+}
+
+// Validate checks the structural invariants: every column has exactly S
+// strictly ascending in-range rows.
+func (p *SRBM) Validate() error {
+	if len(p.Support) != p.N {
+		return fmt.Errorf("cs: SRBM has %d columns, want %d", len(p.Support), p.N)
+	}
+	for j, rows := range p.Support {
+		if len(rows) != p.S {
+			return fmt.Errorf("cs: column %d has %d ones, want %d", j, len(rows), p.S)
+		}
+		prev := -1
+		for _, r := range rows {
+			if r <= prev || r < 0 || r >= p.M {
+				return fmt.Errorf("cs: column %d has invalid row list %v", j, rows)
+			}
+			prev = r
+		}
+	}
+	return nil
+}
+
+// Dense materialises the matrix as M×N {0,1} floats (row-major slices).
+func (p *SRBM) Dense() [][]float64 {
+	out := make([][]float64, p.M)
+	for i := range out {
+		out[i] = make([]float64, p.N)
+	}
+	for j, rows := range p.Support {
+		for _, i := range rows {
+			out[i][j] = 1
+		}
+	}
+	return out
+}
+
+// RowCounts returns how many samples land in each measurement row —
+// relevant because the charge-sharing attenuation depends on the number
+// of shares into a row.
+func (p *SRBM) RowCounts() []int {
+	counts := make([]int, p.M)
+	for _, rows := range p.Support {
+		for _, i := range rows {
+			counts[i]++
+		}
+	}
+	return counts
+}
+
+// CompressionRatio returns N/M, the data-rate reduction of the encoder.
+func (p *SRBM) CompressionRatio() float64 { return float64(p.N) / float64(p.M) }

@@ -1,0 +1,310 @@
+package cs
+
+import (
+	"fmt"
+	"math"
+
+	"efficsense/internal/dsp"
+)
+
+// Method selects the reconstruction algorithm. The paper notes that the
+// many degrees of freedom of compressive sensing (matrix, architecture,
+// *reconstruction*) are exactly what a pathfinding framework must let the
+// designer sweep; three standard recoveries are provided.
+type Method int
+
+const (
+	// MethodOMP is orthogonal matching pursuit in the DCT dictionary (the
+	// default, via the Batch-OMP solver).
+	MethodOMP Method = iota
+	// MethodIHT is iterative hard thresholding in the DCT dictionary —
+	// cheaper per iteration, fixed sparsity budget.
+	MethodIHT
+	// MethodRidge is Tikhonov-regularised least squares directly in the
+	// sample domain (no sparsity model) — the classical minimum-energy
+	// recovery, a useful non-sparse baseline.
+	MethodRidge
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodOMP:
+		return "omp"
+	case MethodIHT:
+		return "iht"
+	case MethodRidge:
+		return "ridge"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ReconOptions parameterises a reconstructor.
+type ReconOptions struct {
+	// Method selects the algorithm (default OMP).
+	Method Method
+	// MaxAtoms bounds the sparse support (OMP/IHT). 0 → M/3.
+	MaxAtoms int
+	// Tol is the relative residual-energy stop (OMP). <= 0 → 1e-6.
+	Tol float64
+	// IHTIters is the iteration count for IHT (0 → 40).
+	IHTIters int
+	// RidgeLambda is the Tikhonov weight relative to the mean diagonal of
+	// A·Aᵀ (0 → 0.05).
+	RidgeLambda float64
+}
+
+// MethodReconstructor recovers frames with a selectable algorithm. It
+// wraps the same effective-matrix machinery as Reconstructor.
+type MethodReconstructor struct {
+	opts ReconOptions
+	n, m int
+	dct  *dsp.DCT
+	// Sparse-domain dictionary (OMP/IHT).
+	dict   [][]float64
+	solver *BatchOMP
+	// IHT step size 1/L with L ≈ the dictionary's largest squared
+	// singular value.
+	ihtStep float64
+	// Ridge: a (M×nPhi) and the Cholesky factor of A·Aᵀ + λI.
+	a     [][]float64
+	ridge []float64
+}
+
+// NewMethodReconstructor precomputes whatever the chosen method needs for
+// the given effective measurement matrix.
+func NewMethodReconstructor(a [][]float64, nPhi int, opts ReconOptions) *MethodReconstructor {
+	m := len(a)
+	if m == 0 || len(a[0]) != nPhi {
+		panic("cs: effective matrix shape mismatch")
+	}
+	if opts.MaxAtoms <= 0 {
+		opts.MaxAtoms = m / 3
+		if opts.MaxAtoms < 4 {
+			opts.MaxAtoms = 4
+		}
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-6
+	}
+	if opts.IHTIters <= 0 {
+		opts.IHTIters = 40
+	}
+	if opts.RidgeLambda <= 0 {
+		opts.RidgeLambda = 0.05
+	}
+	r := &MethodReconstructor{opts: opts, n: nPhi, m: m, dct: dsp.NewDCT(nPhi), a: a}
+	switch opts.Method {
+	case MethodOMP, MethodIHT:
+		dict := make([][]float64, nPhi)
+		for k := 0; k < nPhi; k++ {
+			psi := r.dct.Column(k)
+			col := make([]float64, m)
+			for i := 0; i < m; i++ {
+				col[i] = dsp.Dot(a[i], psi)
+			}
+			dict[k] = col
+		}
+		r.dict = dict
+		r.solver = NewBatchOMP(dict)
+		if opts.Method == MethodIHT {
+			r.ihtStep = 1 / spectralNormSq(r.solver)
+		}
+	case MethodRidge:
+		// G = A·Aᵀ + λ·mean(diag)·I, factored once.
+		g := make([]float64, m*m)
+		var trace float64
+		for i := 0; i < m; i++ {
+			for j := i; j < m; j++ {
+				dot := dsp.Dot(a[i], a[j])
+				g[i*m+j] = dot
+				g[j*m+i] = dot
+			}
+			trace += g[i*m+i]
+		}
+		lambda := opts.RidgeLambda * trace / float64(m)
+		if lambda <= 0 {
+			lambda = 1e-12
+		}
+		for i := 0; i < m; i++ {
+			g[i*m+i] += lambda
+		}
+		l, ok := cholesky(g, m)
+		if !ok {
+			panic("cs: ridge system not positive definite")
+		}
+		r.ridge = l
+	default:
+		panic(fmt.Sprintf("cs: unknown reconstruction method %d", opts.Method))
+	}
+	return r
+}
+
+// spectralNormSq estimates the largest eigenvalue of DᵀD via power
+// iteration on the precomputed Gram matrix.
+func spectralNormSq(b *BatchOMP) float64 {
+	k := b.k
+	if k == 0 {
+		return 1
+	}
+	v := make([]float64, k)
+	for i := range v {
+		v[i] = 1 / math.Sqrt(float64(k))
+	}
+	w := make([]float64, k)
+	var lambda float64
+	for iter := 0; iter < 30; iter++ {
+		for i := 0; i < k; i++ {
+			w[i] = dsp.Dot(b.gram[i], v)
+		}
+		norm := math.Sqrt(dsp.Energy(w))
+		if norm == 0 {
+			return 1
+		}
+		lambda = norm
+		for i := range v {
+			v[i] = w[i] / norm
+		}
+	}
+	if lambda <= 0 {
+		return 1
+	}
+	return lambda
+}
+
+// FrameLen returns N_Φ.
+func (r *MethodReconstructor) FrameLen() int { return r.n }
+
+// Measurements returns M.
+func (r *MethodReconstructor) Measurements() int { return r.m }
+
+// ReconstructFrame recovers one frame from its M measurements.
+func (r *MethodReconstructor) ReconstructFrame(y []float64) []float64 {
+	if len(y) != r.m {
+		panic("cs: measurement vector length mismatch")
+	}
+	switch r.opts.Method {
+	case MethodOMP:
+		return r.dct.Inverse(r.solver.Solve(y, r.opts.MaxAtoms, r.opts.Tol))
+	case MethodIHT:
+		return r.dct.Inverse(r.iht(y))
+	default:
+		return r.ridgeSolve(y)
+	}
+}
+
+// Reconstruct recovers a concatenated measurement stream.
+func (r *MethodReconstructor) Reconstruct(y []float64) []float64 {
+	frames := len(y) / r.m
+	out := make([]float64, 0, frames*r.n)
+	for f := 0; f < frames; f++ {
+		out = append(out, r.ReconstructFrame(y[f*r.m:(f+1)*r.m])...)
+	}
+	return out
+}
+
+// iht runs iterative hard thresholding: θ ← H_K(θ + µ·Dᵀ(y − D·θ)).
+func (r *MethodReconstructor) iht(y []float64) []float64 {
+	theta := make([]float64, r.n)
+	resid := make([]float64, r.m)
+	grad := make([]float64, r.n)
+	for iter := 0; iter < r.opts.IHTIters; iter++ {
+		// resid = y - D·theta.
+		copy(resid, y)
+		for k, c := range theta {
+			if c == 0 {
+				continue
+			}
+			col := r.dict[k]
+			for i := range resid {
+				resid[i] -= c * col[i]
+			}
+		}
+		// grad = Dᵀ·resid.
+		for k := range grad {
+			grad[k] = dsp.Dot(r.dict[k], resid)
+		}
+		for k := range theta {
+			theta[k] += r.ihtStep * grad[k]
+		}
+		keepTopKAbs(theta, r.opts.MaxAtoms)
+	}
+	return theta
+}
+
+// keepTopKAbs zeroes all but the k largest-magnitude entries, in place.
+func keepTopKAbs(v []float64, k int) {
+	if k >= len(v) {
+		return
+	}
+	// Selection by threshold: find the k-th largest magnitude with a
+	// simple partial pass (n is a few hundred; O(n·k) is fine and
+	// allocation-free in the hot loop is not required here).
+	mags := make([]float64, len(v))
+	for i, x := range v {
+		mags[i] = math.Abs(x)
+	}
+	thr := kthLargest(mags, k)
+	kept := 0
+	for i, x := range v {
+		if math.Abs(x) >= thr && kept < k {
+			kept++
+			continue
+		}
+		v[i] = 0
+	}
+}
+
+// kthLargest returns the k-th largest value of a (destructive, quickselect).
+func kthLargest(a []float64, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	if k > len(a) {
+		return math.Inf(-1)
+	}
+	lo, hi := 0, len(a)-1
+	target := k - 1 // index in descending order
+	for lo < hi {
+		p := a[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] > p {
+				i++
+			}
+			for a[j] < p {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if target <= j {
+			hi = j
+		} else if target >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return a[target]
+}
+
+// ridgeSolve computes x̂ = Aᵀ·(A·Aᵀ + λI)⁻¹·y.
+func (r *MethodReconstructor) ridgeSolve(y []float64) []float64 {
+	w := choleskySolve(r.ridge, y, r.m)
+	out := make([]float64, r.n)
+	for i, wi := range w {
+		if wi == 0 {
+			continue
+		}
+		row := r.a[i]
+		for j := range out {
+			out[j] += wi * row[j]
+		}
+	}
+	return out
+}

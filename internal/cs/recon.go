@@ -1,0 +1,95 @@
+package cs
+
+import (
+	"efficsense/internal/dsp"
+)
+
+// Reconstructor recovers frames of N_Φ input samples from M charge-sharing
+// measurements. It solves y ≈ A·Ψ·θ with OMP, where A is the *nominal*
+// effective matrix of the encoder (the designer knows the intended
+// capacitor ratio, not the silicon's mismatch realisation) and Ψ the
+// orthonormal DCT dictionary in which EEG frames are approximately sparse.
+type Reconstructor struct {
+	n, m int
+	dct  *dsp.DCT
+	// dict[k] is column k of D = A·Ψ, length M.
+	dict     [][]float64
+	solver   *BatchOMP
+	maxAtoms int
+	tol      float64
+}
+
+// NewReconstructor precomputes the D = A·Ψ dictionary for the encoder.
+// maxAtoms = 0 picks the default budget M/3 (sub-Nyquist recovery needs
+// the support well below M); tol <= 0 selects 1e-6 relative residual.
+func NewReconstructor(enc *Encoder, maxAtoms int, tol float64) *Reconstructor {
+	n, m := enc.FrameLen(), enc.Measurements()
+	if maxAtoms <= 0 {
+		maxAtoms = m / 3
+		if maxAtoms < 4 {
+			maxAtoms = 4
+		}
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	return newReconstructorFromMatrix(enc.EffectiveMatrix(true), n, maxAtoms, tol)
+}
+
+// newReconstructorFromMatrix builds the D = A·Ψ dictionary for any
+// effective measurement matrix A (M×nPhi).
+func newReconstructorFromMatrix(a [][]float64, nPhi, maxAtoms int, tol float64) *Reconstructor {
+	m := len(a)
+	if m == 0 || len(a[0]) != nPhi {
+		panic("cs: effective matrix shape mismatch")
+	}
+	if maxAtoms <= 0 {
+		maxAtoms = m / 3
+		if maxAtoms < 4 {
+			maxAtoms = 4
+		}
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	d := dsp.NewDCT(nPhi)
+	dict := make([][]float64, nPhi)
+	for k := 0; k < nPhi; k++ {
+		psi := d.Column(k)
+		col := make([]float64, m)
+		for i := 0; i < m; i++ {
+			col[i] = dsp.Dot(a[i], psi)
+		}
+		dict[k] = col
+	}
+	return &Reconstructor{
+		n: nPhi, m: m, dct: d, dict: dict,
+		solver: NewBatchOMP(dict), maxAtoms: maxAtoms, tol: tol,
+	}
+}
+
+// FrameLen returns N_Φ.
+func (r *Reconstructor) FrameLen() int { return r.n }
+
+// Measurements returns M.
+func (r *Reconstructor) Measurements() int { return r.m }
+
+// ReconstructFrame recovers one frame from its M measurements.
+func (r *Reconstructor) ReconstructFrame(y []float64) []float64 {
+	if len(y) != r.m {
+		panic("cs: measurement vector length mismatch")
+	}
+	theta := r.solver.Solve(y, r.maxAtoms, r.tol)
+	return r.dct.Inverse(theta)
+}
+
+// Reconstruct recovers a concatenated measurement stream (frames·M values)
+// into the corresponding frames·N_Φ sample stream.
+func (r *Reconstructor) Reconstruct(y []float64) []float64 {
+	frames := len(y) / r.m
+	out := make([]float64, 0, frames*r.n)
+	for f := 0; f < frames; f++ {
+		out = append(out, r.ReconstructFrame(y[f*r.m:(f+1)*r.m])...)
+	}
+	return out
+}

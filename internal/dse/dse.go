@@ -1,0 +1,279 @@
+// Package dse is the design-space-exploration layer of EffiCSense: it
+// enumerates the Table III search grid, fans evaluations out over a worker
+// pool, extracts Pareto fronts (paper Fig 7), and answers the constrained
+// queries behind Figs 9 and 10 (area-capped searches, minimum-accuracy
+// optima).
+package dse
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"efficsense/internal/core"
+)
+
+// Space is a rectangular design-space grid. CS-only axes (M, CHold) are
+// ignored for baseline architectures.
+type Space struct {
+	Architectures []core.Architecture
+	Bits          []int
+	LNANoise      []float64
+	M             []int
+	CHold         []float64
+}
+
+// PaperSpace returns the Table III search space: both architectures,
+// N ∈ {6,7,8}, the 1–20 µVrms LNA-noise range on a geometric grid of
+// noiseSteps points (0 → 8), M ∈ {75, 150, 192} with N_Φ = 384, and the
+// default hold capacitor.
+func PaperSpace(noiseSteps int) Space {
+	if noiseSteps <= 0 {
+		noiseSteps = 8
+	}
+	return Space{
+		Architectures: []core.Architecture{core.ArchBaseline, core.ArchCS},
+		Bits:          []int{6, 7, 8},
+		LNANoise:      GeomRange(1e-6, 20e-6, noiseSteps),
+		M:             []int{75, 150, 192},
+		CHold:         []float64{80e-15},
+	}
+}
+
+// GeomRange returns n geometrically spaced values from lo to hi inclusive.
+func GeomRange(lo, hi float64, n int) []float64 {
+	if n <= 1 || lo <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// LinRange returns n linearly spaced values from lo to hi inclusive.
+func LinRange(lo, hi float64, n int) []float64 {
+	if n <= 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + step*float64(i)
+	}
+	return out
+}
+
+// Points enumerates every design point in the grid, baseline first.
+func (s Space) Points() []core.DesignPoint {
+	var pts []core.DesignPoint
+	for _, arch := range s.Architectures {
+		for _, bits := range s.Bits {
+			for _, vn := range s.LNANoise {
+				if arch == core.ArchBaseline {
+					pts = append(pts, core.DesignPoint{Arch: arch, Bits: bits, LNANoise: vn})
+					continue
+				}
+				ms := s.M
+				if len(ms) == 0 {
+					ms = []int{150}
+				}
+				chs := s.CHold
+				if len(chs) == 0 {
+					chs = []float64{0}
+				}
+				for _, m := range ms {
+					for _, ch := range chs {
+						pts = append(pts, core.DesignPoint{
+							Arch: arch, Bits: bits, LNANoise: vn, M: m, CHold: ch,
+						})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Size returns the number of points the grid enumerates.
+func (s Space) Size() int { return len(s.Points()) }
+
+// Sweep evaluates design points in parallel on a core.Evaluator.
+type Sweep struct {
+	// Evaluator scores the points.
+	Evaluator *core.Evaluator
+	// Workers bounds parallelism (0 → GOMAXPROCS).
+	Workers int
+	// Progress, if set, is called after each completed point.
+	Progress func(done, total int)
+}
+
+// Run evaluates every point and returns results in point order.
+func (s *Sweep) Run(points []core.DesignPoint) []core.Result {
+	if s.Evaluator == nil {
+		panic("dse: sweep requires an evaluator")
+	}
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	results := make([]core.Result, len(points))
+	if len(points) == 0 {
+		return results
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				results[idx] = s.Evaluator.Evaluate(points[idx])
+				if s.Progress != nil {
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					s.Progress(d, len(points))
+				}
+			}
+		}()
+	}
+	for i := range points {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// Quality extracts the goal-function value from a result (paper Step 5:
+// the choice of metric changes the optimum, the central point of Fig 7).
+type Quality func(core.Result) float64
+
+// QualitySNR is the Fig 7a goal function.
+func QualitySNR(r core.Result) float64 { return r.MeanSNRdB }
+
+// QualityAccuracy is the Fig 7b goal function.
+func QualityAccuracy(r core.Result) float64 { return r.Accuracy }
+
+// ParetoFront returns the non-dominated subset of results under
+// (minimise power, maximise quality), sorted by ascending power. A point
+// is dominated if another point has no higher power and no lower quality,
+// with at least one strict inequality.
+func ParetoFront(results []core.Result, q Quality) []core.Result {
+	if len(results) == 0 {
+		return nil
+	}
+	sorted := make([]core.Result, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].TotalPower != sorted[j].TotalPower {
+			return sorted[i].TotalPower < sorted[j].TotalPower
+		}
+		return q(sorted[i]) > q(sorted[j])
+	})
+	var front []core.Result
+	best := math.Inf(-1)
+	for _, r := range sorted {
+		if v := q(r); v > best {
+			front = append(front, r)
+			best = v
+		}
+	}
+	return front
+}
+
+// FilterArea keeps results whose capacitor count is within maxAreaCaps
+// (the Fig 10 constraint). maxAreaCaps <= 0 keeps everything.
+func FilterArea(results []core.Result, maxAreaCaps float64) []core.Result {
+	if maxAreaCaps <= 0 {
+		return results
+	}
+	var out []core.Result
+	for _, r := range results {
+		if r.AreaCaps <= maxAreaCaps {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FilterArch keeps results of one architecture.
+func FilterArch(results []core.Result, arch core.Architecture) []core.Result {
+	var out []core.Result
+	for _, r := range results {
+		if r.Point.Arch == arch {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Optimum returns the minimum-power result meeting the quality floor (the
+// paper's "power as optimisation goal, accuracy >= 98 %" selection). ok is
+// false when no point qualifies.
+func Optimum(results []core.Result, q Quality, minQuality float64) (core.Result, bool) {
+	var best core.Result
+	found := false
+	for _, r := range results {
+		if q(r) < minQuality {
+			continue
+		}
+		if !found || r.TotalPower < best.TotalPower {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// BisectNoiseFloor refines the continuous LNA-noise axis around a design
+// point: power falls monotonically as the noise floor rises, so the
+// cheapest acceptable design is the largest vn still meeting the quality
+// floor. A bisection over [lo, hi] finds it to within the given number of
+// evaluations — the "local refinement after the grid sweep" step a
+// pathfinding flow runs once the architecture is chosen. ok is false if
+// even vn = lo misses the constraint.
+func BisectNoiseFloor(ev *core.Evaluator, p core.DesignPoint, q Quality, minQuality, lo, hi float64, iters int) (core.Result, bool) {
+	if iters <= 0 {
+		iters = 6
+	}
+	eval := func(vn float64) core.Result {
+		pt := p
+		pt.LNANoise = vn
+		return ev.Evaluate(pt)
+	}
+	best := eval(lo)
+	if q(best) < minQuality {
+		return best, false
+	}
+	for i := 0; i < iters; i++ {
+		mid := math.Sqrt(lo * hi) // geometric midpoint: vn spans decades
+		r := eval(mid)
+		if q(r) >= minQuality {
+			best = r
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return best, true
+}
+
+// Describe summarises a result in one line for logs and CLI output.
+func Describe(r core.Result) string {
+	return fmt.Sprintf("%s: SNR %.1f dB, accuracy %.3f, power %.3g W, area %.0f Cu",
+		r.Point, r.MeanSNRdB, r.Accuracy, r.TotalPower, r.AreaCaps)
+}

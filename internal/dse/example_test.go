@@ -1,0 +1,28 @@
+package dse_test
+
+import (
+	"fmt"
+
+	"efficsense/internal/dse"
+)
+
+// ExampleGeomRange builds the Table III noise grid: geometric steps from
+// 1 to 20 µVrms.
+func ExampleGeomRange() {
+	for _, v := range dse.GeomRange(1e-6, 20e-6, 4) {
+		fmt.Printf("%.2f µV\n", v*1e6)
+	}
+	// Output:
+	// 1.00 µV
+	// 2.71 µV
+	// 7.37 µV
+	// 20.00 µV
+}
+
+// ExamplePaperSpace enumerates the paper's search grid.
+func ExamplePaperSpace() {
+	space := dse.PaperSpace(8)
+	fmt.Println(space.Size())
+	// Output:
+	// 96
+}

@@ -1,0 +1,98 @@
+package dsp
+
+import (
+	"math"
+	"sync"
+)
+
+// DCT implements the orthonormal DCT-II and its inverse (DCT-III) for a
+// fixed length N. EEG windows are approximately sparse in this basis; the
+// compressive-sensing reconstructor (internal/cs) uses it as the sparsity
+// dictionary Ψ. Cosine tables are precomputed once per length, so a DCT
+// value is cheap to share across goroutines (all methods are read-only
+// after construction).
+type DCT struct {
+	n     int
+	table [][]float64 // table[k][i] = basis k evaluated at sample i
+}
+
+var (
+	dctCacheMu sync.Mutex
+	dctCache   = map[int]*DCT{}
+)
+
+// NewDCT returns a DCT transformer for length n (n >= 1). Instances are
+// cached per length because the table is O(n²).
+func NewDCT(n int) *DCT {
+	if n < 1 {
+		panic("dsp: DCT length must be >= 1")
+	}
+	dctCacheMu.Lock()
+	defer dctCacheMu.Unlock()
+	if d, ok := dctCache[n]; ok {
+		return d
+	}
+	d := &DCT{n: n, table: make([][]float64, n)}
+	scale0 := math.Sqrt(1 / float64(n))
+	scale := math.Sqrt(2 / float64(n))
+	for k := 0; k < n; k++ {
+		row := make([]float64, n)
+		s := scale
+		if k == 0 {
+			s = scale0
+		}
+		for i := 0; i < n; i++ {
+			row[i] = s * math.Cos(math.Pi*float64(k)*(float64(i)+0.5)/float64(n))
+		}
+		d.table[k] = row
+	}
+	dctCache[n] = d
+	return d
+}
+
+// N returns the transform length.
+func (d *DCT) N() int { return d.n }
+
+// Forward computes the orthonormal DCT-II coefficients of x
+// (len(x) == N, panic otherwise).
+func (d *DCT) Forward(x []float64) []float64 {
+	if len(x) != d.n {
+		panic("dsp: DCT Forward length mismatch")
+	}
+	out := make([]float64, d.n)
+	for k := 0; k < d.n; k++ {
+		out[k] = Dot(d.table[k], x)
+	}
+	return out
+}
+
+// Inverse reconstructs the signal from orthonormal DCT-II coefficients
+// (exact inverse of Forward).
+func (d *DCT) Inverse(c []float64) []float64 {
+	if len(c) != d.n {
+		panic("dsp: DCT Inverse length mismatch")
+	}
+	out := make([]float64, d.n)
+	for k, ck := range c {
+		if ck == 0 {
+			continue
+		}
+		row := d.table[k]
+		for i := range out {
+			out[i] += ck * row[i]
+		}
+	}
+	return out
+}
+
+// Basis returns the k-th orthonormal basis vector (a copy).
+func (d *DCT) Basis(k int) []float64 {
+	if k < 0 || k >= d.n {
+		panic("dsp: DCT basis index out of range")
+	}
+	return Clone(d.table[k])
+}
+
+// Column returns, without copying, the k-th basis row for read-only use by
+// hot loops (the CS reconstructor). Mutating the result corrupts the cache.
+func (d *DCT) Column(k int) []float64 { return d.table[k] }

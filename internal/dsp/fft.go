@@ -1,0 +1,111 @@
+package dsp
+
+import "math"
+
+// FFT computes the in-place radix-2 decimation-in-time fast Fourier
+// transform of x. len(x) must be a power of two (panic otherwise). The
+// transform is unnormalised: IFFT(FFT(x)) == x.
+func FFT(x []complex128) {
+	fftDir(x, false)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// normalisation. len(x) must be a power of two.
+func IFFT(x []complex128) {
+	fftDir(x, true)
+	n := float64(len(x))
+	for i := range x {
+		x[i] = complex(real(x[i])/n, imag(x[i])/n)
+	}
+}
+
+func fftDir(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("dsp: FFT length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+		mask := n >> 1
+		for j&mask != 0 {
+			j &^= mask
+			mask >>= 1
+		}
+		j |= mask
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// FFTReal computes the FFT of a real sequence, zero-padding to the next
+// power of two, and returns the complex spectrum (length NextPow2(len(v))).
+func FFTReal(v []float64) []complex128 {
+	n := NextPow2(len(v))
+	x := make([]complex128, n)
+	for i, s := range v {
+		x[i] = complex(s, 0)
+	}
+	FFT(x)
+	return x
+}
+
+// MagnitudeSpectrum returns |X[k]| for k in [0, N/2], computed from the
+// real input v after applying the given window (nil = rectangular). The
+// result is amplitude-normalised so a full-scale sine of amplitude A in
+// the middle of a bin reads approximately A.
+func MagnitudeSpectrum(v []float64, window []float64) []float64 {
+	n := len(v)
+	if n == 0 {
+		return nil
+	}
+	buf := make([]float64, n)
+	copy(buf, v)
+	var coherentGain float64 = 1
+	if window != nil {
+		if len(window) != n {
+			panic("dsp: window length mismatch")
+		}
+		var wsum float64
+		for i := range buf {
+			buf[i] *= window[i]
+			wsum += window[i]
+		}
+		coherentGain = wsum / float64(n)
+	}
+	spec := FFTReal(buf)
+	m := len(spec)/2 + 1
+	out := make([]float64, m)
+	norm := 2 / (float64(n) * coherentGain)
+	for k := 0; k < m; k++ {
+		mag := math.Hypot(real(spec[k]), imag(spec[k]))
+		if k == 0 || k == len(spec)/2 {
+			out[k] = mag / (float64(n) * coherentGain)
+		} else {
+			out[k] = mag * norm
+		}
+	}
+	return out
+}

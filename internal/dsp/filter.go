@@ -1,0 +1,172 @@
+package dsp
+
+import "math"
+
+// FIR is a finite-impulse-response filter described by its taps.
+type FIR struct {
+	Taps []float64
+}
+
+// LowpassFIR designs a windowed-sinc lowpass FIR with the given cutoff
+// (Hz), sample rate (Hz) and tap count (made odd for a symmetric,
+// linear-phase design). A Hamming window shapes the sinc.
+func LowpassFIR(cutoff, sampleRate float64, taps int) *FIR {
+	if taps < 3 {
+		taps = 3
+	}
+	if taps%2 == 0 {
+		taps++
+	}
+	fc := cutoff / sampleRate // normalised cutoff (cycles/sample)
+	if fc > 0.5 {
+		fc = 0.5
+	}
+	h := make([]float64, taps)
+	mid := (taps - 1) / 2
+	w := Hamming(taps)
+	var sum float64
+	for i := range h {
+		m := float64(i - mid)
+		var s float64
+		if m == 0 {
+			s = 2 * fc
+		} else {
+			s = math.Sin(2*math.Pi*fc*m) / (math.Pi * m)
+		}
+		h[i] = s * w[i]
+		sum += h[i]
+	}
+	// Normalise to unity DC gain.
+	for i := range h {
+		h[i] /= sum
+	}
+	return &FIR{Taps: h}
+}
+
+// BandpassFIR designs a windowed-sinc bandpass FIR between lo and hi Hz.
+func BandpassFIR(lo, hi, sampleRate float64, taps int) *FIR {
+	lp := LowpassFIR(hi, sampleRate, taps)
+	lpLo := LowpassFIR(lo, sampleRate, len(lp.Taps))
+	h := make([]float64, len(lp.Taps))
+	for i := range h {
+		h[i] = lp.Taps[i] - lpLo.Taps[i]
+	}
+	return &FIR{Taps: h}
+}
+
+// Apply convolves v with the filter, compensating the group delay so the
+// output is time-aligned with the input (same length, edges zero-padded).
+func (f *FIR) Apply(v []float64) []float64 {
+	n := len(v)
+	taps := f.Taps
+	delay := (len(taps) - 1) / 2
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var acc float64
+		// Output sample i uses inputs around i (centered kernel).
+		for k, t := range taps {
+			j := i + delay - k
+			if j >= 0 && j < n {
+				acc += t * v[j]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Biquad is a single second-order IIR section in direct form II transposed.
+type Biquad struct {
+	b0, b1, b2, a1, a2 float64
+	z1, z2             float64
+}
+
+// NewButterworthLP returns a 2nd-order Butterworth lowpass biquad with the
+// given -3 dB cutoff (Hz) at the given sample rate, via the bilinear
+// transform with prewarping.
+func NewButterworthLP(cutoff, sampleRate float64) *Biquad {
+	if cutoff >= sampleRate/2 {
+		cutoff = 0.499 * sampleRate
+	}
+	k := math.Tan(math.Pi * cutoff / sampleRate)
+	q := math.Sqrt2 / 2
+	norm := 1 / (1 + k/q + k*k)
+	return &Biquad{
+		b0: k * k * norm,
+		b1: 2 * k * k * norm,
+		b2: k * k * norm,
+		a1: 2 * (k*k - 1) * norm,
+		a2: (1 - k/q + k*k) * norm,
+	}
+}
+
+// NewButterworthHP returns a 2nd-order Butterworth highpass biquad.
+func NewButterworthHP(cutoff, sampleRate float64) *Biquad {
+	if cutoff >= sampleRate/2 {
+		cutoff = 0.499 * sampleRate
+	}
+	k := math.Tan(math.Pi * cutoff / sampleRate)
+	q := math.Sqrt2 / 2
+	norm := 1 / (1 + k/q + k*k)
+	return &Biquad{
+		b0: 1 * norm,
+		b1: -2 * norm,
+		b2: 1 * norm,
+		a1: 2 * (k*k - 1) * norm,
+		a2: (1 - k/q + k*k) * norm,
+	}
+}
+
+// Step processes one sample through the section.
+func (b *Biquad) Step(x float64) float64 {
+	y := b.b0*x + b.z1
+	b.z1 = b.b1*x - b.a1*y + b.z2
+	b.z2 = b.b2*x - b.a2*y
+	return y
+}
+
+// Reset clears the filter state.
+func (b *Biquad) Reset() { b.z1, b.z2 = 0, 0 }
+
+// Apply filters v into a new slice, starting from zero state.
+func (b *Biquad) Apply(v []float64) []float64 {
+	b.Reset()
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = b.Step(x)
+	}
+	return out
+}
+
+// OnePole is a first-order lowpass y[n] = a·y[n-1] + (1-a)·x[n], the
+// discrete-time equivalent of the single-pole LNA bandwidth limit in the
+// paper's Fig 3 block model.
+type OnePole struct {
+	a float64
+	y float64
+}
+
+// NewOnePoleLP returns a one-pole lowpass with the given -3 dB cutoff.
+func NewOnePoleLP(cutoff, sampleRate float64) *OnePole {
+	a := math.Exp(-2 * math.Pi * cutoff / sampleRate)
+	return &OnePole{a: a}
+}
+
+// Step processes one sample.
+func (p *OnePole) Step(x float64) float64 {
+	p.y = p.a*p.y + (1-p.a)*x
+	return p.y
+}
+
+// Reset clears the state.
+func (p *OnePole) Reset() { p.y = 0 }
+
+// Apply filters v into a new slice from zero state.
+func (p *OnePole) Apply(v []float64) []float64 {
+	p.Reset()
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = p.Step(x)
+	}
+	return out
+}

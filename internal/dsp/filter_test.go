@@ -1,0 +1,170 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"efficsense/internal/xrand"
+)
+
+// toneRMSGain measures the amplitude gain of a filter at the given
+// frequency by filtering a long sine and comparing steady-state RMS.
+func toneRMSGain(apply func([]float64) []float64, freq, fs float64) float64 {
+	n := 8192
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = math.Sin(2 * math.Pi * freq * float64(i) / fs)
+	}
+	out := apply(in)
+	// Skip the transient half.
+	return RMS(out[n/2:]) / RMS(in[n/2:])
+}
+
+func TestLowpassFIRResponse(t *testing.T) {
+	const fs = 4096.0
+	fir := LowpassFIR(256, fs, 101)
+	pass := toneRMSGain(fir.Apply, 50, fs)
+	cut := toneRMSGain(fir.Apply, 256, fs)
+	stop := toneRMSGain(fir.Apply, 1024, fs)
+	if math.Abs(pass-1) > 0.02 {
+		t.Errorf("passband gain = %g, want ~1", pass)
+	}
+	if cut < 0.3 || cut > 0.8 {
+		t.Errorf("cutoff gain = %g, want ~0.5", cut)
+	}
+	if stop > 0.01 {
+		t.Errorf("stopband gain = %g, want < 0.01", stop)
+	}
+}
+
+func TestLowpassFIRDCGain(t *testing.T) {
+	fir := LowpassFIR(100, 1000, 51)
+	var sum float64
+	for _, tap := range fir.Taps {
+		sum += tap
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("DC gain = %g, want 1", sum)
+	}
+}
+
+func TestLowpassFIROddTaps(t *testing.T) {
+	if got := len(LowpassFIR(10, 100, 10).Taps); got%2 != 1 {
+		t.Fatalf("tap count %d, want odd", got)
+	}
+	if got := len(LowpassFIR(10, 100, 1).Taps); got < 3 {
+		t.Fatalf("tap count %d, want >= 3", got)
+	}
+}
+
+func TestBandpassFIRResponse(t *testing.T) {
+	const fs = 4096.0
+	bp := BandpassFIR(100, 400, fs, 201)
+	low := toneRMSGain(bp.Apply, 10, fs)
+	mid := toneRMSGain(bp.Apply, 250, fs)
+	high := toneRMSGain(bp.Apply, 1500, fs)
+	if mid < 0.9 {
+		t.Errorf("in-band gain = %g, want ~1", mid)
+	}
+	if low > 0.05 || high > 0.05 {
+		t.Errorf("out-of-band gain = %g / %g, want < 0.05", low, high)
+	}
+}
+
+func TestFIRDelayCompensated(t *testing.T) {
+	// A delta through the centered filter should peak at the same index.
+	fir := LowpassFIR(200, 1000, 31)
+	in := make([]float64, 101)
+	in[50] = 1
+	out := fir.Apply(in)
+	_, idx := Peak(out)
+	if idx != 50 {
+		t.Fatalf("impulse peak moved to %d, want 50", idx)
+	}
+}
+
+func TestButterworthLPResponse(t *testing.T) {
+	const fs = 4096.0
+	mk := func() func([]float64) []float64 { return NewButterworthLP(256, fs).Apply }
+	pass := toneRMSGain(mk(), 20, fs)
+	cut := toneRMSGain(mk(), 256, fs)
+	stop := toneRMSGain(mk(), 2000, fs)
+	if math.Abs(pass-1) > 0.02 {
+		t.Errorf("passband gain = %g", pass)
+	}
+	if math.Abs(cut-math.Sqrt2/2) > 0.05 {
+		t.Errorf("cutoff gain = %g, want ~0.707", cut)
+	}
+	if stop > 0.03 {
+		t.Errorf("stopband gain = %g", stop)
+	}
+}
+
+func TestButterworthHPResponse(t *testing.T) {
+	const fs = 4096.0
+	mk := func() func([]float64) []float64 { return NewButterworthHP(256, fs).Apply }
+	stop := toneRMSGain(mk(), 20, fs)
+	pass := toneRMSGain(mk(), 1500, fs)
+	if pass < 0.95 {
+		t.Errorf("passband gain = %g", pass)
+	}
+	if stop > 0.03 {
+		t.Errorf("stopband gain = %g", stop)
+	}
+}
+
+func TestBiquadReset(t *testing.T) {
+	b := NewButterworthLP(100, 1000)
+	b.Step(1)
+	b.Step(1)
+	b.Reset()
+	first := b.Step(1)
+	b2 := NewButterworthLP(100, 1000)
+	if got := b2.Step(1); got != first {
+		t.Fatalf("Reset did not restore initial state: %g vs %g", first, got)
+	}
+}
+
+func TestOnePoleCutoff(t *testing.T) {
+	const fs = 8192.0
+	mk := func() func([]float64) []float64 { return NewOnePoleLP(256, fs).Apply }
+	pass := toneRMSGain(mk(), 10, fs)
+	cut := toneRMSGain(mk(), 256, fs)
+	if math.Abs(pass-1) > 0.02 {
+		t.Errorf("one-pole passband gain = %g", pass)
+	}
+	// One-pole -3 dB point: gain ~0.707 (tolerant: matched-z approximation).
+	if cut < 0.6 || cut > 0.8 {
+		t.Errorf("one-pole cutoff gain = %g, want ~0.707", cut)
+	}
+}
+
+func TestOnePoleStepResponseMonotone(t *testing.T) {
+	p := NewOnePoleLP(100, 10000)
+	prev := 0.0
+	for i := 0; i < 200; i++ {
+		y := p.Step(1)
+		if y < prev-1e-12 {
+			t.Fatalf("step response not monotone at %d", i)
+		}
+		prev = y
+	}
+	if prev < 0.5 {
+		t.Fatalf("step response did not settle: %g", prev)
+	}
+}
+
+func TestFiltersPreserveLength(t *testing.T) {
+	rng := xrand.New(9)
+	v := make([]float64, 777)
+	rng.FillNormal(v, 0, 1)
+	if got := len(LowpassFIR(50, 1000, 41).Apply(v)); got != len(v) {
+		t.Errorf("FIR output length %d", got)
+	}
+	if got := len(NewButterworthLP(50, 1000).Apply(v)); got != len(v) {
+		t.Errorf("biquad output length %d", got)
+	}
+	if got := len(NewOnePoleLP(50, 1000).Apply(v)); got != len(v) {
+		t.Errorf("one-pole output length %d", got)
+	}
+}

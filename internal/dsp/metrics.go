@@ -1,0 +1,181 @@
+package dsp
+
+import "math"
+
+// SineMetrics summarises the spectral quality of a digitised sine wave.
+type SineMetrics struct {
+	// FundamentalHz is the detected fundamental frequency (Hz).
+	FundamentalHz float64
+	// SignalPower is the power attributed to the fundamental.
+	SignalPower float64
+	// NoisePower is everything that is neither fundamental, DC, nor a
+	// counted harmonic.
+	NoisePower float64
+	// DistortionPower is the power in harmonics 2..H.
+	DistortionPower float64
+	// SNRdB, SNDRdB, THDdB are the derived decibel figures.
+	SNRdB  float64
+	SNDRdB float64
+	THDdB  float64
+	// ENOB is the effective number of bits implied by SNDRdB.
+	ENOB float64
+}
+
+// AnalyzeSine estimates SNR/SNDR/THD of v (sampled at sampleRate) that is
+// expected to contain a single dominant tone. A Blackman-Harris window
+// suppresses leakage; energy within ±spread bins of the fundamental (and
+// of each of the first 5 harmonics) is attributed to signal (distortion),
+// the rest to noise. This mirrors the standard ADC test procedure used to
+// produce figures like the paper's Fig 4 SNDR curve.
+func AnalyzeSine(v []float64, sampleRate float64) SineMetrics {
+	n := len(v)
+	if n < 16 {
+		return SineMetrics{}
+	}
+	work := Clone(v)
+	RemoveMean(work)
+	win := BlackmanHarris(n)
+	spec := MagnitudeSpectrum(work, win)
+	nBins := len(spec)
+	power := make([]float64, nBins)
+	for k, m := range spec {
+		power[k] = m * m / 2 // amplitude → power of a sine
+	}
+	power[0] = 0 // DC removed
+	// Locate the fundamental (skip the first couple of bins: residual DC).
+	peakIdx := 2
+	for k := 3; k < nBins; k++ {
+		if power[k] > power[peakIdx] {
+			peakIdx = k
+		}
+	}
+	fftLen := NextPow2(n)
+	binHz := sampleRate / float64(fftLen)
+	const spread = 8 // Blackman-Harris main-lobe half-width in bins (generous)
+	sumAround := func(center int) float64 {
+		var s float64
+		for k := center - spread; k <= center+spread; k++ {
+			if k >= 1 && k < nBins {
+				s += power[k]
+				power[k] = 0
+			}
+		}
+		return s
+	}
+	sig := sumAround(peakIdx)
+	var dist float64
+	for h := 2; h <= 6; h++ {
+		c := peakIdx * h
+		// Alias harmonics that fold back.
+		c = c % (2 * (fftLen / 2))
+		if c > fftLen/2 {
+			c = fftLen - c
+		}
+		if c >= 1 && c < nBins {
+			dist += sumAround(c)
+		}
+	}
+	var noise float64
+	for k := 1; k < nBins; k++ {
+		noise += power[k]
+	}
+	m := SineMetrics{
+		FundamentalHz:   float64(peakIdx) * binHz,
+		SignalPower:     sig,
+		NoisePower:      noise,
+		DistortionPower: dist,
+	}
+	m.SNRdB = ratioDB(sig, noise)
+	m.SNDRdB = ratioDB(sig, noise+dist)
+	m.THDdB = ratioDB(dist, sig)
+	m.ENOB = (m.SNDRdB - 1.76) / 6.02
+	return m
+}
+
+func ratioDB(num, den float64) float64 {
+	if den <= 0 {
+		if num <= 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	if num <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(num/den)
+}
+
+// SNRVersusReference computes the signal-to-noise-and-distortion ratio in
+// dB between a reference waveform and a processed one: a least-squares
+// gain aligns the two (the chain gain is irrelevant), then
+// SNR = P(ref) / P(ref - g·out). Both slices must have equal length
+// (extra tail samples on either side are ignored). This is the goal
+// function used for Fig 7 a).
+func SNRVersusReference(ref, out []float64) float64 {
+	n := len(ref)
+	if len(out) < n {
+		n = len(out)
+	}
+	if n == 0 {
+		return 0
+	}
+	r := ref[:n]
+	o := out[:n]
+	g := LeastSquaresGain(r, o)
+	var errP, sigP float64
+	for i := 0; i < n; i++ {
+		d := r[i] - g*o[i]
+		errP += d * d
+		sigP += r[i] * r[i]
+	}
+	return ratioDB(sigP, errP)
+}
+
+// NMSE returns the normalised mean-squared error between ref and out after
+// least-squares gain alignment (linear, not dB). 0 = perfect.
+func NMSE(ref, out []float64) float64 {
+	n := len(ref)
+	if len(out) < n {
+		n = len(out)
+	}
+	if n == 0 {
+		return 0
+	}
+	r, o := ref[:n], out[:n]
+	g := LeastSquaresGain(r, o)
+	var errP, sigP float64
+	for i := 0; i < n; i++ {
+		d := r[i] - g*o[i]
+		errP += d * d
+		sigP += r[i] * r[i]
+	}
+	if sigP == 0 {
+		return 0
+	}
+	return errP / sigP
+}
+
+// CrossCorrelation returns the normalised correlation coefficient between
+// a and b (|ρ| ≤ 1).
+func CrossCorrelation(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	am, bm := Mean(a[:n]), Mean(b[:n])
+	var num, da, db float64
+	for i := 0; i < n; i++ {
+		x, y := a[i]-am, b[i]-bm
+		num += x * y
+		da += x * x
+		db += y * y
+	}
+	den := math.Sqrt(da * db)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,0 +1,156 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+
+	"efficsense/internal/xrand"
+)
+
+func makeSine(n int, freq, fs, amp float64) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = amp * math.Sin(2*math.Pi*freq*float64(i)/fs)
+	}
+	return v
+}
+
+func TestAnalyzeSineCleanTone(t *testing.T) {
+	const fs = 4096.0
+	v := makeSine(4096, 131, fs, 1) // prime-ish bin, on-grid
+	m := AnalyzeSine(v, fs)
+	if math.Abs(m.FundamentalHz-131) > 2 {
+		t.Errorf("fundamental = %g, want 131", m.FundamentalHz)
+	}
+	if m.SNDRdB < 80 {
+		t.Errorf("clean tone SNDR = %g dB, want > 80", m.SNDRdB)
+	}
+}
+
+func TestAnalyzeSineKnownSNR(t *testing.T) {
+	const fs = 4096.0
+	const n = 16384
+	rng := xrand.New(5)
+	// Sine amplitude 1 (power 0.5) + white noise sigma such that SNR=40dB.
+	sigma := math.Sqrt(0.5 / 1e4)
+	v := makeSine(n, 131, fs, 1)
+	for i := range v {
+		v[i] += rng.Normal(0, sigma)
+	}
+	m := AnalyzeSine(v, fs)
+	if math.Abs(m.SNRdB-40) > 2 {
+		t.Errorf("SNR = %g dB, want ~40", m.SNRdB)
+	}
+	if math.Abs(m.SNDRdB-40) > 2 {
+		t.Errorf("SNDR = %g dB, want ~40", m.SNDRdB)
+	}
+}
+
+func TestAnalyzeSineQuantised(t *testing.T) {
+	// An ideal N-bit quantised full-scale sine has SNDR ≈ 6.02N+1.76 dB.
+	const fs = 4096.0
+	const n = 16384
+	for _, bits := range []int{6, 8, 10} {
+		steps := math.Pow(2, float64(bits))
+		v := makeSine(n, 130.99, fs, 1) // slightly off-bin to decorrelate
+		for i := range v {
+			v[i] = math.Round(v[i]*steps/2) / (steps / 2)
+		}
+		m := AnalyzeSine(v, fs)
+		want := 6.02*float64(bits) + 1.76
+		if math.Abs(m.SNDRdB-want) > 3 {
+			t.Errorf("%d-bit quantised SNDR = %g dB, want ~%g", bits, m.SNDRdB, want)
+		}
+		if math.Abs(m.ENOB-float64(bits)) > 0.5 {
+			t.Errorf("%d-bit ENOB = %g", bits, m.ENOB)
+		}
+	}
+}
+
+func TestAnalyzeSineDistortion(t *testing.T) {
+	const fs = 4096.0
+	const n = 16384
+	v := makeSine(n, 131, fs, 1)
+	h3 := makeSine(n, 393, fs, 0.01) // 3rd harmonic at -40 dB
+	for i := range v {
+		v[i] += h3[i]
+	}
+	m := AnalyzeSine(v, fs)
+	if math.Abs(m.THDdB+40) > 2 {
+		t.Errorf("THD = %g dB, want ~-40", m.THDdB)
+	}
+	// SNDR should be ~40 dB (distortion dominated), SNR much higher.
+	if math.Abs(m.SNDRdB-40) > 2 {
+		t.Errorf("SNDR = %g dB, want ~40", m.SNDRdB)
+	}
+	if m.SNRdB < 60 {
+		t.Errorf("SNR = %g dB, want > 60", m.SNRdB)
+	}
+}
+
+func TestAnalyzeSineShortInput(t *testing.T) {
+	m := AnalyzeSine(make([]float64, 4), 1000)
+	if m.SignalPower != 0 {
+		t.Fatal("short input should return zero metrics")
+	}
+}
+
+func TestSNRVersusReference(t *testing.T) {
+	rng := xrand.New(11)
+	ref := make([]float64, 4096)
+	rng.FillNormal(ref, 0, 1)
+	// out = 3·ref + noise at -30 dB relative to ref: gain must be removed.
+	out := make([]float64, len(ref))
+	sigma := math.Sqrt(1e-3)
+	for i := range out {
+		out[i] = 3*ref[i] + 3*rng.Normal(0, sigma)
+	}
+	got := SNRVersusReference(ref, out)
+	if math.Abs(got-30) > 1.5 {
+		t.Fatalf("SNR vs reference = %g dB, want ~30", got)
+	}
+}
+
+func TestSNRVersusReferencePerfect(t *testing.T) {
+	ref := makeSine(1000, 5, 1000, 1)
+	got := SNRVersusReference(ref, Scale(Clone(ref), 0.25))
+	if !math.IsInf(got, 1) && got < 200 {
+		t.Fatalf("scaled copy SNR = %g, want ~infinite", got)
+	}
+}
+
+func TestNMSEGainInvariant(t *testing.T) {
+	ref := makeSine(2048, 7, 1000, 1)
+	a := NMSE(ref, Scale(Clone(ref), 10))
+	if a > 1e-20 {
+		t.Fatalf("NMSE of scaled copy = %g, want 0", a)
+	}
+}
+
+func TestNMSEWorsensWithNoise(t *testing.T) {
+	rng := xrand.New(13)
+	ref := makeSine(2048, 7, 1000, 1)
+	small := Clone(ref)
+	big := Clone(ref)
+	for i := range ref {
+		small[i] += rng.Normal(0, 0.01)
+		big[i] += rng.Normal(0, 0.1)
+	}
+	if NMSE(ref, small) >= NMSE(ref, big) {
+		t.Fatal("NMSE should increase with noise")
+	}
+}
+
+func TestCrossCorrelation(t *testing.T) {
+	a := makeSine(1000, 3, 1000, 1)
+	if got := CrossCorrelation(a, a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self-correlation = %g", got)
+	}
+	if got := CrossCorrelation(a, Scale(Clone(a), -2)); math.Abs(got+1) > 1e-12 {
+		t.Errorf("anti-correlation = %g", got)
+	}
+	b := makeSine(1000, 6, 1000, 1) // orthogonal harmonic
+	if got := CrossCorrelation(a, b); math.Abs(got) > 0.01 {
+		t.Errorf("orthogonal correlation = %g", got)
+	}
+}

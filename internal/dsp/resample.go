@@ -1,0 +1,93 @@
+package dsp
+
+import "math"
+
+// Resample converts v from srcRate to dstRate using windowed-sinc
+// interpolation (Hann-windowed, 16 taps per side). This implements the
+// paper's Step 4 upsampling of the 173.61 Hz EEG records to 512 Hz to
+// mimic a continuous-time signal. Downsampling first applies an
+// anti-aliasing lowpass at 0.45·dstRate.
+func Resample(v []float64, srcRate, dstRate float64) []float64 {
+	if len(v) == 0 || srcRate <= 0 || dstRate <= 0 {
+		return nil
+	}
+	if srcRate == dstRate {
+		return Clone(v)
+	}
+	src := v
+	if dstRate < srcRate {
+		fir := LowpassFIR(0.45*dstRate, srcRate, 63)
+		src = fir.Apply(v)
+	}
+	ratio := srcRate / dstRate
+	outLen := int(math.Floor(float64(len(v)-1)/ratio)) + 1
+	out := make([]float64, outLen)
+	const halfTaps = 16
+	for i := range out {
+		t := float64(i) * ratio // fractional source index
+		c := int(math.Floor(t))
+		var acc, wsum float64
+		for k := c - halfTaps + 1; k <= c+halfTaps; k++ {
+			if k < 0 || k >= len(src) {
+				continue
+			}
+			d := t - float64(k)
+			w := sincHann(d, halfTaps)
+			acc += src[k] * w
+			wsum += w
+		}
+		if wsum != 0 {
+			acc /= wsum
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// sincHann is a Hann-windowed sinc kernel with support |d| < half.
+func sincHann(d float64, half int) float64 {
+	ad := math.Abs(d)
+	if ad >= float64(half) {
+		return 0
+	}
+	s := 1.0
+	if d != 0 {
+		s = math.Sin(math.Pi*d) / (math.Pi * d)
+	}
+	w := 0.5 * (1 + math.Cos(math.Pi*ad/float64(half)))
+	return s * w
+}
+
+// Decimate keeps every k-th sample of v starting at offset 0, without
+// filtering (the caller is responsible for bandwidth). Used by the
+// sample-and-hold model where the analog chain runs on an oversampled
+// "continuous-time" grid and the ADC picks instants off it.
+func Decimate(v []float64, k int) []float64 {
+	if k <= 0 {
+		panic("dsp: Decimate factor must be positive")
+	}
+	out := make([]float64, 0, len(v)/k+1)
+	for i := 0; i < len(v); i += k {
+		out = append(out, v[i])
+	}
+	return out
+}
+
+// HoldInterp expands a sampled sequence back to length n by zero-order
+// hold with factor k (inverse companion of Decimate for visualisation).
+func HoldInterp(v []float64, k, n int) []float64 {
+	if k <= 0 {
+		panic("dsp: HoldInterp factor must be positive")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		j := i / k
+		if j >= len(v) {
+			j = len(v) - 1
+		}
+		if j >= 0 {
+			out[i] = v[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResampleIdentity(t *testing.T) {
+	v := makeSine(500, 10, 500, 1)
+	out := Resample(v, 500, 500)
+	for i := range v {
+		if v[i] != out[i] {
+			t.Fatalf("identity resample altered sample %d", i)
+		}
+	}
+}
+
+func TestResampleUpsamplePreservesTone(t *testing.T) {
+	// The paper's Step 4: 173.61 Hz records upsampled to 512 Hz.
+	const srcRate = 173.61
+	const dstRate = 512.0
+	const freq = 20.0
+	n := 4097 // Bonn record length
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = math.Sin(2 * math.Pi * freq * float64(i) / srcRate)
+	}
+	out := Resample(v, srcRate, dstRate)
+	wantLen := int(math.Floor(float64(n-1)*dstRate/srcRate)) + 1
+	if len(out) != wantLen {
+		t.Fatalf("output length %d, want %d", len(out), wantLen)
+	}
+	// Compare against the analytically resampled tone (skip edges).
+	var errP, sigP float64
+	for i := 200; i < len(out)-200; i++ {
+		want := math.Sin(2 * math.Pi * freq * float64(i) / dstRate)
+		d := out[i] - want
+		errP += d * d
+		sigP += want * want
+	}
+	snr := 10 * math.Log10(sigP/errP)
+	if snr < 60 {
+		t.Fatalf("upsample SNR = %g dB, want > 60", snr)
+	}
+}
+
+func TestResampleDownsampleAntialias(t *testing.T) {
+	// A tone above the destination Nyquist must be strongly attenuated.
+	const srcRate = 2048.0
+	const dstRate = 256.0
+	v := makeSine(8192, 400, srcRate, 1) // 400 Hz > 128 Hz Nyquist
+	out := Resample(v, srcRate, dstRate)
+	if RMS(out) > 0.05 {
+		t.Fatalf("aliased tone RMS = %g, want < 0.05", RMS(out))
+	}
+}
+
+func TestResampleEmpty(t *testing.T) {
+	if out := Resample(nil, 100, 200); out != nil {
+		t.Fatal("nil input should give nil output")
+	}
+	if out := Resample([]float64{1}, 0, 200); out != nil {
+		t.Fatal("invalid rate should give nil output")
+	}
+}
+
+func TestDecimate(t *testing.T) {
+	v := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	got := Decimate(v, 3)
+	want := []float64{0, 3, 6, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Decimate length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Decimate[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecimatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decimate(0) should panic")
+		}
+	}()
+	Decimate([]float64{1}, 0)
+}
+
+func TestHoldInterp(t *testing.T) {
+	v := []float64{1, 2, 3}
+	got := HoldInterp(v, 2, 7)
+	want := []float64{1, 1, 2, 2, 3, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("HoldInterp[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	v := []float64{1, -2, 3}
+	if got := Mean(v); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Mean = %g", got)
+	}
+	if got := Energy(v); got != 14 {
+		t.Errorf("Energy = %g", got)
+	}
+	if got := RMS(v); math.Abs(got-math.Sqrt(14.0/3)) > 1e-12 {
+		t.Errorf("RMS = %g", got)
+	}
+	if got := MaxAbs(v); got != 3 {
+		t.Errorf("MaxAbs = %g", got)
+	}
+	if got := Variance([]float64{1, 1, 1}); got != 0 {
+		t.Errorf("Variance of constant = %g", got)
+	}
+	if got := Dot([]float64{1, 2}, []float64{3, 4, 5}); got != 11 {
+		t.Errorf("Dot = %g", got)
+	}
+	if got := NextPow2(100); got != 128 {
+		t.Errorf("NextPow2(100) = %d", got)
+	}
+	if got := NextPow2(1); got != 1 {
+		t.Errorf("NextPow2(1) = %d", got)
+	}
+	s := Sub([]float64{5, 5}, []float64{2, 3})
+	if s[0] != 3 || s[1] != 2 {
+		t.Errorf("Sub = %v", s)
+	}
+	if g := LeastSquaresGain([]float64{2, 4}, []float64{1, 2}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("LeastSquaresGain = %g", g)
+	}
+	if g := LeastSquaresGain([]float64{1}, []float64{0}); g != 0 {
+		t.Errorf("LeastSquaresGain zero-denominator = %g", g)
+	}
+	max, idx := Peak([]float64{1, 9, 3})
+	if max != 9 || idx != 1 {
+		t.Errorf("Peak = %g@%d", max, idx)
+	}
+	if _, idx := Peak(nil); idx != -1 {
+		t.Errorf("Peak(nil) idx = %d", idx)
+	}
+	rm := RemoveMean([]float64{1, 2, 3})
+	if Mean(rm) > 1e-12 {
+		t.Errorf("RemoveMean left mean %g", Mean(rm))
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    []float64
+	}{
+		{"Hann", Hann(64)},
+		{"Hamming", Hamming(64)},
+		{"Blackman", Blackman(64)},
+		{"BlackmanHarris", BlackmanHarris(64)},
+	} {
+		if len(tc.w) != 64 {
+			t.Errorf("%s length %d", tc.name, len(tc.w))
+		}
+		// Symmetric; peak near center; near-unity maximum.
+		for i := 0; i < 32; i++ {
+			if math.Abs(tc.w[i]-tc.w[63-i]) > 1e-9 {
+				t.Errorf("%s asymmetric at %d", tc.name, i)
+				break
+			}
+		}
+		peak, _ := Peak(tc.w)
+		if peak < 0.98 || peak > 1.02 {
+			t.Errorf("%s peak = %g", tc.name, peak)
+		}
+	}
+	if w := Hann(1); w[0] != 1 {
+		t.Errorf("Hann(1) = %v", w)
+	}
+	for _, x := range Rectangular(5) {
+		if x != 1 {
+			t.Error("Rectangular should be all ones")
+		}
+	}
+}
+
+func TestResampleLengthProperty(t *testing.T) {
+	f := func(nRaw, srcRaw, dstRaw uint8) bool {
+		n := int(nRaw) + 2
+		src := float64(srcRaw) + 50
+		dst := float64(dstRaw) + 50
+		out := Resample(make([]float64, n), src, dst)
+		want := int(math.Floor(float64(n-1)*dst/src)) + 1
+		return len(out) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

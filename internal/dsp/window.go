@@ -1,0 +1,50 @@
+package dsp
+
+import "math"
+
+// Hann returns an n-point Hann window.
+func Hann(n int) []float64 {
+	return cosineWindow(n, []float64{0.5, -0.5})
+}
+
+// Hamming returns an n-point Hamming window.
+func Hamming(n int) []float64 {
+	return cosineWindow(n, []float64{0.54, -0.46})
+}
+
+// Blackman returns an n-point Blackman window.
+func Blackman(n int) []float64 {
+	return cosineWindow(n, []float64{0.42, -0.5, 0.08})
+}
+
+// BlackmanHarris returns an n-point 4-term Blackman-Harris window, the
+// default for SNDR estimation (low sidelobes keep harmonic bins clean).
+func BlackmanHarris(n int) []float64 {
+	return cosineWindow(n, []float64{0.35875, -0.48829, 0.14128, -0.01168})
+}
+
+// Rectangular returns an n-point all-ones window.
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func cosineWindow(n int, coeffs []float64) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := 0; i < n; i++ {
+		x := 2 * math.Pi * float64(i) / float64(n-1)
+		var v float64
+		for k, c := range coeffs {
+			v += c * math.Cos(float64(k)*x)
+		}
+		w[i] = v
+	}
+	return w
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"efficsense/internal/core"
+)
+
+// sampleCloud builds a small synthetic result cloud, round-trips it
+// through the CSV emitter and loader, and returns both sides.
+func sampleCloud(t *testing.T) ([]core.Result, []core.Result) {
+	t.Helper()
+	orig := []core.Result{
+		{Point: core.DesignPoint{Arch: core.ArchBaseline, Bits: 8, LNANoise: 2e-6},
+			MeanSNRdB: 18.5, Accuracy: 1.0, TotalPower: 8.3e-6, AreaCaps: 257},
+		{Point: core.DesignPoint{Arch: core.ArchCS, Bits: 8, LNANoise: 6e-6, M: 150, CHold: 80e-15},
+			MeanSNRdB: 5.5, Accuracy: 0.99, TotalPower: 2.7e-6, AreaCaps: 12266},
+		{Point: core.DesignPoint{Arch: core.ArchCSDigital, Bits: 6, LNANoise: 1e-6, M: 75},
+			MeanSNRdB: 7.0, Accuracy: 0.97, TotalPower: 3.8e-6, AreaCaps: 65},
+		{Point: core.DesignPoint{Arch: core.ArchCSActive, Bits: 7, LNANoise: 3e-6, M: 192},
+			MeanSNRdB: 6.0, Accuracy: 0.95, TotalPower: 7.3e-6, AreaCaps: 15000},
+	}
+	var sb strings.Builder
+	if err := CSVResults(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadResults(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return orig, loaded
+}
+
+func TestLoadResultsRoundTrip(t *testing.T) {
+	orig, loaded := sampleCloud(t)
+	if len(loaded) != len(orig) {
+		t.Fatalf("loaded %d results, want %d", len(loaded), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], loaded[i]
+		if a.Point != b.Point {
+			t.Fatalf("row %d: point %+v != %+v", i, b.Point, a.Point)
+		}
+		if a.MeanSNRdB != b.MeanSNRdB || a.Accuracy != b.Accuracy ||
+			a.TotalPower != b.TotalPower || a.AreaCaps != b.AreaCaps {
+			t.Fatalf("row %d scalar mismatch: %+v vs %+v", i, b, a)
+		}
+	}
+}
+
+func TestLoadResultsErrors(t *testing.T) {
+	if _, err := LoadResults(strings.NewReader("bogus,header\n1,2\n")); err == nil {
+		t.Fatal("missing columns should error")
+	}
+	bad := "arch,bits,noise_vrms,m,chold_f,snr_db,accuracy,total_w,area_caps\n" +
+		"martian,8,1e-6,0,0,1,1,1,1\n"
+	if _, err := LoadResults(strings.NewReader(bad)); err == nil {
+		t.Fatal("unknown architecture should error")
+	}
+	bad2 := "arch,bits,noise_vrms,m,chold_f,snr_db,accuracy,total_w,area_caps\n" +
+		"baseline,eight,1e-6,0,0,1,1,1,1\n"
+	if _, err := LoadResults(strings.NewReader(bad2)); err == nil {
+		t.Fatal("non-numeric bits should error")
+	}
+}
+
+func TestFigsFromResults(t *testing.T) {
+	_, loaded := sampleCloud(t)
+	figs := NewFigsFromResults(loaded, 0.98)
+	f7a := figs.Fig7a()
+	if len(f7a.Baseline) == 0 || len(f7a.CS) == 0 {
+		t.Fatal("static fronts empty")
+	}
+	f7b := figs.Fig7b()
+	if !f7b.HaveBaseline || !f7b.HaveCS {
+		t.Fatalf("static optima missing: %+v", f7b)
+	}
+	if f7b.CSOpt.TotalPower != 2.7e-6 {
+		t.Fatalf("static CS optimum %g", f7b.CSOpt.TotalPower)
+	}
+	if pts := figs.Fig9(); len(pts) != len(loaded) {
+		t.Fatalf("fig9 points %d", len(pts))
+	}
+	fronts := figs.Fig10([]float64{100, 20000})
+	if len(fronts) != 2 {
+		t.Fatalf("fig10 fronts %d", len(fronts))
+	}
+	if fronts[0].HaveOptimum {
+		t.Fatal("100-cap should admit no >=0.98 design in this cloud")
+	}
+	if !fronts[1].HaveOptimum || fronts[1].Optimum.TotalPower != 2.7e-6 {
+		t.Fatalf("20000-cap optimum wrong: %+v", fronts[1].Optimum)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"efficsense/internal/core"
+	"efficsense/internal/power"
+	"efficsense/internal/report"
+	"efficsense/internal/units"
+)
+
+// VariantsResult compares the four front-end architectures at a matched
+// operating point — the "digital vs analog, active vs passive" exploration
+// the paper's Section III motivates the framework with.
+type VariantsResult struct {
+	// Points holds one result per architecture, in enum order: baseline,
+	// passive CS, digital CS, active CS.
+	Points []core.Result
+	// Bits, LNANoise, M are the shared operating point.
+	Bits     int
+	LNANoise float64
+	M        int
+}
+
+// Variants evaluates all four architectures at one operating point.
+// Zero-valued arguments select the defaults (N=8, vn=6 µV, M=150).
+func (s *Suite) Variants(bits int, lnaNoise float64, m int) VariantsResult {
+	s.init()
+	if bits <= 0 {
+		bits = 8
+	}
+	if lnaNoise <= 0 {
+		lnaNoise = 6e-6
+	}
+	if m <= 0 {
+		m = 150
+	}
+	archs := []core.Architecture{
+		core.ArchBaseline, core.ArchCS, core.ArchCSDigital, core.ArchCSActive,
+	}
+	out := VariantsResult{Bits: bits, LNANoise: lnaNoise, M: m}
+	for _, a := range archs {
+		p := core.DesignPoint{Arch: a, Bits: bits, LNANoise: lnaNoise}
+		if a != core.ArchBaseline {
+			p.M = m
+		}
+		out.Points = append(out.Points, s.evaluator.Evaluate(p))
+	}
+	return out
+}
+
+// RenderVariants writes the architecture comparison.
+func RenderVariants(w io.Writer, v VariantsResult) {
+	fmt.Fprintf(w, "Front-end variants at N=%d, vn=%s, M=%d (passive/active/digital CS)\n",
+		v.Bits, units.Format(v.LNANoise, "V"), v.M)
+	tb := report.NewTable("architecture", "accuracy", "SNR (dB)", "power", "area (Cu)", "dominant block")
+	for _, r := range v.Points {
+		comps := r.Power.Components()
+		dominant := ""
+		if len(comps) > 0 {
+			dominant = string(comps[0])
+		}
+		tb.AddRow(
+			r.Point.Arch.String(),
+			fmt.Sprintf("%.3f", r.Accuracy),
+			fmt.Sprintf("%.1f", r.MeanSNRdB),
+			units.Format(r.TotalPower, "W"),
+			fmt.Sprintf("%.0f", r.AreaCaps),
+			dominant,
+		)
+	}
+	tb.Render(w)
+	// The Section III narrative: passive beats active (no OTAs) and beats
+	// digital (ADC runs at the reduced rate).
+	byArch := map[core.Architecture]core.Result{}
+	for _, r := range v.Points {
+		byArch[r.Point.Arch] = r
+	}
+	passive := byArch[core.ArchCS]
+	if active, ok := byArch[core.ArchCSActive]; ok && passive.TotalPower > 0 {
+		fmt.Fprintf(w, "\npassive vs active analog CS: %.2fx cheaper (the paper's [10] argument)\n",
+			active.TotalPower/passive.TotalPower)
+	}
+	if digital, ok := byArch[core.ArchCSDigital]; ok && passive.TotalPower > 0 {
+		fmt.Fprintf(w, "passive analog vs digital CS: %.2fx cheaper (ADC at the reduced rate)\n",
+			digital.TotalPower/passive.TotalPower)
+	}
+	if _, ok := byArch[core.ArchCSActive]; ok {
+		fmt.Fprintf(w, "active CS integrator bank: %s\n",
+			units.Format(byArch[core.ArchCSActive].Power[power.CompIntegrators], "W"))
+	}
+}

@@ -1,0 +1,201 @@
+// Package power implements the analytical power models of paper Table II —
+// the second half of EffiCSense's key contribution: every behavioural
+// block has a companion power-bound model expressed in the same design
+// parameters, so a functional sweep simultaneously yields consumption.
+// The models are the published closed forms (Steyaert LNA bound, Sundström
+// ADC bounds, Saberi DAC switching energy, Bos SAR logic activity,
+// Bortolotti/Bellasi transmitter energy-per-bit, and the paper's own CS
+// encoder logic expression).
+package power
+
+import (
+	"math"
+	"sort"
+
+	"efficsense/internal/tech"
+)
+
+// Component names a power consumer, matching the paper's Fig 4/8 legend.
+type Component string
+
+// The components of the EffiCSense block library.
+const (
+	CompLNA         Component = "LNA"
+	CompSampleHold  Component = "S&H"
+	CompComparator  Component = "Comparator"
+	CompSARLogic    Component = "SAR Logic"
+	CompDAC         Component = "DAC"
+	CompTransmitter Component = "Transmitter"
+	CompCSEncoder   Component = "CS Encoder"
+	CompIntegrators Component = "Integrators"
+	CompLeakage     Component = "Leakage"
+)
+
+// Breakdown maps components to watts.
+type Breakdown map[Component]float64
+
+// Total sums the breakdown. Components are summed in sorted name order so
+// the result is bit-identical regardless of map iteration order — sweeps
+// rely on evaluations being exactly reproducible.
+func (b Breakdown) Total() float64 {
+	names := make([]string, 0, len(b))
+	for c := range b {
+		names = append(names, string(c))
+	}
+	sort.Strings(names)
+	var t float64
+	for _, n := range names {
+		t += b[Component(n)]
+	}
+	return t
+}
+
+// Components returns the component names sorted by descending power, for
+// stable reporting.
+func (b Breakdown) Components() []Component {
+	out := make([]Component, 0, len(b))
+	for c := range b {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if b[out[i]] != b[out[j]] {
+			return b[out[i]] > b[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Add returns the sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	out := Breakdown{}
+	for c, p := range b {
+		out[c] += p
+	}
+	for c, p := range o {
+		out[c] += p
+	}
+	return out
+}
+
+// LNAParams collects the design variables of the LNA power model.
+type LNAParams struct {
+	// GBW is the required gain-bandwidth product (Hz): closed-loop gain ×
+	// LNA bandwidth.
+	GBW float64
+	// CLoad is the load capacitance (F) — for the CS architecture this is
+	// C_hold (the encoder input), as the paper notes.
+	CLoad float64
+	// NoiseRMS is the input-referred noise integrated over the LNA band
+	// (V), the swept variable of Fig 4.
+	NoiseRMS float64
+	// Bandwidth is BW_LNA (Hz).
+	Bandwidth float64
+	// FClk is the switching clock seen by the LNA output (Hz).
+	FClk float64
+}
+
+// LNA evaluates the Table II LNA model: Vdd times the maximum of the
+// speed-, slewing- and noise-limited supply currents ([16]).
+func LNA(p tech.Params, s tech.System, d LNAParams) float64 {
+	iSpeed := 2 * math.Pi * d.GBW * d.CLoad / p.GmOverId
+	iSlew := s.VRef * d.FClk * d.CLoad
+	var iNoise float64
+	if d.NoiseRMS > 0 {
+		r := p.NEF / d.NoiseRMS
+		iNoise = r * r * 2 * math.Pi * 4 * p.KT() * d.Bandwidth * p.VT
+	}
+	return s.VDD * math.Max(iSpeed, math.Max(iSlew, iNoise))
+}
+
+// SampleHold evaluates the Table II kT/C-limited track-and-hold model
+// ([14]): P = Vref·fclk·12kT·2^(2N)/VFS².
+func SampleHold(p tech.Params, s tech.System, bits int, fclk float64) float64 {
+	return s.VRef * fclk * 12 * p.KT() * math.Pow(2, 2*float64(bits)) / (s.VFS * s.VFS)
+}
+
+// MinSampleCap returns the sampling capacitor implied by the same bound:
+// C >= 12kT·2^(2N)/VFS², floored at the technology minimum. The
+// behavioural S&H model uses this capacitor for its kT/C noise so that
+// the functional and power models stay coupled.
+func MinSampleCap(p tech.Params, s tech.System, bits int) float64 {
+	c := 12 * p.KT() * math.Pow(2, 2*float64(bits)) / (s.VFS * s.VFS)
+	if c < p.CUnitMin {
+		return p.CUnitMin
+	}
+	return c
+}
+
+// Comparator evaluates the Table II comparator model ([14]):
+// P = 2N·ln2·(fclk − fsample)·Cload·VFS·Veff.
+func Comparator(p tech.Params, s tech.System, bits int, fclk, fsample, cload float64) float64 {
+	if cload <= 0 {
+		cload = p.CLogic
+	}
+	return 2 * float64(bits) * math.Ln2 * (fclk - fsample) * cload * s.VFS * p.VEff
+}
+
+// SARLogic evaluates the Table II SAR controller model ([17]):
+// P = α·(2N+1)·Clogic·Vdd²·(fclk − fsample) with α = 0.4.
+func SARLogic(p tech.Params, s tech.System, bits int, fclk, fsample float64) float64 {
+	const alpha = 0.4
+	return alpha * (2*float64(bits) + 1) * p.CLogic * s.VDD * s.VDD * (fclk - fsample)
+}
+
+// DAC evaluates the Table II capacitive-DAC switching model ([15]) for an
+// N-bit converter with unit capacitor cu. vinRMS and vinMean describe the
+// converted signal (the model's Vin² and Vin terms are signal dependent).
+func DAC(s tech.System, bits int, fclk, cu, vinRMS, vinMean float64) float64 {
+	n := float64(bits)
+	half := math.Pow(0.5, n)
+	brace := (5.0/6-half-math.Pow(0.5, 2*n)/3)*s.VRef*s.VRef -
+		0.5*vinRMS*vinRMS - half*vinMean*s.VRef
+	if brace < 0 {
+		brace = 0
+	}
+	return math.Pow(2, n) * fclk * cu / (n + 1) * brace
+}
+
+// Transmitter evaluates the Table II transmitter model ([4], [12]):
+// P = fclk/(N+1)·N·E_bit, i.e. the output word rate times bits per word
+// times energy per transmitted bit. For compressive sensing the word rate
+// is the measurement rate, which is how the M/N_Φ saving enters.
+func Transmitter(p tech.Params, bits int, fclk float64) float64 {
+	n := float64(bits)
+	return fclk / (n + 1) * n * p.EBit
+}
+
+// CSEncoderLogic evaluates the paper's CS encoder digital model
+// (Table II, derived in Section III): the shift register storing the
+// sensing matrix plus the switch drivers,
+// P = α·(⌈log2(N_Φ)⌉+1)·N_Φ·8·Clogic·Vdd²·fclk with α = 1.
+func CSEncoderLogic(p tech.Params, s tech.System, nPhi int, fclk float64) float64 {
+	const alpha = 1.0
+	bits := math.Ceil(math.Log2(float64(nPhi)))
+	return alpha * (bits + 1) * float64(nPhi) * 8 * p.CLogic * s.VDD * s.VDD * fclk
+}
+
+// Leakage returns the static leakage of nSwitches switch devices.
+func Leakage(p tech.Params, s tech.System, nSwitches int) float64 {
+	return float64(nSwitches) * p.ILeak * s.VDD
+}
+
+// Area accounting: the paper (Fig 9/10) measures design area as the total
+// capacitance expressed in multiples of the minimum technology capacitor.
+
+// CapCount converts a total capacitance to C_u,min multiples.
+func CapCount(p tech.Params, totalCap float64) float64 {
+	return totalCap / p.CUnitMin
+}
+
+// ADCCapacitance returns the capacitance of an N-bit binary DAC array
+// (2^N units of cu) plus the track-and-hold capacitor.
+func ADCCapacitance(bits int, cu, sampleCap float64) float64 {
+	return math.Pow(2, float64(bits))*cu + sampleCap
+}
+
+// CSEncoderCapacitance returns the encoder array capacitance: S sampling
+// capacitors plus M hold capacitors (paper Fig 5).
+func CSEncoderCapacitance(s, m int, cSample, cHold float64) float64 {
+	return float64(s)*cSample + float64(m)*cHold
+}

@@ -1,0 +1,253 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"efficsense/internal/tech"
+)
+
+var (
+	tp = tech.GPDK045()
+	ts = tech.DefaultSystem()
+)
+
+func TestLNANoiseLimitedRegime(t *testing.T) {
+	// At small noise floors the noise term dominates and follows 1/vn².
+	d := LNAParams{GBW: 1e6, CLoad: 80e-15, Bandwidth: ts.LNABandwidth(), FClk: ts.FClk(8)}
+	d.NoiseRMS = 1e-6
+	p1 := LNA(tp, ts, d)
+	d.NoiseRMS = 2e-6
+	p2 := LNA(tp, ts, d)
+	if ratio := p1 / p2; math.Abs(ratio-4) > 0.01 {
+		t.Fatalf("noise-limited power should scale 1/vn²: ratio = %g", ratio)
+	}
+	// Sanity: ~16 µW at 1 µVrms with NEF 2 (hand computation).
+	want := 2 * math.Pow(2/1e-6, 2) * 2 * math.Pi * 4 * tp.KT() * 768 * tp.VT
+	if math.Abs(p1-want) > 1e-9 {
+		t.Fatalf("LNA noise-limited power = %g, want %g", p1, want)
+	}
+	if p1 < 10e-6 || p1 > 25e-6 {
+		t.Fatalf("LNA power at 1 µVrms = %g W, expected tens of µW", p1)
+	}
+}
+
+func TestLNASpeedLimitedRegime(t *testing.T) {
+	// With a relaxed noise floor the GBW term takes over and scales with
+	// Cload.
+	d := LNAParams{GBW: 1e7, CLoad: 1e-12, NoiseRMS: 20e-6,
+		Bandwidth: ts.LNABandwidth(), FClk: ts.FClk(8)}
+	p1 := LNA(tp, ts, d)
+	d.CLoad = 2e-12
+	p2 := LNA(tp, ts, d)
+	if math.Abs(p2/p1-2) > 0.01 {
+		t.Fatalf("speed-limited power should scale with Cload: ratio %g", p2/p1)
+	}
+	want := ts.VDD * 2 * math.Pi * 1e7 * 1e-12 / tp.GmOverId
+	if math.Abs(p1-want) > 1e-12 {
+		t.Fatalf("speed-limited power = %g, want %g", p1, want)
+	}
+}
+
+func TestLNAMaxSemantics(t *testing.T) {
+	// The model takes the max of the three currents, so power is
+	// monotonically non-increasing in the noise floor.
+	d := LNAParams{GBW: 1e6, CLoad: 80e-15, Bandwidth: 768, FClk: 4838}
+	prev := math.Inf(1)
+	for vn := 1e-6; vn <= 20e-6; vn += 1e-6 {
+		d.NoiseRMS = vn
+		p := LNA(tp, ts, d)
+		if p > prev+1e-18 {
+			t.Fatalf("LNA power increased with noise floor at %g", vn)
+		}
+		prev = p
+	}
+}
+
+func TestSampleHoldTableII(t *testing.T) {
+	fclk := ts.FClk(8)
+	got := SampleHold(tp, ts, 8, fclk)
+	want := ts.VRef * fclk * 12 * tp.KT() * math.Pow(2, 16) / 4
+	if math.Abs(got-want) > 1e-20 {
+		t.Fatalf("S&H power = %g, want %g", got, want)
+	}
+	// Each extra bit quadruples it.
+	if r := SampleHold(tp, ts, 9, fclk) / got; math.Abs(r-4) > 1e-9 {
+		t.Fatalf("S&H scaling per bit = %g, want 4", r)
+	}
+}
+
+func TestMinSampleCapFloorsAtUnit(t *testing.T) {
+	// 6-bit: bound is far below 1 fF → floored.
+	if got := MinSampleCap(tp, ts, 6); got != tp.CUnitMin {
+		t.Fatalf("6-bit min cap = %g, want floor %g", got, tp.CUnitMin)
+	}
+	// 14-bit: bound exceeds the floor.
+	if got := MinSampleCap(tp, ts, 14); got <= tp.CUnitMin {
+		t.Fatalf("14-bit min cap = %g, want above floor", got)
+	}
+}
+
+func TestComparatorTableII(t *testing.T) {
+	fclk, fs := ts.FClk(8), ts.FSample()
+	got := Comparator(tp, ts, 8, fclk, fs, 1e-15)
+	want := 16 * math.Ln2 * (fclk - fs) * 1e-15 * ts.VFS * tp.VEff
+	if math.Abs(got-want) > 1e-25 {
+		t.Fatalf("comparator power = %g, want %g", got, want)
+	}
+	// Default load when zero.
+	if got := Comparator(tp, ts, 8, fclk, fs, 0); got != want {
+		t.Fatalf("default comparator load not CLogic: %g vs %g", got, want)
+	}
+}
+
+func TestSARLogicTableII(t *testing.T) {
+	fclk, fs := ts.FClk(8), ts.FSample()
+	got := SARLogic(tp, ts, 8, fclk, fs)
+	want := 0.4 * 17 * 1e-15 * 4 * (fclk - fs)
+	if math.Abs(got-want) > 1e-25 {
+		t.Fatalf("SAR logic power = %g, want %g", got, want)
+	}
+}
+
+func TestDACTableII(t *testing.T) {
+	got := DAC(ts, 8, ts.FClk(8), 1e-15, 0.5, 0)
+	n := 8.0
+	brace := (5.0/6-math.Pow(0.5, n)-math.Pow(0.5, 2*n)/3)*4 - 0.5*0.25
+	want := 256 * ts.FClk(8) * 1e-15 / 9 * brace
+	if math.Abs(got-want) > 1e-20 {
+		t.Fatalf("DAC power = %g, want %g", got, want)
+	}
+	// Never negative even for extreme inputs.
+	if DAC(ts, 1, 1e6, 1e-12, 10, 10) < 0 {
+		t.Fatal("DAC model went negative")
+	}
+}
+
+func TestTransmitterTableII(t *testing.T) {
+	// fclk/(N+1) = fsample: at N=8, 537.6 Hz × 8 bit × 1 nJ = 4.3 µW.
+	got := Transmitter(tp, 8, ts.FClk(8))
+	want := 537.6 * 8 * 1e-9
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("transmitter power = %g, want %g", got, want)
+	}
+}
+
+func TestTransmitterCSReduction(t *testing.T) {
+	// CS word rate = fsample·M/NΦ: the transmitter saving is exactly the
+	// compression ratio.
+	base := Transmitter(tp, 8, ts.FClk(8))
+	csFs := ts.FSample() * 150 / 384
+	cs := Transmitter(tp, 8, 9*csFs)
+	if r := base / cs; math.Abs(r-384.0/150) > 1e-9 {
+		t.Fatalf("transmitter saving = %g, want %g", r, 384.0/150)
+	}
+}
+
+func TestCSEncoderLogicTableII(t *testing.T) {
+	fclk := ts.FClk(8)
+	got := CSEncoderLogic(tp, ts, 384, fclk)
+	want := (9.0 + 1) * 384 * 8 * 1e-15 * 4 * fclk
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("CS encoder logic power = %g, want %g", got, want)
+	}
+	// ~0.6 µW at the paper's operating point — "marginal" vs the LNA/TX.
+	if got < 0.1e-6 || got > 2e-6 {
+		t.Fatalf("CS logic power %g W outside the paper's marginal range", got)
+	}
+}
+
+func TestLeakage(t *testing.T) {
+	if got := Leakage(tp, ts, 100); math.Abs(got-100*1e-12*2) > 1e-20 {
+		t.Fatalf("leakage = %g", got)
+	}
+}
+
+func TestBreakdownTotalAndOrder(t *testing.T) {
+	b := Breakdown{CompLNA: 3e-6, CompTransmitter: 4e-6, CompDAC: 1e-9}
+	if math.Abs(b.Total()-7.001e-6) > 1e-12 {
+		t.Fatalf("total = %g", b.Total())
+	}
+	order := b.Components()
+	if order[0] != CompTransmitter || order[1] != CompLNA || order[2] != CompDAC {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBreakdownAdd(t *testing.T) {
+	a := Breakdown{CompLNA: 1}
+	b := Breakdown{CompLNA: 2, CompDAC: 3}
+	sum := a.Add(b)
+	if sum[CompLNA] != 3 || sum[CompDAC] != 3 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if a[CompLNA] != 1 {
+		t.Fatal("Add must not mutate the receiver")
+	}
+}
+
+func TestAreaModels(t *testing.T) {
+	// 8-bit DAC with 1 fF units + 1 fF S&H = 257 C_u,min.
+	c := ADCCapacitance(8, 1e-15, 1e-15)
+	if got := CapCount(tp, c); math.Abs(got-257) > 1e-9 {
+		t.Fatalf("ADC cap count = %g, want 257", got)
+	}
+	// CS encoder: 2 sampling + 150 hold capacitors.
+	cc := CSEncoderCapacitance(2, 150, 5e-15, 80e-15)
+	want := 2*5e-15 + 150*80e-15
+	if math.Abs(cc-want) > 1e-20 {
+		t.Fatalf("CS encoder capacitance = %g, want %g", cc, want)
+	}
+}
+
+func TestPowerModelsNonNegativeProperty(t *testing.T) {
+	f := func(bitsRaw uint8, vnRaw, cloadRaw uint16) bool {
+		bits := int(bitsRaw%12) + 1
+		vn := (float64(vnRaw) + 1) * 1e-8
+		cload := (float64(cloadRaw) + 1) * 1e-16
+		fclk, fs := ts.FClk(bits), ts.FSample()
+		d := LNAParams{GBW: 1e6, CLoad: cload, NoiseRMS: vn, Bandwidth: 768, FClk: fclk}
+		vals := []float64{
+			LNA(tp, ts, d),
+			SampleHold(tp, ts, bits, fclk),
+			Comparator(tp, ts, bits, fclk, fs, cload),
+			SARLogic(tp, ts, bits, fclk, fs),
+			DAC(ts, bits, fclk, 1e-15, 0.5, 0.1),
+			Transmitter(tp, bits, fclk),
+			CSEncoderLogic(tp, ts, 384, fclk),
+		}
+		for _, v := range vals {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperScaleBaselineOptimum(t *testing.T) {
+	// A baseline design near the paper's optimum (N=8, vn ≈ 2 µVrms)
+	// should land near the reported 8.8 µW, dominated by TX + LNA.
+	fclk, fs := ts.FClk(8), ts.FSample()
+	d := LNAParams{GBW: 8000 * 768, CLoad: MinSampleCap(tp, ts, 8),
+		NoiseRMS: 2e-6, Bandwidth: 768, FClk: fclk}
+	b := Breakdown{
+		CompLNA:         LNA(tp, ts, d),
+		CompSampleHold:  SampleHold(tp, ts, 8, fclk),
+		CompComparator:  Comparator(tp, ts, 8, fclk, fs, 0),
+		CompSARLogic:    SARLogic(tp, ts, 8, fclk, fs),
+		CompDAC:         DAC(ts, 8, fclk, 1e-15, 0.3, 0),
+		CompTransmitter: Transmitter(tp, 8, fclk),
+	}
+	total := b.Total()
+	if total < 5e-6 || total > 15e-6 {
+		t.Fatalf("baseline optimum total = %g W, want the paper's ~8.8 µW band", total)
+	}
+	if b[CompTransmitter] < b[CompDAC] || b[CompLNA] < b[CompSARLogic] {
+		t.Fatal("TX and LNA should dominate the baseline breakdown")
+	}
+}

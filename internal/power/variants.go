@@ -1,0 +1,88 @@
+package power
+
+import (
+	"math"
+
+	"efficsense/internal/tech"
+)
+
+// Models for the alternative compressive-sensing front-ends the paper
+// positions its passive charge-sharing encoder against (Section III and
+// refs [2], [12]): a fully digital CS system (Nyquist ADC + MAC unit) and
+// an active analog CS system (one OTA integrator per measurement row).
+
+// TransmitterRate is the transmitter model generalised to an arbitrary
+// word rate and word width: P = wordRate·bitsPerWord·E_bit. The Table II
+// form Transmitter(p, N, fclk) equals TransmitterRate(p, N, fclk/(N+1)).
+func TransmitterRate(p tech.Params, bitsPerWord int, wordRate float64) float64 {
+	return wordRate * float64(bitsPerWord) * p.EBit
+}
+
+// DigitalMAC models the accumulate unit of a digital CS encoder: a
+// W-bit adder plus result register built from standard cells, clocked
+// once per sparse-matrix addition. Following the gate-counting style of
+// the paper's own CS-logic expression ([17]), each accumulator bit costs
+// gatesPerBit minimum-size gates of capacitance Clogic at activity alpha.
+func DigitalMAC(p tech.Params, s tech.System, accBits int, addsPerSecond float64) float64 {
+	const (
+		alpha       = 0.5
+		gatesPerBit = 12 // mirrored full adder + flip-flop
+	)
+	return alpha * gatesPerBit * float64(accBits) * p.CLogic * s.VDD * s.VDD * addsPerSecond
+}
+
+// AccumulatorBits returns the word width a digital CS accumulator needs:
+// the ADC resolution plus headroom for the largest row count.
+func AccumulatorBits(adcBits, maxRowCount int) int {
+	if maxRowCount < 1 {
+		maxRowCount = 1
+	}
+	return adcBits + int(math.Ceil(math.Log2(float64(maxRowCount)))) + 1
+}
+
+// MinHoldCapForDroop sizes the charge-sharing hold capacitor so that
+// switch-leakage droop over one full frame stays below maxDroopVolts:
+// C >= I_leak · N_Φ / f_sample / ΔV, floored at the technology minimum.
+// The droop ablation shows the Table III leakage (1 pA) destroys
+// femtofarad holds over the paper's 0.71 s frame; this helper turns that
+// finding into a design rule (e.g. ΔV = LSB/2 keeps droop sub-quantum).
+func MinHoldCapForDroop(p tech.Params, s tech.System, nPhi int, maxDroopVolts float64) float64 {
+	if maxDroopVolts <= 0 || nPhi <= 0 {
+		return p.CUnitMin
+	}
+	frameSeconds := float64(nPhi) / s.FSample()
+	c := p.ILeak * frameSeconds / maxDroopVolts
+	if c < p.CUnitMin {
+		return p.CUnitMin
+	}
+	return c
+}
+
+// IntegratorParams collects the design variables of one active-CS
+// integrator channel.
+type IntegratorParams struct {
+	// GBW is the required gain-bandwidth product (Hz) — settling once per
+	// input sample.
+	GBW float64
+	// CInt is the integration capacitor (F).
+	CInt float64
+	// NoiseRMS is the integrator's input-referred noise budget (V).
+	NoiseRMS float64
+	// Bandwidth is the noise bandwidth (Hz).
+	Bandwidth float64
+}
+
+// IntegratorBank evaluates the OTA bound for m parallel integrators using
+// the same three-term structure as the Table II LNA model ([16], applied
+// per channel as in the analysis of [2]): the OTAs are what make active
+// analog CS power-hungry, which is the motivation for the paper's passive
+// technique.
+func IntegratorBank(p tech.Params, s tech.System, m int, d IntegratorParams) float64 {
+	iSpeed := 2 * math.Pi * d.GBW * d.CInt / p.GmOverId
+	var iNoise float64
+	if d.NoiseRMS > 0 {
+		r := p.NEF / d.NoiseRMS
+		iNoise = r * r * 2 * math.Pi * 4 * p.KT() * d.Bandwidth * p.VT
+	}
+	return float64(m) * s.VDD * math.Max(iSpeed, iNoise)
+}

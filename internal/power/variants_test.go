@@ -1,0 +1,91 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransmitterRateConsistency(t *testing.T) {
+	// TransmitterRate generalises the Table II form.
+	fclk := ts.FClk(8)
+	want := Transmitter(tp, 8, fclk)
+	got := TransmitterRate(tp, 8, fclk/9)
+	if math.Abs(got-want) > 1e-18 {
+		t.Fatalf("TransmitterRate %g vs Transmitter %g", got, want)
+	}
+}
+
+func TestDigitalMACScaling(t *testing.T) {
+	p1 := DigitalMAC(tp, ts, 12, 1000)
+	p2 := DigitalMAC(tp, ts, 24, 1000)
+	if math.Abs(p2/p1-2) > 1e-9 {
+		t.Fatalf("MAC power should scale with word width: %g", p2/p1)
+	}
+	p3 := DigitalMAC(tp, ts, 12, 2000)
+	if math.Abs(p3/p1-2) > 1e-9 {
+		t.Fatalf("MAC power should scale with rate: %g", p3/p1)
+	}
+	// At the paper's operating point the MAC is sub-µW ("marginal").
+	opPoint := DigitalMAC(tp, ts, 13, 2*537.6)
+	if opPoint <= 0 || opPoint > 1e-6 {
+		t.Fatalf("MAC power %g W outside the marginal range", opPoint)
+	}
+}
+
+func TestAccumulatorBits(t *testing.T) {
+	if got := AccumulatorBits(8, 16); got != 13 {
+		t.Fatalf("AccumulatorBits(8,16) = %d, want 13", got)
+	}
+	if got := AccumulatorBits(8, 1); got != 9 {
+		t.Fatalf("AccumulatorBits(8,1) = %d, want 9", got)
+	}
+	if got := AccumulatorBits(6, 0); got != 7 {
+		t.Fatalf("AccumulatorBits(6,0) = %d, want 7", got)
+	}
+}
+
+func TestIntegratorBankScalesWithChannels(t *testing.T) {
+	d := IntegratorParams{GBW: 4 * 537.6, CInt: 80e-15, NoiseRMS: 10e-6, Bandwidth: 268.8}
+	p1 := IntegratorBank(tp, ts, 75, d)
+	p2 := IntegratorBank(tp, ts, 150, d)
+	if math.Abs(p2/p1-2) > 1e-9 {
+		t.Fatalf("bank power should scale with M: %g", p2/p1)
+	}
+	// OTA banks are the power sink of active CS: µW scale at M=150.
+	if p2 < 0.2e-6 || p2 > 50e-6 {
+		t.Fatalf("M=150 integrator bank = %g W, outside plausible range", p2)
+	}
+}
+
+func TestIntegratorBankNoiseTerm(t *testing.T) {
+	// Tight noise budget → noise-limited current dominates and follows 1/vn².
+	d := IntegratorParams{GBW: 1000, CInt: 10e-15, NoiseRMS: 1e-6, Bandwidth: 268.8}
+	p1 := IntegratorBank(tp, ts, 1, d)
+	d.NoiseRMS = 2e-6
+	p2 := IntegratorBank(tp, ts, 1, d)
+	if math.Abs(p1/p2-4) > 0.01 {
+		t.Fatalf("noise-limited integrator should scale 1/vn²: %g", p1/p2)
+	}
+}
+
+func TestMinHoldCapForDroop(t *testing.T) {
+	// Frame = 384 / 537.6 Hz ≈ 0.714 s at 1 pA; holding droop under half
+	// an 8-bit LSB (3.9 mV) needs ~183 pF — far beyond the fF holds of
+	// the sweep, which is exactly what the droop ablation shows failing.
+	lsb := ts.VFS / 256
+	c := MinHoldCapForDroop(tp, ts, 384, lsb/2)
+	want := 1e-12 * (384 / ts.FSample()) / (lsb / 2)
+	if math.Abs(c-want) > 1e-18 {
+		t.Fatalf("min hold cap = %g, want %g", c, want)
+	}
+	if c < 100e-12 {
+		t.Fatalf("droop-safe hold cap %g unexpectedly small", c)
+	}
+	// Generous droop budgets floor at the technology minimum.
+	if got := MinHoldCapForDroop(tp, ts, 384, 1e6); got != tp.CUnitMin {
+		t.Fatalf("floor = %g", got)
+	}
+	if got := MinHoldCapForDroop(tp, ts, 0, 0.001); got != tp.CUnitMin {
+		t.Fatalf("degenerate frame = %g", got)
+	}
+}

@@ -1,0 +1,293 @@
+// Package report renders the framework's outputs: aligned ASCII tables,
+// terminal scatter plots (the closest offline equivalent of the paper's
+// figures), and CSV emitters so the sweeps can be re-plotted with external
+// tooling.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; values are rendered with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the aligned table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = runeLen(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && runeLen(c) > widths[i] {
+				widths[i] = runeLen(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(t.headers))
+		for i := range t.headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.headers)
+	seps := make([]string, len(t.headers))
+	for i, width := range widths {
+		seps[i] = strings.Repeat("-", width)
+	}
+	line(seps)
+	for _, row := range t.rows {
+		line(row)
+	}
+}
+
+func runeLen(s string) int { return len([]rune(s)) }
+
+func pad(s string, w int) string {
+	if d := w - runeLen(s); d > 0 {
+		return s + strings.Repeat(" ", d)
+	}
+	return s
+}
+
+// Series is one named point set of a scatter plot.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Scatter renders point series on a character grid — the terminal stand-in
+// for figures like the paper's Fig 7 Pareto plots.
+type Scatter struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	Width      int // plot columns (default 72)
+	Height     int // plot rows (default 20)
+	LogX, LogY bool
+	Series     []Series
+}
+
+// Add appends a series.
+func (s *Scatter) Add(name string, marker rune, x, y []float64) {
+	s.Series = append(s.Series, Series{Name: name, Marker: marker, X: x, Y: y})
+}
+
+// Render draws the plot.
+func (s *Scatter) Render(w io.Writer) {
+	width, height := s.Width, s.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(v float64) float64 {
+		if s.LogX {
+			return math.Log10(math.Max(v, 1e-300))
+		}
+		return v
+	}
+	ty := func(v float64) float64 {
+		if s.LogY {
+			return math.Log10(math.Max(v, 1e-300))
+		}
+		return v
+	}
+	any := false
+	for _, ser := range s.Series {
+		for i := range ser.X {
+			if i >= len(ser.Y) {
+				break
+			}
+			x, y := tx(ser.X[i]), ty(ser.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			any = true
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if s.Title != "" {
+		fmt.Fprintln(w, s.Title)
+	}
+	if !any {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]rune, height)
+	for r := range grid {
+		grid[r] = make([]rune, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	for _, ser := range s.Series {
+		marker := ser.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		for i := range ser.X {
+			if i >= len(ser.Y) {
+				break
+			}
+			x, y := tx(ser.X[i]), ty(ser.Y[i])
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			grid[row][col] = marker
+		}
+	}
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "   x: %s [%.4g .. %.4g]%s   y: %s [%.4g .. %.4g]%s\n",
+		s.XLabel, untx(xmin, s.LogX), untx(xmax, s.LogX), logTag(s.LogX),
+		s.YLabel, untx(ymin, s.LogY), untx(ymax, s.LogY), logTag(s.LogY))
+	var legend []string
+	for _, ser := range s.Series {
+		marker := ser.Marker
+		if marker == 0 {
+			marker = '*'
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, ser.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(w, "   legend: %s\n", strings.Join(legend, "   "))
+	}
+}
+
+func untx(v float64, log bool) float64 {
+	if log {
+		return math.Pow(10, v)
+	}
+	return v
+}
+
+func logTag(log bool) string {
+	if log {
+		return " (log)"
+	}
+	return ""
+}
+
+// CSV writes a rectangular table with a header row; cells are rendered
+// with %v (floats with full precision via %g).
+func CSV(w io.Writer, headers []string, rows [][]interface{}) error {
+	if _, err := fmt.Fprintln(w, strings.Join(headers, ",")); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		parts := make([]string, len(row))
+		for i, c := range row {
+			switch v := c.(type) {
+			case float64:
+				parts[i] = fmt.Sprintf("%g", v)
+			case string:
+				parts[i] = escapeCSV(v)
+			default:
+				parts[i] = escapeCSV(fmt.Sprintf("%v", c))
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(parts, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapeCSV(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Bar renders a horizontal bar chart of labelled values (the stand-in for
+// the paper's Fig 8 power-breakdown bars). Values must be non-negative.
+func Bar(w io.Writer, title string, labels []string, values []float64, format func(float64) string) {
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	if format == nil {
+		format = func(v float64) string { return fmt.Sprintf("%.4g", v) }
+	}
+	maxV := 0.0
+	maxL := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if i < len(labels) && runeLen(labels[i]) > maxL {
+			maxL = runeLen(labels[i])
+		}
+	}
+	const barWidth = 44
+	for i, v := range values {
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		n := 0
+		if maxV > 0 {
+			n = int(v / maxV * barWidth)
+		}
+		fmt.Fprintf(w, "  %s %s %s\n", pad(label, maxL), pad(strings.Repeat("#", n), barWidth), format(v))
+	}
+}
+
+// SortedKeys returns map keys sorted, a helper for deterministic output.
+func SortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,147 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("short", 1.5)
+	tb.AddRow("a-much-longer-name", "x")
+	var sb strings.Builder
+	tb.Render(&sb)
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("line count %d: %q", len(lines), sb.String())
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Fatalf("separator line %q", lines[1])
+	}
+	// Column two starts at the same offset on every row.
+	idx := strings.Index(lines[2], "1.5")
+	if idx < 0 {
+		t.Fatalf("value missing: %q", lines[2])
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("v")
+	tb.AddRow(2.44e-6)
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "2.44e-06") {
+		t.Fatalf("float formatting: %q", sb.String())
+	}
+}
+
+func TestScatterRendersAllSeries(t *testing.T) {
+	var sc Scatter
+	sc.Title = "test plot"
+	sc.XLabel = "power"
+	sc.YLabel = "snr"
+	sc.Add("baseline", 'o', []float64{1, 2, 3}, []float64{10, 20, 30})
+	sc.Add("cs", 'x', []float64{0.5, 1.5}, []float64{15, 35})
+	var sb strings.Builder
+	sc.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"test plot", "o", "x", "legend", "baseline", "cs", "power", "snr"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scatter output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	var sc Scatter
+	var sb strings.Builder
+	sc.Render(&sb)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatalf("empty scatter output %q", sb.String())
+	}
+}
+
+func TestScatterLogAxis(t *testing.T) {
+	var sc Scatter
+	sc.LogX = true
+	sc.Add("s", '*', []float64{1e-6, 1e-3, 1}, []float64{1, 2, 3})
+	var sb strings.Builder
+	sc.Render(&sb)
+	if !strings.Contains(sb.String(), "(log)") {
+		t.Fatal("log axis not tagged")
+	}
+}
+
+func TestScatterIgnoresNaN(t *testing.T) {
+	var sc Scatter
+	nan := 0.0
+	nan = nan / nan // NaN without importing math
+	sc.Add("s", '*', []float64{1, nan}, []float64{1, 2})
+	var sb strings.Builder
+	sc.Render(&sb) // must not panic
+	if sb.Len() == 0 {
+		t.Fatal("no output")
+	}
+}
+
+func TestScatterConstantAxis(t *testing.T) {
+	var sc Scatter
+	sc.Add("s", '*', []float64{5, 5}, []float64{1, 1})
+	var sb strings.Builder
+	sc.Render(&sb) // degenerate ranges must not divide by zero
+}
+
+func TestCSV(t *testing.T) {
+	var sb strings.Builder
+	err := CSV(&sb, []string{"a", "b"}, [][]interface{}{
+		{1.5, "plain"},
+		{2.44e-6, `with,comma "and quotes"`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Fatalf("header: %q", out)
+	}
+	if !strings.Contains(out, "2.44e-06") {
+		t.Fatalf("float cell: %q", out)
+	}
+	if !strings.Contains(out, `"with,comma ""and quotes"""`) {
+		t.Fatalf("escaping: %q", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	var sb strings.Builder
+	Bar(&sb, "breakdown", []string{"LNA", "TX"}, []float64{1e-6, 4e-6}, nil)
+	out := sb.String()
+	if !strings.Contains(out, "LNA") || !strings.Contains(out, "TX") {
+		t.Fatalf("labels missing: %q", out)
+	}
+	// The larger value gets the longer bar.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	lnaBar := strings.Count(lines[1], "#")
+	txBar := strings.Count(lines[2], "#")
+	if txBar <= lnaBar {
+		t.Fatalf("bar lengths: lna %d tx %d", lnaBar, txBar)
+	}
+}
+
+func TestBarZeroValues(t *testing.T) {
+	var sb strings.Builder
+	Bar(&sb, "", []string{"a"}, []float64{0}, nil) // no division by zero
+	if !strings.Contains(sb.String(), "a") {
+		t.Fatal("label missing")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := SortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if strings.Join(got, "") != "abc" {
+		t.Fatalf("sorted keys %v", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package siggen generates the test waveforms the EffiCSense framework
+// drives its chains with: calibrated sines and multitones for SNDR
+// characterisation (paper Fig 4) and the building blocks (coloured noise,
+// rhythmic discharges, bursts) the EEG synthesiser composes.
+package siggen
+
+import (
+	"math"
+
+	"efficsense/internal/xrand"
+)
+
+// Sine returns n samples of amp·sin(2π·freq·t + phase) sampled at rate.
+func Sine(n int, freq, rate, amp, phase float64) []float64 {
+	v := make([]float64, n)
+	w := 2 * math.Pi * freq / rate
+	for i := range v {
+		v[i] = amp * math.Sin(w*float64(i)+phase)
+	}
+	return v
+}
+
+// Tone describes one component of a multitone stimulus.
+type Tone struct {
+	Freq  float64 // Hz
+	Amp   float64 // peak amplitude
+	Phase float64 // radians
+}
+
+// Multitone returns the sum of the given tones.
+func Multitone(n int, rate float64, tones []Tone) []float64 {
+	v := make([]float64, n)
+	for _, t := range tones {
+		w := 2 * math.Pi * t.Freq / rate
+		for i := range v {
+			v[i] += t.Amp * math.Sin(w*float64(i)+t.Phase)
+		}
+	}
+	return v
+}
+
+// ColoredNoise returns n samples of 1/f^alpha noise scaled to the given
+// RMS, drawn from rng.
+func ColoredNoise(rng *xrand.Source, n int, alpha, rms float64) []float64 {
+	v := make([]float64, n)
+	rng.OneOverF(v, alpha)
+	for i := range v {
+		v[i] *= rms
+	}
+	return v
+}
+
+// SpikeWave returns n samples of a rhythmic spike-and-wave discharge — the
+// canonical ictal (seizure) EEG pattern: a slow half-sine "wave" with a
+// sharp superimposed "spike" each cycle. freq is the discharge rate (Hz,
+// typically 3–5 for absence-type seizures), amp the peak amplitude.
+// Cycle-to-cycle frequency jitter (fractional, e.g. 0.05) and amplitude
+// modulation make records distinct.
+func SpikeWave(rng *xrand.Source, n int, rate, freq, amp, jitter float64) []float64 {
+	v := make([]float64, n)
+	phase := rng.Float64() * 2 * math.Pi
+	curFreq := freq
+	for i := range v {
+		t := phase / (2 * math.Pi) // position within cycle [0,1)
+		// Wave component: full-cycle sinusoid.
+		wave := math.Sin(phase)
+		// Spike component: narrow Gaussian bump early in each cycle.
+		d := t - 0.18
+		spike := 1.9 * math.Exp(-d*d/(2*0.0018))
+		v[i] = amp * (0.62*wave + spike*0.55)
+		phase += 2 * math.Pi * curFreq / rate
+		if phase >= 2*math.Pi {
+			phase -= 2 * math.Pi
+			// New cycle: jitter the instantaneous frequency.
+			curFreq = freq * (1 + rng.Normal(0, jitter))
+			if curFreq < freq*0.5 {
+				curFreq = freq * 0.5
+			}
+		}
+	}
+	return v
+}
+
+// Burst multiplies v in place by a raised-cosine envelope that is zero
+// outside [start, start+length) samples, shaping transient activity.
+func Burst(v []float64, start, length int) []float64 {
+	for i := range v {
+		k := i - start
+		if k < 0 || k >= length {
+			v[i] = 0
+			continue
+		}
+		env := 0.5 * (1 - math.Cos(2*math.Pi*float64(k)/float64(length)))
+		v[i] *= env
+	}
+	return v
+}
+
+// Rhythm returns a narrow-band oscillation (e.g. the posterior alpha
+// rhythm) with slowly wandering amplitude: a sine at freq Hz multiplied by
+// a low-frequency random envelope.
+func Rhythm(rng *xrand.Source, n int, rate, freq, rms float64) []float64 {
+	v := make([]float64, n)
+	env := make([]float64, n)
+	rng.OneOverF(env, 2) // slow Brownian-like envelope
+	phase := rng.Float64() * 2 * math.Pi
+	w := 2 * math.Pi * freq / rate
+	for i := range v {
+		e := 1 + 0.5*env[i]
+		if e < 0.1 {
+			e = 0.1
+		}
+		v[i] = e * math.Sin(w*float64(i)+phase)
+	}
+	// Scale to requested RMS.
+	var ss float64
+	for _, x := range v {
+		ss += x * x
+	}
+	cur := math.Sqrt(ss / float64(n))
+	if cur > 0 {
+		for i := range v {
+			v[i] *= rms / cur
+		}
+	}
+	return v
+}
+
+// Ramp returns a linear ramp from lo to hi over n samples, a simple
+// full-range stimulus for DAC/ADC linearity checks.
+func Ramp(n int, lo, hi float64) []float64 {
+	v := make([]float64, n)
+	if n == 1 {
+		v[0] = lo
+		return v
+	}
+	step := (hi - lo) / float64(n-1)
+	for i := range v {
+		v[i] = lo + step*float64(i)
+	}
+	return v
+}

@@ -1,0 +1,122 @@
+package siggen
+
+import (
+	"math"
+	"testing"
+
+	"efficsense/internal/dsp"
+	"efficsense/internal/xrand"
+)
+
+func TestSineAmplitudeAndFrequency(t *testing.T) {
+	v := Sine(4096, 100, 4096, 0.5, 0)
+	if got := dsp.MaxAbs(v); math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("peak = %g, want 0.5", got)
+	}
+	m := dsp.AnalyzeSine(v, 4096)
+	if math.Abs(m.FundamentalHz-100) > 2 {
+		t.Errorf("fundamental = %g, want 100", m.FundamentalHz)
+	}
+}
+
+func TestMultitoneSuperposition(t *testing.T) {
+	tones := []Tone{{Freq: 50, Amp: 1}, {Freq: 120, Amp: 0.5}}
+	v := Multitone(2048, 2048, tones)
+	a := Sine(2048, 50, 2048, 1, 0)
+	b := Sine(2048, 120, 2048, 0.5, 0)
+	for i := range v {
+		if math.Abs(v[i]-(a[i]+b[i])) > 1e-12 {
+			t.Fatalf("superposition broken at %d", i)
+		}
+	}
+}
+
+func TestColoredNoiseRMS(t *testing.T) {
+	rng := xrand.New(1)
+	v := ColoredNoise(rng, 8192, 1, 3.5e-6)
+	if got := dsp.RMS(v); math.Abs(got-3.5e-6) > 1e-9 {
+		t.Fatalf("RMS = %g, want 3.5e-6", got)
+	}
+}
+
+func TestSpikeWaveDominantFrequency(t *testing.T) {
+	rng := xrand.New(2)
+	const rate = 512.0
+	v := SpikeWave(rng, 8192, rate, 4, 1, 0.02)
+	psd := dsp.Welch(v, rate, 1024)
+	// Fundamental band (3-5 Hz) should dominate the high band.
+	low := psd.BandPower(2.5, 5.5)
+	high := psd.BandPower(40, 100)
+	if low < 10*high {
+		t.Fatalf("spike-wave not low-frequency dominated: %g vs %g", low, high)
+	}
+	if dsp.MaxAbs(v) == 0 {
+		t.Fatal("empty spike-wave")
+	}
+}
+
+func TestSpikeWaveHasHarmonics(t *testing.T) {
+	// The sharp spikes must put energy at harmonics (what distinguishes a
+	// spike-wave from a plain sine and feeds wide-band features).
+	rng := xrand.New(3)
+	const rate = 512.0
+	v := SpikeWave(rng, 16384, rate, 4, 1, 0)
+	psd := dsp.Welch(v, rate, 2048)
+	harm := psd.BandPower(7, 30)
+	if harm <= 0 {
+		t.Fatal("no harmonic energy in spike-wave")
+	}
+	fund := psd.BandPower(3, 5)
+	if harm < 0.01*fund {
+		t.Fatalf("harmonics too weak: %g vs fundamental %g", harm, fund)
+	}
+}
+
+func TestBurstZeroOutside(t *testing.T) {
+	v := make([]float64, 100)
+	for i := range v {
+		v[i] = 1
+	}
+	Burst(v, 20, 40)
+	for i := 0; i < 20; i++ {
+		if v[i] != 0 {
+			t.Fatalf("sample %d not zeroed before burst", i)
+		}
+	}
+	for i := 60; i < 100; i++ {
+		if v[i] != 0 {
+			t.Fatalf("sample %d not zeroed after burst", i)
+		}
+	}
+	if dsp.MaxAbs(v[20:60]) == 0 {
+		t.Fatal("burst interior should be nonzero")
+	}
+}
+
+func TestRhythmRMSAndBand(t *testing.T) {
+	rng := xrand.New(4)
+	const rate = 512.0
+	v := Rhythm(rng, 16384, rate, 10, 2e-6)
+	if got := dsp.RMS(v); math.Abs(got-2e-6) > 1e-8 {
+		t.Fatalf("RMS = %g, want 2e-6", got)
+	}
+	psd := dsp.Welch(v, rate, 2048)
+	inBand := psd.BandPower(7, 13)
+	total := psd.TotalPower()
+	if inBand < 0.7*total {
+		t.Fatalf("alpha rhythm energy not concentrated: %g of %g", inBand, total)
+	}
+}
+
+func TestRamp(t *testing.T) {
+	v := Ramp(5, -1, 1)
+	want := []float64{-1, -0.5, 0, 0.5, 1}
+	for i := range want {
+		if math.Abs(v[i]-want[i]) > 1e-12 {
+			t.Fatalf("Ramp[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+	if got := Ramp(1, 3, 9); got[0] != 3 {
+		t.Fatalf("Ramp(1) = %v", got)
+	}
+}

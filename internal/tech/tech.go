@@ -1,0 +1,180 @@
+// Package tech holds the technology and system design parameters of
+// EffiCSense (paper Table III). The paper extracts these from a gpdk045
+// predictive technology with Cadence Virtuoso; since that tooling is
+// proprietary, the published Table III values are hard-coded as the
+// GPDK045 parameter set and arbitrary sets can be constructed and
+// validated for other technologies.
+package tech
+
+import (
+	"errors"
+	"fmt"
+
+	"efficsense/internal/units"
+)
+
+// Params bundles the technology constants consumed by the power and
+// behavioural models (paper Table III, top half).
+type Params struct {
+	// CLogic is the minimal logic gate capacitance (F). Table III: 1 fF.
+	CLogic float64
+	// GmOverId is the transconductance efficiency used in the LNA speed
+	// term (1/V). Table III: 20 /V.
+	GmOverId float64
+	// CapDensity is the MIM/MOM capacitor density (F/µm²).
+	// Table III: 0.001025 pF/µm² = 1.025 fF/µm².
+	CapDensity float64
+	// CUnitMin is the minimum realisable unit capacitor (F). Table III: 1 fF.
+	CUnitMin float64
+	// CPk is the capacitor mismatch (Pelgrom) coefficient expressed as the
+	// relative sigma·area product: sigma(ΔC/C) = CPk / area[µm²] (fraction,
+	// not percent). Table III lists 3.48e-9 %/µm²; see MismatchSigma.
+	CPk float64
+	// ILeak is the switch leakage current (A). Table III: 1 pA.
+	ILeak float64
+	// EBit is the transmitter energy per bit (J). Table III: 1 nJ.
+	EBit float64
+	// VT is the thermal voltage kT/q used in the power bounds (V).
+	// Table III: 25.27 mV.
+	VT float64
+	// Temperature is the simulation temperature (K) used for kT noise.
+	Temperature float64
+	// NEF is the LNA noise-efficiency factor used in the noise-limited
+	// power term. Not tabulated in the paper; 2.0 is a typical value for
+	// the instrumentation-amplifier topologies of ref [16].
+	NEF float64
+	// VEff is the comparator effective (overdrive) voltage in the
+	// Sundström comparator bound. The paper does not tabulate it; the
+	// thermal voltage VT is the customary lower bound and the default.
+	VEff float64
+}
+
+// GPDK045 returns the parameter set the paper extracted from the gpdk045
+// predictive technology (Table III).
+func GPDK045() Params {
+	return Params{
+		CLogic:      1e-15,
+		GmOverId:    20,
+		CapDensity:  1.025e-15, // 0.001025 pF/µm² in F/µm²
+		CUnitMin:    1e-15,
+		CPk:         3.48e-11, // 3.48e-9 %/µm² as a fraction·µm²
+		ILeak:       1e-12,
+		EBit:        1e-9,
+		VT:          25.27e-3,
+		Temperature: units.RoomTemperature,
+		NEF:         2.0,
+		VEff:        25.27e-3,
+	}
+}
+
+// Validate reports whether every parameter is physically sensible.
+func (p Params) Validate() error {
+	check := func(name string, v float64) error {
+		if !(v > 0) {
+			return fmt.Errorf("tech: %s must be positive, got %g", name, v)
+		}
+		return nil
+	}
+	var errs []error
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"CLogic", p.CLogic},
+		{"GmOverId", p.GmOverId},
+		{"CapDensity", p.CapDensity},
+		{"CUnitMin", p.CUnitMin},
+		{"CPk", p.CPk},
+		{"ILeak", p.ILeak},
+		{"EBit", p.EBit},
+		{"VT", p.VT},
+		{"Temperature", p.Temperature},
+		{"NEF", p.NEF},
+		{"VEff", p.VEff},
+	} {
+		if err := check(c.name, c.v); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// KT returns k·T for this technology's temperature (J).
+func (p Params) KT() float64 { return units.KT(p.Temperature) }
+
+// CapArea returns the layout area (µm²) of a capacitor of value c (F).
+func (p Params) CapArea(c float64) float64 { return c / p.CapDensity }
+
+// MismatchSigma returns the relative 1-sigma mismatch of a capacitor of
+// value c (F) from the Pelgrom-style area law: sigma = CPk / area(µm²).
+// Larger capacitors match better.
+func (p Params) MismatchSigma(c float64) float64 {
+	area := p.CapArea(c)
+	if area <= 0 {
+		return 0
+	}
+	return p.CPk / area
+}
+
+// System bundles the application-level design constants (Table III, bottom
+// half) shared by both architectures. The per-design-point variables (LNA
+// noise, ADC bits, CS M) live in the DSE search space, not here.
+type System struct {
+	// BWInput is the application signal bandwidth (Hz). Table III: 256 Hz.
+	BWInput float64
+	// VDD is the supply voltage (V). Table III: 2 V.
+	VDD float64
+	// VFS is the ADC full-scale voltage (V). Table III: 2 V.
+	VFS float64
+	// VRef is the reference voltage (V). Table III: 2 V.
+	VRef float64
+	// OversampleRatio relates the Nyquist sample rate to the bandwidth:
+	// f_sample = OversampleRatio · BWInput. Table III: 2.1.
+	OversampleRatio float64
+	// LNABWRatio relates the LNA bandwidth to the signal bandwidth:
+	// BW_LNA = LNABWRatio · BWInput. Table III: 3.
+	LNABWRatio float64
+}
+
+// DefaultSystem returns the Table III application constants used in the
+// paper's epilepsy-detection demonstrator.
+func DefaultSystem() System {
+	return System{
+		BWInput:         256,
+		VDD:             2,
+		VFS:             2,
+		VRef:            2,
+		OversampleRatio: 2.1,
+		LNABWRatio:      3,
+	}
+}
+
+// Validate reports whether the system constants are sensible.
+func (s System) Validate() error {
+	var errs []error
+	pos := func(name string, v float64) {
+		if !(v > 0) {
+			errs = append(errs, fmt.Errorf("tech: system %s must be positive, got %g", name, v))
+		}
+	}
+	pos("BWInput", s.BWInput)
+	pos("VDD", s.VDD)
+	pos("VFS", s.VFS)
+	pos("VRef", s.VRef)
+	pos("OversampleRatio", s.OversampleRatio)
+	pos("LNABWRatio", s.LNABWRatio)
+	if s.OversampleRatio < 2 && s.OversampleRatio > 0 {
+		errs = append(errs, fmt.Errorf("tech: OversampleRatio %g violates Nyquist (need >= 2)", s.OversampleRatio))
+	}
+	return errors.Join(errs...)
+}
+
+// FSample returns the ADC sample rate f_sample = ratio·BW (Hz).
+func (s System) FSample() float64 { return s.OversampleRatio * s.BWInput }
+
+// FClk returns the SAR clock f_clk = (N+1)·f_sample for an N-bit converter
+// (Table III).
+func (s System) FClk(bits int) float64 { return float64(bits+1) * s.FSample() }
+
+// LNABandwidth returns BW_LNA = LNABWRatio·BWInput (Hz).
+func (s System) LNABandwidth() float64 { return s.LNABWRatio * s.BWInput }

@@ -1,0 +1,138 @@
+package tech
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGPDK045Valid(t *testing.T) {
+	if err := GPDK045().Validate(); err != nil {
+		t.Fatalf("default technology invalid: %v", err)
+	}
+}
+
+func TestGPDK045TableIIIValues(t *testing.T) {
+	p := GPDK045()
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"CLogic", p.CLogic, 1e-15},
+		{"GmOverId", p.GmOverId, 20},
+		{"CapDensity", p.CapDensity, 1.025e-15},
+		{"CUnitMin", p.CUnitMin, 1e-15},
+		{"ILeak", p.ILeak, 1e-12},
+		{"EBit", p.EBit, 1e-9},
+		{"VT", p.VT, 25.27e-3},
+	}
+	for _, c := range cases {
+		if math.Abs(c.got-c.want) > 1e-30+1e-9*math.Abs(c.want) {
+			t.Errorf("%s = %g, want %g (Table III)", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestValidateCatchesEachField(t *testing.T) {
+	fields := []struct {
+		name   string
+		damage func(*Params)
+	}{
+		{"CLogic", func(p *Params) { p.CLogic = 0 }},
+		{"GmOverId", func(p *Params) { p.GmOverId = -1 }},
+		{"CapDensity", func(p *Params) { p.CapDensity = 0 }},
+		{"CUnitMin", func(p *Params) { p.CUnitMin = 0 }},
+		{"CPk", func(p *Params) { p.CPk = 0 }},
+		{"ILeak", func(p *Params) { p.ILeak = -2 }},
+		{"EBit", func(p *Params) { p.EBit = 0 }},
+		{"VT", func(p *Params) { p.VT = 0 }},
+		{"Temperature", func(p *Params) { p.Temperature = 0 }},
+		{"NEF", func(p *Params) { p.NEF = 0 }},
+		{"VEff", func(p *Params) { p.VEff = 0 }},
+	}
+	for _, f := range fields {
+		p := GPDK045()
+		f.damage(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("Validate missed broken %s", f.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), f.name) {
+			t.Errorf("error for broken %s does not name it: %v", f.name, err)
+		}
+	}
+}
+
+func TestCapAreaAndMismatch(t *testing.T) {
+	p := GPDK045()
+	// 1.025 fF occupies exactly 1 µm².
+	area := p.CapArea(1.025e-15)
+	if math.Abs(area-1) > 1e-9 {
+		t.Fatalf("CapArea(1.025fF) = %g µm², want 1", area)
+	}
+	// Mismatch sigma follows 1/area: quadrupled cap → quartered sigma.
+	s1 := p.MismatchSigma(1e-15)
+	s4 := p.MismatchSigma(4e-15)
+	if math.Abs(s1/s4-4) > 1e-9 {
+		t.Fatalf("mismatch area law violated: sigma(1fF)/sigma(4fF) = %g, want 4", s1/s4)
+	}
+}
+
+func TestMismatchSigmaMonotoneProperty(t *testing.T) {
+	p := GPDK045()
+	f := func(a, b uint16) bool {
+		ca := (float64(a) + 1) * 1e-16
+		cb := (float64(b) + 1) * 1e-16
+		sa, sb := p.MismatchSigma(ca), p.MismatchSigma(cb)
+		if ca < cb {
+			return sa >= sb
+		}
+		return sb >= sa
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultSystemValues(t *testing.T) {
+	s := DefaultSystem()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default system invalid: %v", err)
+	}
+	if got := s.FSample(); math.Abs(got-537.6) > 1e-9 {
+		t.Errorf("FSample = %g, want 537.6 (2.1·256)", got)
+	}
+	if got := s.FClk(8); math.Abs(got-9*537.6) > 1e-9 {
+		t.Errorf("FClk(8) = %g, want %g", got, 9*537.6)
+	}
+	if got := s.LNABandwidth(); math.Abs(got-768) > 1e-9 {
+		t.Errorf("LNABandwidth = %g, want 768 (3·256)", got)
+	}
+}
+
+func TestSystemValidateNyquist(t *testing.T) {
+	s := DefaultSystem()
+	s.OversampleRatio = 1.5
+	if err := s.Validate(); err == nil {
+		t.Fatal("sub-Nyquist oversample ratio should fail validation")
+	}
+}
+
+func TestSystemValidateNegative(t *testing.T) {
+	s := DefaultSystem()
+	s.VDD = 0
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "VDD") {
+		t.Fatalf("expected VDD error, got %v", err)
+	}
+}
+
+func TestKTPositive(t *testing.T) {
+	p := GPDK045()
+	kt := p.KT()
+	if kt <= 0 || kt > 1e-20 {
+		t.Fatalf("KT = %g out of plausible range", kt)
+	}
+}

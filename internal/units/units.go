@@ -1,0 +1,138 @@
+// Package units provides physical constants, SI unit helpers and
+// conversions shared by the EffiCSense models. All framework quantities are
+// plain float64 SI values (volts, amps, watts, farads, hertz, seconds);
+// this package centralises the constants and the pretty-printing used by
+// reports so that magnitudes stay legible (µW, fF, ...).
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Physical constants (SI).
+const (
+	// Boltzmann is the Boltzmann constant in J/K.
+	Boltzmann = 1.380649e-23
+	// RoomTemperature is the nominal simulation temperature in kelvin.
+	RoomTemperature = 300.0
+	// ElementaryCharge is the elementary charge in coulombs.
+	ElementaryCharge = 1.602176634e-19
+)
+
+// KT returns k·T at temperature t (kelvin).
+func KT(t float64) float64 { return Boltzmann * t }
+
+// KTRoom is k·T at RoomTemperature, the value used throughout the power
+// models (Table II uses kT without an explicit temperature).
+var KTRoom = KT(RoomTemperature)
+
+// Common engineering prefixes as multipliers.
+const (
+	Femto = 1e-15
+	Pico  = 1e-12
+	Nano  = 1e-9
+	Micro = 1e-6
+	Milli = 1e-3
+	Kilo  = 1e3
+	Mega  = 1e6
+	Giga  = 1e9
+)
+
+// DB converts a power ratio to decibels.
+func DB(ratio float64) float64 { return 10 * math.Log10(ratio) }
+
+// DBV converts an amplitude (voltage) ratio to decibels.
+func DBV(ratio float64) float64 { return 20 * math.Log10(ratio) }
+
+// FromDB converts decibels to a power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// FromDBV converts decibels to an amplitude ratio.
+func FromDBV(db float64) float64 { return math.Pow(10, db/20) }
+
+// ENOB converts an SNDR in dB to effective number of bits using the
+// standard (SNDR-1.76)/6.02 relation.
+func ENOB(sndrDB float64) float64 { return (sndrDB - 1.76) / 6.02 }
+
+// SNDRFromENOB is the inverse of ENOB.
+func SNDRFromENOB(bits float64) float64 { return bits*6.02 + 1.76 }
+
+var siPrefixes = []struct {
+	mult   float64
+	symbol string
+}{
+	{1e-18, "a"},
+	{1e-15, "f"},
+	{1e-12, "p"},
+	{1e-9, "n"},
+	{1e-6, "µ"},
+	{1e-3, "m"},
+	{1, ""},
+	{1e3, "k"},
+	{1e6, "M"},
+	{1e9, "G"},
+	{1e12, "T"},
+}
+
+// Format renders v with an SI prefix and the given unit, e.g.
+// Format(2.44e-6, "W") == "2.44µW". Values of exactly zero render as "0<unit>".
+func Format(v float64, unit string) string {
+	if v == 0 {
+		return "0" + unit
+	}
+	if math.IsNaN(v) {
+		return "NaN" + unit
+	}
+	if math.IsInf(v, 0) {
+		if v > 0 {
+			return "+Inf" + unit
+		}
+		return "-Inf" + unit
+	}
+	abs := math.Abs(v)
+	best := siPrefixes[0]
+	for _, p := range siPrefixes {
+		if abs >= p.mult*0.9995 {
+			best = p
+		}
+	}
+	scaled := v / best.mult
+	return trimFloat(scaled) + best.symbol + unit
+}
+
+// trimFloat formats with three significant decimals and trims trailing
+// zeros, matching the compact style used in the paper's figures.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	// Trim trailing zeros, then a trailing dot.
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ApproxEqual reports whether a and b agree within relative tolerance rel
+// (or absolute tolerance abs for values near zero).
+func ApproxEqual(a, b, rel, abs float64) bool {
+	d := math.Abs(a - b)
+	if d <= abs {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= rel*m
+}

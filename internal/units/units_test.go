@@ -1,0 +1,124 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKTRoom(t *testing.T) {
+	want := 1.380649e-23 * 300
+	if !ApproxEqual(KTRoom, want, 1e-12, 0) {
+		t.Fatalf("KTRoom = %g, want %g", KTRoom, want)
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, r := range []float64{0.001, 0.5, 1, 2, 1000, 123456} {
+		if got := FromDB(DB(r)); !ApproxEqual(got, r, 1e-12, 0) {
+			t.Errorf("FromDB(DB(%g)) = %g", r, got)
+		}
+		if got := FromDBV(DBV(r)); !ApproxEqual(got, r, 1e-12, 0) {
+			t.Errorf("FromDBV(DBV(%g)) = %g", r, got)
+		}
+	}
+}
+
+func TestDBKnownValues(t *testing.T) {
+	if got := DB(100); math.Abs(got-20) > 1e-12 {
+		t.Errorf("DB(100) = %g, want 20", got)
+	}
+	if got := DBV(10); math.Abs(got-20) > 1e-12 {
+		t.Errorf("DBV(10) = %g, want 20", got)
+	}
+}
+
+func TestENOBRoundTrip(t *testing.T) {
+	for _, bits := range []float64{4, 6, 8, 10.5, 12} {
+		if got := ENOB(SNDRFromENOB(bits)); !ApproxEqual(got, bits, 1e-12, 0) {
+			t.Errorf("ENOB round trip for %g bits = %g", bits, got)
+		}
+	}
+	// 8-bit ideal quantiser: SNDR = 49.92 dB.
+	if got := SNDRFromENOB(8); math.Abs(got-49.92) > 1e-9 {
+		t.Errorf("SNDRFromENOB(8) = %g, want 49.92", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		v    float64
+		unit string
+		want string
+	}{
+		{2.44e-6, "W", "2.44µW"},
+		{8.8e-6, "W", "8.8µW"},
+		{1e-15, "F", "1fF"},
+		{0, "W", "0W"},
+		{1.5, "V", "1.5V"},
+		{537.6, "Hz", "537.6Hz"},
+		{4.8384e3, "Hz", "4.838kHz"},
+		{-3.3e-3, "A", "-3.3mA"},
+		{math.NaN(), "W", "NaNW"},
+		{math.Inf(1), "W", "+InfW"},
+		{math.Inf(-1), "W", "-InfW"},
+	}
+	for _, c := range cases {
+		if got := Format(c.v, c.unit); got != c.want {
+			t.Errorf("Format(%g, %q) = %q, want %q", c.v, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %g", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %g", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %g", got)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		got := Clamp(v, -1, 1)
+		return got >= -1 && got <= 1 && (v < -1 || v > 1 || got == v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDBMonotonicProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		x, y := math.Abs(a)+1e-9, math.Abs(b)+1e-9
+		if x == y {
+			return true
+		}
+		if x > y {
+			x, y = y, x
+		}
+		return DB(x) < DB(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApproxEqual(t *testing.T) {
+	if !ApproxEqual(1.0, 1.0+1e-13, 1e-12, 0) {
+		t.Error("values within rel tolerance should be equal")
+	}
+	if ApproxEqual(1.0, 1.1, 1e-3, 0) {
+		t.Error("values outside rel tolerance should differ")
+	}
+	if !ApproxEqual(0, 1e-15, 1e-12, 1e-12) {
+		t.Error("values within abs tolerance should be equal")
+	}
+}
