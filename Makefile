@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test race bench verify fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# verify is the tier-1 gate: formatting, vet, build, and the full test
+# suite under the race detector.
+verify: fmt
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...

@@ -7,14 +7,17 @@
 package efficsense_test
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
 	"efficsense"
 	"efficsense/internal/chain"
 	"efficsense/internal/classify"
 	"efficsense/internal/core"
 	"efficsense/internal/cs"
+	"efficsense/internal/dse"
 	"efficsense/internal/dsp"
 	"efficsense/internal/eeg"
 	"efficsense/internal/power"
@@ -234,6 +237,64 @@ func BenchmarkDetectorInference(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		det.Classify(benchRecord.Samples, benchRecord.Rate)
 	}
+}
+
+// BenchmarkSweepCacheReuse measures the payoff of the sweep engine's
+// memoisation cache: a cold Fig 7-style grid sweep, then the same grid
+// re-queried for the Fig 9/10-style constrained searches through a second
+// engine sharing the cache (the fingerprint keying makes the reuse safe).
+// cache_speedup_x reports warm vs cold; the engine makes it ≥ 5×.
+func BenchmarkSweepCacheReuse(b *testing.B) {
+	s := efficsense.NewSuite(benchSuiteOptions(19))
+	ev := s.Evaluator()
+	space := dse.Space{
+		Architectures: []core.Architecture{core.ArchBaseline, core.ArchCS},
+		Bits:          []int{7, 8},
+		LNANoise:      dse.GeomRange(2e-6, 12e-6, 2),
+		M:             []int{150},
+		CHold:         []float64{80e-15},
+	}
+	if err := space.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	pts := space.Points()
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		cache := efficsense.NewMemoryCache()
+		cold, err := efficsense.NewSweep(ev, efficsense.WithCache(cache))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 := time.Now()
+		if _, err := cold.Run(context.Background(), pts); err != nil {
+			b.Fatal(err)
+		}
+		coldDur := time.Since(t0)
+
+		// A fresh engine over the same evaluator and cache: every point is
+		// served from memory, so the constrained queries are nearly free.
+		warm, err := efficsense.NewSweep(ev, efficsense.WithCache(cache))
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		rs, err := warm.Run(context.Background(), pts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := dse.Optimum(dse.FilterArea(rs, 5000), dse.QualityAccuracy, 0); !ok {
+			b.Fatal("constrained query found no optimum")
+		}
+		warmDur := time.Since(t1)
+		if hits := warm.Metrics().CacheHits; hits != int64(len(pts)) {
+			b.Fatalf("warm sweep hit cache %d/%d times", hits, len(pts))
+		}
+		speedup = float64(coldDur) / float64(warmDur)
+		if speedup < 5 {
+			b.Fatalf("cache speedup %.1fx < 5x (cold %v, warm %v)", speedup, coldDur, warmDur)
+		}
+	}
+	b.ReportMetric(speedup, "cache_speedup_x")
 }
 
 // BenchmarkDesignPointEvaluation measures one full CS design-point

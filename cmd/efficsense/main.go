@@ -21,7 +21,7 @@
 //	all      run every figure in sequence
 //
 // Common flags (suite subcommands): -records, -seed, -workers,
-// -noise-steps, -epochs, -min-accuracy, -csv.
+// -noise-steps, -epochs, -min-accuracy, -csv, -progress, -trace.
 package main
 
 import (
@@ -30,6 +30,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"efficsense/internal/classify"
 	"efficsense/internal/core"
@@ -95,6 +96,7 @@ func usage() {
 
 suite flags: -records N (default 40; paper uses 500) -seed S -workers W
              -noise-steps N -epochs E -min-accuracy A -csv F
+             -progress (rich progress + engine metrics) -trace F (JSONL per-point trace)
 `)
 }
 
@@ -111,8 +113,33 @@ func suiteFlags(fs *flag.FlagSet) *experiments.Options {
 	return opts
 }
 
-func newSuite(opts *experiments.Options, verbose bool) *experiments.Suite {
-	if verbose {
+// newSuite wires progress reporting and the optional JSONL trace sink
+// into a suite. With rich=false a minimal "sweep d/t" counter is shown;
+// with rich=true each update adds throughput, mean per-point time, cache
+// hits and an ETA from the engine's metrics. The returned closer flushes
+// the trace file (call it after the figures render).
+func newSuite(opts *experiments.Options, rich bool, tracePath string) (*experiments.Suite, func() error, error) {
+	closer := func() error { return nil }
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return nil, nil, fmt.Errorf("opening trace sink: %w", err)
+		}
+		opts.Trace = f
+		closer = f.Close
+	}
+	var suite *experiments.Suite
+	if rich {
+		opts.Progress = func(done, total int) {
+			m := suite.SweepMetrics()
+			fmt.Fprintf(os.Stderr, "\rsweep %d/%d  %.1f pt/s  %s/pt  %d cached  eta %s   ",
+				done, total, m.Throughput, m.MeanEval.Round(time.Millisecond),
+				m.CacheHits, m.ETA.Round(time.Second))
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	} else {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\rsweep %d/%d", done, total)
 			if done == total {
@@ -120,7 +147,16 @@ func newSuite(opts *experiments.Options, verbose bool) *experiments.Suite {
 			}
 		}
 	}
-	return experiments.NewSuite(*opts)
+	suite = experiments.NewSuite(*opts)
+	return suite, closer, nil
+}
+
+// printSweepSummary reports the engine counters after a rich-progress run.
+func printSweepSummary(suite *experiments.Suite) {
+	m := suite.SweepMetrics()
+	fmt.Fprintf(os.Stderr,
+		"sweep summary: %d evaluated, %d cache hits, %d panics, mean %s/point\n",
+		m.Evaluated, m.CacheHits, m.Panics, m.MeanEval.Round(time.Millisecond))
 }
 
 func writeCSV(path string, write func(f *os.File) error) error {
@@ -230,7 +266,7 @@ func cmdPoint(args []string) error {
 	default:
 		return fmt.Errorf("unknown architecture %q", *arch)
 	}
-	r := suite.Evaluator().Evaluate(p)
+	r := suite.Engine().Evaluate(p)
 	fmt.Println(dse.Describe(r))
 	experiments.RenderBreakdown(os.Stdout, "power breakdown", r.Power)
 	return nil
@@ -274,7 +310,7 @@ func cmdRefine(args []string) error {
 		return fmt.Errorf("unknown architecture %q", *arch)
 	}
 	suite := experiments.NewSuite(*opts)
-	best, ok := dse.BisectNoiseFloor(suite.Evaluator(), p, dse.QualityAccuracy,
+	best, ok := dse.BisectNoiseFloor(suite.Engine(), p, dse.QualityAccuracy,
 		opts.MinAccuracy, 1e-6, 20e-6, *iters)
 	if !ok {
 		fmt.Printf("no %s design meets accuracy >= %.2f even at vn = 1 µVrms\n",
@@ -315,6 +351,8 @@ func cmdSuite(cmd string, args []string) error {
 	csv := fs.String("csv", "", "write the underlying sweep as CSV to this path")
 	from := fs.String("from", "", "re-render from a sweep CSV written earlier (skips re-evaluation; fig7a/7b/9/10 only)")
 	capsFlag := fs.String("caps", "", "fig10 area caps, comma separated (Cu,min multiples)")
+	progress := fs.Bool("progress", false, "rich progress: throughput, per-point time, cache hits, ETA")
+	trace := fs.String("trace", "", "write a JSONL per-point sweep trace to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -333,7 +371,20 @@ func cmdSuite(cmd string, args []string) error {
 		fmt.Fprintf(os.Stderr, "loaded %d sweep results from %s\n", len(rs), *from)
 		source = experiments.NewFigsFromResults(rs, opts.MinAccuracy)
 	} else {
-		suite = newSuite(opts, true)
+		var closeTrace func() error
+		var err error
+		suite, closeTrace, err = newSuite(opts, *progress, *trace)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := closeTrace(); err == nil && *trace != "" {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", *trace)
+			}
+			if *progress {
+				printSweepSummary(suite)
+			}
+		}()
 		source = suite
 	}
 	var caps []float64

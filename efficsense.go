@@ -20,6 +20,8 @@
 package efficsense
 
 import (
+	"io"
+
 	"efficsense/internal/chain"
 	"efficsense/internal/classify"
 	"efficsense/internal/core"
@@ -169,11 +171,44 @@ func TrainDetector(ds *EEGDataset, cfg DetectorConfig) *Detector {
 type (
 	// Space is a rectangular design-space grid.
 	Space = dse.Space
-	// Sweep evaluates points in parallel.
+	// Sweep is the parallel sweep engine: context-aware cancellation,
+	// per-point memoisation, panic recovery and metrics. Construct with
+	// NewSweep.
 	Sweep = dse.Sweep
+	// SweepOption configures a Sweep at construction (WithWorkers,
+	// WithProgress, WithCache, WithTrace, WithEvaluatorID).
+	SweepOption = dse.Option
+	// PointEvaluator scores one design point (implemented by *Evaluator).
+	PointEvaluator = dse.PointEvaluator
+	// SweepCache memoises design-point evaluations across sweeps.
+	SweepCache = dse.Cache
+	// MemoryCache is the in-memory SweepCache with hit/miss accounting.
+	MemoryCache = dse.MemoryCache
+	// SweepMetrics is a snapshot of a sweep engine's counters.
+	SweepMetrics = dse.Snapshot
+	// LegacySweep is the pre-engine field-configured sweep.
+	//
+	// Deprecated: use NewSweep and (*Sweep).Run.
+	LegacySweep = dse.LegacySweep
 	// Quality is a goal-function selector (paper Step 5).
 	Quality = dse.Quality
 )
+
+// NewSweep builds a validated sweep engine over an evaluator.
+func NewSweep(ev PointEvaluator, opts ...SweepOption) (*Sweep, error) {
+	return dse.NewSweep(ev, opts...)
+}
+
+// NewMemoryCache returns an empty memoisation cache, shareable between
+// sweeps (keys embed the evaluator identity).
+func NewMemoryCache() *MemoryCache { return dse.NewMemoryCache() }
+
+// Sweep options (see the dse package for semantics).
+func WithWorkers(n int) SweepOption                     { return dse.WithWorkers(n) }
+func WithProgress(fn func(done, total int)) SweepOption { return dse.WithProgress(fn) }
+func WithCache(c SweepCache) SweepOption                { return dse.WithCache(c) }
+func WithTrace(w io.Writer) SweepOption                 { return dse.WithTrace(w) }
+func WithEvaluatorID(id string) SweepOption             { return dse.WithEvaluatorID(id) }
 
 // PaperSpace returns the Table III search grid.
 func PaperSpace(noiseSteps int) Space { return dse.PaperSpace(noiseSteps) }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"efficsense"
@@ -36,8 +37,19 @@ func main() {
 		LNANoise:      []float64{2e-6, 6e-6},
 		M:             []int{75, 150},
 	}
-	sweep := efficsense.Sweep{Evaluator: ev}
-	results := sweep.Run(space.Points())
+	if err := space.Validate(); err != nil {
+		panic(err)
+	}
+	// The engine memoises per point: re-querying the same grid under a
+	// different constraint (the Fig 9/10 workflow) reuses every result.
+	sweep, err := efficsense.NewSweep(ev, efficsense.WithCache(efficsense.NewMemoryCache()))
+	if err != nil {
+		panic(err)
+	}
+	results, err := sweep.Run(context.Background(), space.Points())
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Println("area cap (Cu,min)   best design under accuracy >= 0.95")
 	for _, areaCap := range []float64{400, 2000, 16000} {

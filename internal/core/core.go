@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math"
 
 	"efficsense/internal/chain"
 	"efficsense/internal/classify"
@@ -80,6 +82,15 @@ func (d DesignPoint) String() string {
 	return s
 }
 
+// Key returns a stable, collision-free identity for the point, usable as
+// a memoisation-cache key. Two points compare equal exactly when their
+// keys compare equal; float axes are keyed on their exact bit patterns so
+// no two distinct sweep values alias.
+func (d DesignPoint) Key() string {
+	return fmt.Sprintf("a%d:n%d:v%016x:m%d:c%016x",
+		d.Arch, d.Bits, math.Float64bits(d.LNANoise), d.M, math.Float64bits(d.CHold))
+}
+
 // Result carries every figure of interest for one design point — the
 // quantities the paper's Figs 4 and 7–10 are plotted from.
 type Result struct {
@@ -97,6 +108,10 @@ type Result struct {
 	// AreaCaps is the total design capacitance in C_u,min multiples
 	// (Fig 9/10 metric).
 	AreaCaps float64
+	// Err marks a point whose evaluation failed (for example a recovered
+	// panic in a sweep worker): the other fields are zero and the result
+	// must be excluded from fronts and optima. Nil for a sound evaluation.
+	Err error
 }
 
 // Config assembles an Evaluator.
@@ -129,11 +144,12 @@ type Config struct {
 // cheap. Evaluate is safe for concurrent use on *different* points
 // (internal state is read-only after construction).
 type Evaluator struct {
-	cfg    Config
-	common chain.Common // template (per-point fields zeroed)
-	grids  [][]float64  // records on the simulation grid
-	refs   [][]float64  // band-limited references at f_sample
-	labels []eeg.Class
+	cfg         Config
+	common      chain.Common // template (per-point fields zeroed)
+	grids       [][]float64  // records on the simulation grid
+	refs        [][]float64  // band-limited references at f_sample
+	labels      []eeg.Class
+	fingerprint string
 }
 
 // NewEvaluator precomputes the per-record grid inputs and references.
@@ -172,8 +188,39 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 		e.refs = append(e.refs, chain.ReferenceGrid(e.common, grid))
 		e.labels = append(e.labels, r.Label)
 	}
+	e.fingerprint = fingerprintConfig(cfg)
 	return e, nil
 }
+
+// fingerprintConfig digests everything Evaluate's output depends on: the
+// technology and system constants, the frame geometry, the seed, the
+// dataset contents and the detector instance. Two evaluators with equal
+// fingerprints produce bit-identical results for any design point, which
+// is what lets sweep caches be shared across evaluator instances. The
+// detector is keyed by instance (its weights are not re-hashed), so the
+// fingerprint is stable within a process but not across processes.
+func fingerprintConfig(cfg Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v|%+v|%d|%d|%d|%g|%d|det:%p",
+		cfg.Tech, cfg.Sys, cfg.NPhi, cfg.Sparsity, cfg.SimOversample,
+		cfg.WindowSeconds, cfg.Seed, cfg.Detector)
+	for _, r := range cfg.Dataset.Records {
+		var sum float64
+		for _, v := range r.Samples {
+			sum += v
+		}
+		fmt.Fprintf(h, "|r:%d:%d:%016x:%016x",
+			r.Label, len(r.Samples), math.Float64bits(sum), math.Float64bits(r.Rate))
+	}
+	return fmt.Sprintf("core-ev-%016x", h.Sum64())
+}
+
+// Fingerprint identifies the evaluation function this instance computes:
+// evaluators with equal fingerprints return identical results for every
+// design point. The design-space sweep engine uses it to key its
+// memoisation cache, so repeated constrained queries (the Fig 9/10
+// workload) reuse evaluations across sweeps and evaluator rebuilds.
+func (e *Evaluator) Fingerprint() string { return e.fingerprint }
 
 // csConfig assembles the CS-family chain configuration for a point.
 func (e *Evaluator) csConfig(common chain.Common, p DesignPoint) chain.CSConfig {

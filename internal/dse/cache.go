@@ -1,0 +1,68 @@
+package dse
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"efficsense/internal/core"
+)
+
+// Cache memoises design-point evaluations. Implementations must be safe
+// for concurrent use by many sweep workers. Keys already encode both the
+// design point and the evaluator identity (see Sweep), so one cache can
+// back any number of sweeps and evaluators without cross-contamination.
+type Cache interface {
+	// Get returns the cached result for key, if present.
+	Get(key string) (core.Result, bool)
+	// Put stores a result under key. Implementations may evict.
+	Put(key string, r core.Result)
+}
+
+// MemoryCache is an unbounded in-memory Cache with hit/miss accounting.
+// The zero value is not usable; construct with NewMemoryCache. A full
+// Table III sweep is ~10² points of a few hundred bytes each, so an
+// unbounded map is the right default; callers with adversarial spaces can
+// supply their own evicting Cache.
+type MemoryCache struct {
+	mu     sync.RWMutex
+	m      map[string]core.Result
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewMemoryCache returns an empty cache.
+func NewMemoryCache() *MemoryCache {
+	return &MemoryCache{m: make(map[string]core.Result)}
+}
+
+// Get implements Cache.
+func (c *MemoryCache) Get(key string) (core.Result, bool) {
+	c.mu.RLock()
+	r, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
+// Put implements Cache.
+func (c *MemoryCache) Put(key string, r core.Result) {
+	c.mu.Lock()
+	c.m[key] = r
+	c.mu.Unlock()
+}
+
+// Len returns the number of cached results.
+func (c *MemoryCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *MemoryCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -8,9 +8,7 @@ package dse
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
 	"efficsense/internal/core"
 )
@@ -99,63 +97,59 @@ func (s Space) Points() []core.DesignPoint {
 	return pts
 }
 
-// Size returns the number of points the grid enumerates.
-func (s Space) Size() int { return len(s.Points()) }
-
-// Sweep evaluates design points in parallel on a core.Evaluator.
-type Sweep struct {
-	// Evaluator scores the points.
-	Evaluator *core.Evaluator
-	// Workers bounds parallelism (0 → GOMAXPROCS).
-	Workers int
-	// Progress, if set, is called after each completed point.
-	Progress func(done, total int)
+// Size returns the number of points the grid enumerates, computed
+// arithmetically — enumerating nothing — so sizing a progress bar or an
+// ETA for a huge space stays O(1).
+func (s Space) Size() int {
+	base := len(s.Bits) * len(s.LNANoise)
+	csPer := base * max(len(s.M), 1) * max(len(s.CHold), 1)
+	n := 0
+	for _, arch := range s.Architectures {
+		if arch == core.ArchBaseline {
+			n += base
+		} else {
+			n += csPer
+		}
+	}
+	return n
 }
 
-// Run evaluates every point and returns results in point order.
-func (s *Sweep) Run(points []core.DesignPoint) []core.Result {
-	if s.Evaluator == nil {
-		panic("dse: sweep requires an evaluator")
+// Validate rejects grids a sweep cannot evaluate: missing axes,
+// non-positive resolutions or noise floors, NaN axis values. Points and
+// Size tolerate such spaces (they enumerate what they can), so call
+// Validate at API boundaries for a descriptive error instead of a
+// silently empty or broken sweep.
+func (s Space) Validate() error {
+	if len(s.Architectures) == 0 {
+		return fmt.Errorf("dse: space has no architectures")
 	}
-	workers := s.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if len(s.Bits) == 0 {
+		return fmt.Errorf("dse: space has no ADC resolutions (Bits)")
 	}
-	if workers > len(points) {
-		workers = len(points)
+	if len(s.LNANoise) == 0 {
+		return fmt.Errorf("dse: space has no LNA noise values")
 	}
-	results := make([]core.Result, len(points))
-	if len(points) == 0 {
-		return results
+	for i, b := range s.Bits {
+		if b <= 0 {
+			return fmt.Errorf("dse: Bits[%d] = %d is not a valid ADC resolution", i, b)
+		}
 	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		done int
-	)
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for idx := range jobs {
-				results[idx] = s.Evaluator.Evaluate(points[idx])
-				if s.Progress != nil {
-					mu.Lock()
-					done++
-					d := done
-					mu.Unlock()
-					s.Progress(d, len(points))
-				}
-			}
-		}()
+	for i, v := range s.LNANoise {
+		if math.IsNaN(v) || v <= 0 {
+			return fmt.Errorf("dse: LNANoise[%d] = %g is not a valid noise floor", i, v)
+		}
 	}
-	for i := range points {
-		jobs <- i
+	for i, m := range s.M {
+		if m <= 0 {
+			return fmt.Errorf("dse: M[%d] = %d is not a valid measurement count", i, m)
+		}
 	}
-	close(jobs)
-	wg.Wait()
-	return results
+	for i, ch := range s.CHold {
+		if math.IsNaN(ch) || ch < 0 {
+			return fmt.Errorf("dse: CHold[%d] = %g is not a valid hold capacitance", i, ch)
+		}
+	}
+	return nil
 }
 
 // Quality extracts the goal-function value from a result (paper Step 5:
@@ -171,13 +165,18 @@ func QualityAccuracy(r core.Result) float64 { return r.Accuracy }
 // ParetoFront returns the non-dominated subset of results under
 // (minimise power, maximise quality), sorted by ascending power. A point
 // is dominated if another point has no higher power and no lower quality,
-// with at least one strict inequality.
+// with at least one strict inequality. Error-carrying results (failed
+// evaluations) are excluded.
 func ParetoFront(results []core.Result, q Quality) []core.Result {
-	if len(results) == 0 {
+	sorted := make([]core.Result, 0, len(results))
+	for _, r := range results {
+		if r.Err == nil {
+			sorted = append(sorted, r)
+		}
+	}
+	if len(sorted) == 0 {
 		return nil
 	}
-	sorted := make([]core.Result, len(results))
-	copy(sorted, results)
 	sort.Slice(sorted, func(i, j int) bool {
 		if sorted[i].TotalPower != sorted[j].TotalPower {
 			return sorted[i].TotalPower < sorted[j].TotalPower
@@ -223,12 +222,12 @@ func FilterArch(results []core.Result, arch core.Architecture) []core.Result {
 
 // Optimum returns the minimum-power result meeting the quality floor (the
 // paper's "power as optimisation goal, accuracy >= 98 %" selection). ok is
-// false when no point qualifies.
+// false when no point qualifies. Error-carrying results are excluded.
 func Optimum(results []core.Result, q Quality, minQuality float64) (core.Result, bool) {
 	var best core.Result
 	found := false
 	for _, r := range results {
-		if q(r) < minQuality {
+		if r.Err != nil || q(r) < minQuality {
 			continue
 		}
 		if !found || r.TotalPower < best.TotalPower {
@@ -245,8 +244,9 @@ func Optimum(results []core.Result, q Quality, minQuality float64) (core.Result,
 // floor. A bisection over [lo, hi] finds it to within the given number of
 // evaluations — the "local refinement after the grid sweep" step a
 // pathfinding flow runs once the architecture is chosen. ok is false if
-// even vn = lo misses the constraint.
-func BisectNoiseFloor(ev *core.Evaluator, p core.DesignPoint, q Quality, minQuality, lo, hi float64, iters int) (core.Result, bool) {
+// even vn = lo misses the constraint. Pass a *Sweep as ev to serve the
+// bisection from the sweep's memoisation cache.
+func BisectNoiseFloor(ev PointEvaluator, p core.DesignPoint, q Quality, minQuality, lo, hi float64, iters int) (core.Result, bool) {
 	if iters <= 0 {
 		iters = 6
 	}

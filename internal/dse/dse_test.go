@@ -1,8 +1,8 @@
 package dse
 
 import (
+	"context"
 	"math"
-	"sync"
 	"testing"
 	"testing/quick"
 
@@ -211,17 +211,21 @@ func TestSweepRunsAllPointsInParallel(t *testing.T) {
 		{Arch: core.ArchBaseline, Bits: 8, LNANoise: 10e-6},
 		{Arch: core.ArchCS, Bits: 8, LNANoise: 5e-6, M: 96},
 	}
-	var mu sync.Mutex
 	var calls []int
-	sweep := &Sweep{Evaluator: ev, Workers: 3, Progress: func(done, total int) {
-		mu.Lock()
+	sweep, err := NewSweep(ev, WithWorkers(3), WithProgress(func(done, total int) {
+		// The engine invokes Progress serially, so no locking is needed.
 		calls = append(calls, done)
-		mu.Unlock()
 		if total != len(pts) {
 			t.Errorf("total = %d", total)
 		}
-	}}
-	rs := sweep.Run(pts)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sweep.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rs) != len(pts) {
 		t.Fatalf("result count %d", len(rs))
 	}
@@ -229,29 +233,61 @@ func TestSweepRunsAllPointsInParallel(t *testing.T) {
 		if r.Point != pts[i] {
 			t.Fatalf("result %d out of order: %+v", i, r.Point)
 		}
-		if r.TotalPower <= 0 {
-			t.Fatalf("point %d unevaluated", i)
+		if r.TotalPower <= 0 || r.Err != nil {
+			t.Fatalf("point %d unevaluated: %v", i, r.Err)
 		}
 	}
 	if len(calls) != len(pts) {
 		t.Fatalf("progress callbacks %d", len(calls))
 	}
-	// Sequential and parallel runs agree bit-for-bit.
-	again := (&Sweep{Evaluator: ev, Workers: 1}).Run(pts)
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress counts not monotonic: %v", calls)
+		}
+	}
+	// Sequential and parallel runs agree bit-for-bit; the serial engine
+	// also shares cached evaluations with an equivalent evaluator rebuilt
+	// from the same config (fingerprint-keyed cache).
+	cache := NewMemoryCache()
+	serial, err := NewSweep(ev, WithWorkers(1), WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := serial.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range rs {
 		if rs[i].MeanSNRdB != again[i].MeanSNRdB || rs[i].TotalPower != again[i].TotalPower {
 			t.Fatalf("parallel and serial sweeps disagree at %d", i)
 		}
 	}
-}
-
-func TestSweepEmptyAndPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("nil evaluator should panic")
+	ev2, err := core.NewEvaluator(core.Config{
+		Tech: tech.GPDK045(), Sys: tech.DefaultSystem(),
+		Dataset: test, Detector: det, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Fingerprint() != ev.Fingerprint() {
+		t.Fatal("equal configs should produce equal fingerprints")
+	}
+	rebuilt, err := NewSweep(ev2, WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := rebuilt.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rebuilt.Metrics().CacheHits; got != int64(len(pts)) {
+		t.Fatalf("rebuilt evaluator hit the cache %d times, want %d", got, len(pts))
+	}
+	for i := range cached {
+		if cached[i].TotalPower != rs[i].TotalPower {
+			t.Fatalf("cached result %d diverged", i)
 		}
-	}()
-	(&Sweep{}).Run(nil)
+	}
 }
 
 func TestDescribe(t *testing.T) {

@@ -1,0 +1,344 @@
+package dse
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"efficsense/internal/core"
+)
+
+// PointEvaluator scores one design point. *core.Evaluator implements it;
+// tests and alternative backends can substitute their own.
+//
+// Evaluate must be safe for concurrent calls on different points.
+type PointEvaluator interface {
+	Evaluate(core.DesignPoint) core.Result
+}
+
+// Fingerprinter is optionally implemented by evaluators (notably
+// *core.Evaluator) whose scoring is a pure function of construction-time
+// state. The fingerprint becomes part of every cache key, so evaluators
+// with equal fingerprints share cached results and evaluators with
+// different fingerprints never collide.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// anonEvalID hands out process-unique identities for evaluators that
+// carry no fingerprint, so caching stays safe (a shared cache can never
+// serve one anonymous evaluator the results of another).
+var anonEvalID atomic.Int64
+
+// Sweep evaluates design points in parallel: the production engine behind
+// every figure reproduction. Construct with NewSweep; the zero value is
+// not usable.
+//
+// A Sweep provides, on top of a bare worker pool:
+//
+//   - cancellation: Run honours its context and returns promptly with the
+//     results completed so far;
+//   - memoisation: with a Cache attached, each (evaluator, point) pair is
+//     evaluated once, so repeated constrained queries over the same grid
+//     (the Fig 9 area-capped and Fig 10 minimum-accuracy searches over
+//     the Fig 7 cloud) cost nothing after the first sweep;
+//   - fault tolerance: a panic while evaluating one point is recovered in
+//     the worker and degraded into an error-carrying result instead of
+//     killing the run;
+//   - observability: atomic counters, per-point duration statistics, ETA
+//     and an optional JSONL trace sink.
+//
+// A Sweep may be reused for any number of Runs; metrics accumulate across
+// them. Concurrent Runs on one Sweep are safe but interleave the per-run
+// progress window (Total/Done/ETA).
+type Sweep struct {
+	ev       PointEvaluator
+	evalID   string
+	workers  int
+	progress func(done, total int)
+	cache    Cache
+	metrics  Metrics
+
+	traceMu sync.Mutex
+	trace   io.Writer
+}
+
+// Option configures a Sweep at construction.
+type Option func(*Sweep) error
+
+// WithWorkers bounds parallelism. n = 0 selects GOMAXPROCS; negative n is
+// a construction error.
+func WithWorkers(n int) Option {
+	return func(s *Sweep) error {
+		if n < 0 {
+			return fmt.Errorf("dse: negative worker count %d", n)
+		}
+		s.workers = n
+		return nil
+	}
+}
+
+// WithProgress installs a progress callback. The engine invokes it
+// serially — never from two workers at once — with strictly increasing
+// done counts, ending at done == total for a completed run. Keep it
+// fast: it runs under the engine's completion lock. A nil fn is a no-op.
+func WithProgress(fn func(done, total int)) Option {
+	return func(s *Sweep) error {
+		s.progress = fn
+		return nil
+	}
+}
+
+// WithCache attaches a memoisation cache. Entries are keyed on the
+// evaluator identity plus core.DesignPoint.Key, so a single cache may be
+// shared between sweeps and across evaluator rebuilds (see
+// Fingerprinter). Error-carrying results are never cached. A nil cache
+// is a no-op.
+func WithCache(c Cache) Option {
+	return func(s *Sweep) error {
+		s.cache = c
+		return nil
+	}
+}
+
+// WithTrace attaches a JSONL trace sink: one JSON object per completed
+// point ({index, point, cached, duration_ms, done, total, err?}), written
+// serially. A nil writer is a no-op.
+func WithTrace(w io.Writer) Option {
+	return func(s *Sweep) error {
+		s.trace = w
+		return nil
+	}
+}
+
+// WithEvaluatorID overrides the evaluator identity used in cache keys.
+// Use it to share a cache between evaluators the engine cannot prove
+// equivalent (no Fingerprint), when the caller knows they are.
+func WithEvaluatorID(id string) Option {
+	return func(s *Sweep) error {
+		if id == "" {
+			return errors.New("dse: empty evaluator ID")
+		}
+		s.evalID = id
+		return nil
+	}
+}
+
+// NewSweep builds a sweep engine over ev. It validates its inputs — a
+// nil evaluator or an invalid option is a construction error, not a
+// panic at Run time.
+func NewSweep(ev PointEvaluator, opts ...Option) (*Sweep, error) {
+	if ev == nil {
+		return nil, errors.New("dse: sweep requires an evaluator")
+	}
+	if ce, ok := ev.(*core.Evaluator); ok && ce == nil {
+		return nil, errors.New("dse: sweep requires a non-nil evaluator")
+	}
+	s := &Sweep{ev: ev}
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(s); err != nil {
+			return nil, err
+		}
+	}
+	if s.evalID == "" {
+		if f, ok := ev.(Fingerprinter); ok {
+			s.evalID = f.Fingerprint()
+		} else {
+			s.evalID = fmt.Sprintf("anon-ev-%d", anonEvalID.Add(1))
+		}
+	}
+	return s, nil
+}
+
+// Metrics returns a snapshot of the engine's counters (see Snapshot).
+func (s *Sweep) Metrics() Snapshot { return s.metrics.Snapshot() }
+
+// Evaluate scores one point through the engine — cache lookup, panic
+// recovery and metrics included — so a Sweep is itself a PointEvaluator.
+// Single-point paths (local refinement, variant studies, the CLI's
+// `point` subcommand) share the sweep cache this way.
+func (s *Sweep) Evaluate(p core.DesignPoint) core.Result {
+	res, _, _ := s.evalPoint(p)
+	return res
+}
+
+// EvaluatorID returns the identity under which this sweep's results are
+// cached.
+func (s *Sweep) EvaluatorID() string { return s.evalID }
+
+// Run evaluates every point and returns results in point order.
+//
+// Cancellation contract: when ctx is cancelled mid-sweep, Run stops
+// dispatching, waits only for the evaluations already in flight (at most
+// one point's evaluation time per worker), and returns the completed
+// results — still in point order, but possibly fewer than len(points) —
+// together with ctx.Err(). A nil error means results has exactly one
+// sound-or-degraded entry per input point.
+//
+// A point whose evaluation panics yields a Result with Err set and the
+// run continues; Run itself only returns a non-nil error for context
+// cancellation.
+func (s *Sweep) Run(ctx context.Context, points []core.DesignPoint) ([]core.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.metrics.beginRun(len(points))
+	results := make([]core.Result, len(points))
+	if len(points) == 0 {
+		return results, ctx.Err()
+	}
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex // guards results, completed, done, progress
+		completed = make([]bool, len(points))
+		done      int
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				res, cached, dur := s.evalPoint(points[idx])
+				mu.Lock()
+				results[idx] = res
+				completed[idx] = true
+				done++
+				d := done
+				s.metrics.done.Store(int64(d))
+				if s.progress != nil {
+					s.progress(d, len(points))
+				}
+				mu.Unlock()
+				s.writeTrace(idx, points[idx], res, cached, dur, d, len(points))
+			}
+		}()
+	}
+dispatch:
+	for i := range points {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		partial := make([]core.Result, 0, len(points))
+		for i, ok := range completed {
+			if ok {
+				partial = append(partial, results[i])
+			}
+		}
+		return partial, err
+	}
+	return results, nil
+}
+
+// evalPoint serves one point from the cache or the evaluator, recovering
+// panics into error-carrying results.
+func (s *Sweep) evalPoint(p core.DesignPoint) (res core.Result, cached bool, dur time.Duration) {
+	key := s.evalID + "/" + p.Key()
+	if s.cache != nil {
+		if r, ok := s.cache.Get(key); ok {
+			s.metrics.cacheHits.Add(1)
+			return r, true, 0
+		}
+	}
+	start := time.Now()
+	res = s.safeEvaluate(p)
+	dur = time.Since(start)
+	s.metrics.observeEval(dur)
+	if s.cache != nil && res.Err == nil {
+		s.cache.Put(key, res)
+	}
+	return res, false, dur
+}
+
+func (s *Sweep) safeEvaluate(p core.DesignPoint) (res core.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			res = core.Result{Point: p, Err: fmt.Errorf("dse: evaluating %s panicked: %v", p, r)}
+		}
+	}()
+	return s.ev.Evaluate(p)
+}
+
+// traceEvent is one JSONL trace line.
+type traceEvent struct {
+	Index      int     `json:"index"`
+	Point      string  `json:"point"`
+	Cached     bool    `json:"cached"`
+	DurationMS float64 `json:"duration_ms"`
+	Done       int     `json:"done"`
+	Total      int     `json:"total"`
+	Err        string  `json:"err,omitempty"`
+}
+
+func (s *Sweep) writeTrace(idx int, p core.DesignPoint, res core.Result, cached bool, dur time.Duration, done, total int) {
+	if s.trace == nil {
+		return
+	}
+	ev := traceEvent{
+		Index:      idx,
+		Point:      p.String(),
+		Cached:     cached,
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		Done:       done,
+		Total:      total,
+	}
+	if res.Err != nil {
+		ev.Err = res.Err.Error()
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	s.traceMu.Lock()
+	s.trace.Write(append(line, '\n'))
+	s.traceMu.Unlock()
+}
+
+// LegacySweep mirrors the original field-configured sweep API.
+//
+// Deprecated: use NewSweep and (*Sweep).Run, which validate their inputs,
+// honour a context, cache evaluations and survive panicking points. This
+// wrapper exists so pre-engine call sites keep compiling; it returns nil
+// (instead of the old panic) when misconfigured.
+type LegacySweep struct {
+	// Evaluator scores the points.
+	Evaluator *core.Evaluator
+	// Workers bounds parallelism (0 → GOMAXPROCS).
+	Workers int
+	// Progress, if set, is called after each completed point.
+	Progress func(done, total int)
+}
+
+// Run evaluates every point and returns results in point order, or nil
+// if the sweep is misconfigured (nil evaluator, negative workers).
+func (s *LegacySweep) Run(points []core.DesignPoint) []core.Result {
+	eng, err := NewSweep(s.Evaluator, WithWorkers(max(s.Workers, 0)), WithProgress(s.Progress))
+	if err != nil {
+		return nil
+	}
+	rs, _ := eng.Run(context.Background(), points)
+	return rs
+}

@@ -1,0 +1,472 @@
+package dse
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"efficsense/internal/core"
+)
+
+// fakeEvaluator is a deterministic PointEvaluator for engine tests: no
+// EEG synthesis, optional per-point delay, optional panic injection.
+type fakeEvaluator struct {
+	delay   time.Duration
+	panicOn func(core.DesignPoint) bool
+	calls   atomic.Int64
+}
+
+func (f *fakeEvaluator) Evaluate(p core.DesignPoint) core.Result {
+	f.calls.Add(1)
+	if f.panicOn != nil && f.panicOn(p) {
+		panic(fmt.Sprintf("injected failure at %s", p))
+	}
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	return core.Result{
+		Point:      p,
+		MeanSNRdB:  float64(p.Bits),
+		Accuracy:   0.99,
+		TotalPower: p.LNANoise,
+		AreaCaps:   float64(p.M),
+	}
+}
+
+func fakePoints(n int) []core.DesignPoint {
+	pts := make([]core.DesignPoint, n)
+	for i := range pts {
+		pts[i] = core.DesignPoint{
+			Arch: core.ArchCS, Bits: 6 + i%3, LNANoise: float64(i+1) * 1e-6, M: 75 + i,
+		}
+	}
+	return pts
+}
+
+func TestNewSweepValidation(t *testing.T) {
+	if _, err := NewSweep(nil); err == nil {
+		t.Fatal("nil evaluator accepted")
+	}
+	var nilEval *core.Evaluator
+	if _, err := NewSweep(nilEval); err == nil {
+		t.Fatal("typed-nil *core.Evaluator accepted")
+	}
+	if _, err := NewSweep(&fakeEvaluator{}, WithWorkers(-2)); err == nil {
+		t.Fatal("negative worker count accepted")
+	}
+	if _, err := NewSweep(&fakeEvaluator{}, WithEvaluatorID("")); err == nil {
+		t.Fatal("empty evaluator ID accepted")
+	}
+	s, err := NewSweep(&fakeEvaluator{}, WithWorkers(0), WithProgress(nil), WithCache(nil), WithTrace(nil))
+	if err != nil {
+		t.Fatalf("valid configuration rejected: %v", err)
+	}
+	if s.EvaluatorID() == "" {
+		t.Fatal("missing anonymous evaluator ID")
+	}
+}
+
+func TestRunEmptyAndNilContext(t *testing.T) {
+	s, err := NewSweep(&fakeEvaluator{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	//lint:ignore SA1012 nil context tolerance is part of the API contract
+	rs, err := s.Run(nil, nil)
+	if err != nil || len(rs) != 0 {
+		t.Fatalf("empty run: %v, %d results", err, len(rs))
+	}
+}
+
+func TestRunReturnsPointOrder(t *testing.T) {
+	fe := &fakeEvaluator{}
+	s, err := NewSweep(fe, WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(100)
+	rs, err := s.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(pts) {
+		t.Fatalf("result count %d", len(rs))
+	}
+	for i, r := range rs {
+		if r.Point != pts[i] {
+			t.Fatalf("result %d out of order", i)
+		}
+	}
+	if got := fe.calls.Load(); got != int64(len(pts)) {
+		t.Fatalf("evaluator called %d times", got)
+	}
+}
+
+func TestRunCancellationReturnsPartialResultsPromptly(t *testing.T) {
+	const (
+		delay   = 20 * time.Millisecond
+		nPoints = 64
+		workers = 4
+	)
+	fe := &fakeEvaluator{delay: delay}
+	s, err := NewSweep(fe, WithWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(3 * delay)
+		cancel()
+	}()
+	start := time.Now()
+	rs, err := s.Run(ctx, fakePoints(nPoints))
+	elapsed := time.Since(start)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Full run would take nPoints/workers * delay = 320 ms; cancellation
+	// must return within one in-flight point of the cancel instant.
+	if elapsed > 8*delay {
+		t.Fatalf("cancellation took %v, want well under the full sweep time", elapsed)
+	}
+	if len(rs) == 0 || len(rs) >= nPoints {
+		t.Fatalf("partial results %d of %d", len(rs), nPoints)
+	}
+	for i, r := range rs {
+		if r.Err != nil || r.TotalPower <= 0 {
+			t.Fatalf("partial result %d incomplete: %+v", i, r)
+		}
+	}
+	// The evaluator was never asked for the undispatched tail.
+	if got := fe.calls.Load(); got >= int64(nPoints) {
+		t.Fatalf("evaluator saw %d calls after cancellation", got)
+	}
+}
+
+func TestRunRecoversPanicsWithoutLosingOtherPoints(t *testing.T) {
+	bad := func(p core.DesignPoint) bool { return p.M == 80 }
+	fe := &fakeEvaluator{panicOn: bad}
+	s, err := NewSweep(fe, WithWorkers(4), WithCache(NewMemoryCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(20)
+	rs, err := s.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatalf("panicking point must not fail the run: %v", err)
+	}
+	nBad := 0
+	for i, r := range rs {
+		if bad(pts[i]) {
+			nBad++
+			if r.Err == nil {
+				t.Fatalf("point %d should carry the panic error", i)
+			}
+			if r.TotalPower != 0 {
+				t.Fatalf("degraded point %d carries data", i)
+			}
+		} else if r.Err != nil || r.TotalPower <= 0 {
+			t.Fatalf("healthy point %d lost: %+v", i, r)
+		}
+	}
+	if nBad != 1 {
+		t.Fatalf("expected exactly one injected failure, saw %d", nBad)
+	}
+	if got := s.Metrics().Panics; got != 1 {
+		t.Fatalf("panic counter %d", got)
+	}
+	// Error results are not cached: a second run retries the bad point.
+	before := fe.calls.Load()
+	if _, err := s.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := fe.calls.Load() - before; got != 1 {
+		t.Fatalf("second run re-evaluated %d points, want only the failed one", got)
+	}
+	// Fronts and optima exclude the degraded result.
+	if front := ParetoFront(rs, QualitySNR); len(front) == 0 {
+		t.Fatal("front empty")
+	} else {
+		for _, r := range front {
+			if r.Err != nil {
+				t.Fatal("error result leaked into the Pareto front")
+			}
+		}
+	}
+	if best, ok := Optimum(rs, QualityAccuracy, 0); !ok || best.Err != nil {
+		t.Fatal("optimum selection mishandled the degraded result")
+	}
+}
+
+func TestCacheSharingIsKeyedOnEvaluatorIdentity(t *testing.T) {
+	cache := NewMemoryCache()
+	pts := fakePoints(10)
+
+	feA, feB := &fakeEvaluator{}, &fakeEvaluator{}
+	a, _ := NewSweep(feA, WithCache(cache))
+	b, _ := NewSweep(feB, WithCache(cache))
+	if _, err := a.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	// Anonymous evaluators must never share entries.
+	if got := feB.calls.Load(); got != int64(len(pts)) {
+		t.Fatalf("anonymous evaluators shared cache entries: %d calls", got)
+	}
+
+	// Explicit shared identity opts in to reuse.
+	feC, feD := &fakeEvaluator{}, &fakeEvaluator{}
+	c, _ := NewSweep(feC, WithCache(cache), WithEvaluatorID("shared"))
+	d, _ := NewSweep(feD, WithCache(cache), WithEvaluatorID("shared"))
+	if _, err := c.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := d.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := feD.calls.Load(); got != 0 {
+		t.Fatalf("shared-ID evaluator still evaluated %d points", got)
+	}
+	if got := d.Metrics().CacheHits; got != int64(len(pts)) {
+		t.Fatalf("cache hits %d, want %d", got, len(pts))
+	}
+	for i, r := range rs {
+		if r.Point != pts[i] {
+			t.Fatalf("cached result %d out of order", i)
+		}
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 || misses == 0 || cache.Len() == 0 {
+		t.Fatalf("cache accounting broken: hits %d misses %d len %d", hits, misses, cache.Len())
+	}
+}
+
+func TestProgressIsMonotonicAcrossManyWorkers(t *testing.T) {
+	var calls []int
+	s, err := NewSweep(&fakeEvaluator{}, WithWorkers(16), WithProgress(func(done, total int) {
+		calls = append(calls, done) // serial by contract: no lock needed
+		if total != 200 {
+			t.Errorf("total = %d", total)
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), fakePoints(200)); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 200 {
+		t.Fatalf("progress calls %d", len(calls))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("progress not monotonic at %d: %v...", i, calls[:i+1])
+		}
+	}
+}
+
+func TestTraceSinkEmitsOneJSONLinePerPoint(t *testing.T) {
+	var buf bytes.Buffer
+	cache := NewMemoryCache()
+	s, err := NewSweep(&fakeEvaluator{panicOn: func(p core.DesignPoint) bool { return p.M == 77 }},
+		WithWorkers(4), WithTrace(&buf), WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(12)
+	if _, err := s.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), pts); err != nil { // second run: cached + retried panic
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != 2*len(pts) {
+		t.Fatalf("trace lines %d, want %d", len(lines), 2*len(pts))
+	}
+	var cached, errored int
+	for _, ln := range lines {
+		var ev struct {
+			Index      int     `json:"index"`
+			Point      string  `json:"point"`
+			Cached     bool    `json:"cached"`
+			DurationMS float64 `json:"duration_ms"`
+			Done       int     `json:"done"`
+			Total      int     `json:"total"`
+			Err        string  `json:"err"`
+		}
+		if err := json.Unmarshal(ln, &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", ln, err)
+		}
+		if ev.Point == "" || ev.Total != len(pts) || ev.Done < 1 || ev.Done > len(pts) {
+			t.Fatalf("malformed trace event: %+v", ev)
+		}
+		if ev.Cached {
+			cached++
+		}
+		if ev.Err != "" {
+			errored++
+		}
+	}
+	if cached != len(pts)-1 {
+		t.Fatalf("cached trace events %d, want %d", cached, len(pts)-1)
+	}
+	if errored != 2 {
+		t.Fatalf("errored trace events %d, want 2 (one per run)", errored)
+	}
+}
+
+func TestMetricsSnapshotFields(t *testing.T) {
+	s, err := NewSweep(&fakeEvaluator{delay: time.Millisecond}, WithWorkers(2), WithCache(NewMemoryCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(8)
+	if _, err := s.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Total != len(pts) || m.Done != len(pts) {
+		t.Fatalf("total/done %d/%d", m.Total, m.Done)
+	}
+	if m.Evaluated != int64(len(pts)) || m.CacheHits != 0 {
+		t.Fatalf("evaluated %d, hits %d", m.Evaluated, m.CacheHits)
+	}
+	if m.MeanEval < time.Millisecond || m.MinEval <= 0 || m.MaxEval < m.MinEval {
+		t.Fatalf("duration stats: mean %v min %v max %v", m.MeanEval, m.MinEval, m.MaxEval)
+	}
+	if m.Elapsed <= 0 || m.Throughput <= 0 {
+		t.Fatalf("elapsed %v throughput %g", m.Elapsed, m.Throughput)
+	}
+	if m.ETA != 0 {
+		t.Fatalf("finished run should have zero ETA, got %v", m.ETA)
+	}
+	// Warm re-run: counters accumulate, evaluations do not.
+	if _, err := s.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	m = s.Metrics()
+	if m.Evaluated != int64(len(pts)) || m.CacheHits != int64(len(pts)) {
+		t.Fatalf("after warm run: evaluated %d, hits %d", m.Evaluated, m.CacheHits)
+	}
+}
+
+func TestLegacySweepWrapper(t *testing.T) {
+	if rs := (&LegacySweep{}).Run(fakePoints(3)); rs != nil {
+		t.Fatal("misconfigured legacy sweep should return nil, not panic")
+	}
+}
+
+func TestSpaceValidate(t *testing.T) {
+	good := Space{
+		Architectures: []core.Architecture{core.ArchBaseline, core.ArchCS},
+		Bits:          []int{6, 8},
+		LNANoise:      []float64{1e-6, 5e-6},
+		M:             []int{75},
+		CHold:         []float64{80e-15},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid space rejected: %v", err)
+	}
+	if err := PaperSpace(8).Validate(); err != nil {
+		t.Fatalf("paper space rejected: %v", err)
+	}
+	nan := 0.0
+	nan /= nan
+	for name, s := range map[string]Space{
+		"no archs":  {Bits: []int{8}, LNANoise: []float64{1e-6}},
+		"no bits":   {Architectures: good.Architectures, LNANoise: []float64{1e-6}},
+		"no noise":  {Architectures: good.Architectures, Bits: []int{8}},
+		"bad bits":  {Architectures: good.Architectures, Bits: []int{0}, LNANoise: []float64{1e-6}},
+		"nan noise": {Architectures: good.Architectures, Bits: []int{8}, LNANoise: []float64{nan}},
+		"neg noise": {Architectures: good.Architectures, Bits: []int{8}, LNANoise: []float64{-1e-6}},
+		"bad m":     {Architectures: good.Architectures, Bits: []int{8}, LNANoise: []float64{1e-6}, M: []int{-1}},
+		"nan chold": {Architectures: good.Architectures, Bits: []int{8}, LNANoise: []float64{1e-6}, CHold: []float64{nan}},
+	} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: invalid space accepted", name)
+		}
+	}
+}
+
+func TestSizeMatchesPointsWithoutEnumerating(t *testing.T) {
+	// Property: the arithmetic Size always equals len(Points()).
+	f := func(nArch, nBits, nNoise, nM, nCh uint8) bool {
+		s := Space{}
+		for i := 0; i < int(nArch%5); i++ {
+			s.Architectures = append(s.Architectures, core.Architecture(i%4))
+		}
+		for i := 0; i < int(nBits%4); i++ {
+			s.Bits = append(s.Bits, 6+i)
+		}
+		for i := 0; i < int(nNoise%4); i++ {
+			s.LNANoise = append(s.LNANoise, float64(i+1)*1e-6)
+		}
+		for i := 0; i < int(nM%3); i++ {
+			s.M = append(s.M, 75*(i+1))
+		}
+		for i := 0; i < int(nCh%3); i++ {
+			s.CHold = append(s.CHold, float64(i+1)*1e-14)
+		}
+		return s.Size() == len(s.Points())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDesignPointKeyIsInjective(t *testing.T) {
+	pts := fakePoints(50)
+	pts = append(pts, core.DesignPoint{Arch: core.ArchBaseline, Bits: 8, LNANoise: 1e-6})
+	pts = append(pts, core.DesignPoint{Arch: core.ArchBaseline, Bits: 8, LNANoise: 1e-6 + 1e-18})
+	seen := map[string]core.DesignPoint{}
+	for _, p := range pts {
+		k := p.Key()
+		if prev, dup := seen[k]; dup && prev != p {
+			t.Fatalf("key collision: %v and %v both map to %q", prev, p, k)
+		}
+		seen[k] = p
+	}
+}
+
+func TestSweepCacheHitSpeedup(t *testing.T) {
+	// The acceptance workload: a cold sweep, then a Fig 9/10-style
+	// constrained re-query of the same grid through the shared cache. The
+	// per-point work is a real (if small) sleep, so the ≥5× bound is far
+	// from the observed ~1000× and does not flake under load.
+	fe := &fakeEvaluator{delay: 5 * time.Millisecond}
+	s, err := NewSweep(fe, WithWorkers(4), WithCache(NewMemoryCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(32)
+	t0 := time.Now()
+	if _, err := s.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	cold := time.Since(t0)
+	t1 := time.Now()
+	warm, err := s.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmDur := time.Since(t1)
+	if fe.calls.Load() != int64(len(pts)) {
+		t.Fatalf("warm run re-evaluated: %d calls", fe.calls.Load())
+	}
+	if got, _ := Optimum(warm, QualityAccuracy, 0.9); got.Err != nil {
+		t.Fatal("constrained query over cached results failed")
+	}
+	if warmDur*5 > cold {
+		t.Fatalf("cache speedup %.1fx < 5x (cold %v, warm %v)",
+			float64(cold)/float64(warmDur), cold, warmDur)
+	}
+}

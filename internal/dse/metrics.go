@@ -1,0 +1,102 @@
+package dse
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the observability layer of a Sweep: lock-free counters
+// updated by the workers, snapshotted on demand. Counters are cumulative
+// across Runs of the same Sweep (a second constrained query keeps adding
+// to the same hit counts); Total/Done and the wall clock restart per Run
+// so progress displays and ETA stay meaningful.
+type Metrics struct {
+	total     atomic.Int64
+	done      atomic.Int64
+	evaluated atomic.Int64
+	cacheHits atomic.Int64
+	panics    atomic.Int64
+	evalNanos atomic.Int64
+	minNanos  atomic.Int64
+	maxNanos  atomic.Int64
+	startNano atomic.Int64
+}
+
+// beginRun resets the per-run progress window.
+func (m *Metrics) beginRun(total int) {
+	m.total.Store(int64(total))
+	m.done.Store(0)
+	m.startNano.Store(time.Now().UnixNano())
+}
+
+func (m *Metrics) observeEval(d time.Duration) {
+	n := int64(d)
+	m.evaluated.Add(1)
+	m.evalNanos.Add(n)
+	for {
+		cur := m.minNanos.Load()
+		if cur != 0 && cur <= n {
+			break
+		}
+		if m.minNanos.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	for {
+		cur := m.maxNanos.Load()
+		if cur >= n {
+			break
+		}
+		if m.maxNanos.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+}
+
+// Snapshot is a point-in-time reading of a sweep's Metrics.
+type Snapshot struct {
+	// Total and Done describe the current (or last) Run.
+	Total, Done int
+	// Evaluated counts real evaluator calls; CacheHits counts points
+	// served from the memoisation cache; Panics counts evaluations that
+	// panicked and were degraded into error-carrying results. All three
+	// are cumulative across Runs.
+	Evaluated, CacheHits, Panics int64
+	// Elapsed is the wall-clock time since the current Run started.
+	Elapsed time.Duration
+	// MeanEval, MinEval, MaxEval summarise per-point evaluation time
+	// (cache hits excluded — they cost microseconds).
+	MeanEval, MinEval, MaxEval time.Duration
+	// Throughput is completed points per second in the current Run.
+	Throughput float64
+	// ETA estimates the time to finish the current Run at the observed
+	// throughput; zero when done or when no point has completed yet.
+	ETA time.Duration
+}
+
+// Snapshot returns a consistent-enough view for progress displays; it
+// does not pause the workers.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Total:     int(m.total.Load()),
+		Done:      int(m.done.Load()),
+		Evaluated: m.evaluated.Load(),
+		CacheHits: m.cacheHits.Load(),
+		Panics:    m.panics.Load(),
+		MinEval:   time.Duration(m.minNanos.Load()),
+		MaxEval:   time.Duration(m.maxNanos.Load()),
+	}
+	if s.Evaluated > 0 {
+		s.MeanEval = time.Duration(m.evalNanos.Load() / s.Evaluated)
+	}
+	if start := m.startNano.Load(); start > 0 {
+		s.Elapsed = time.Since(time.Unix(0, start))
+	}
+	if s.Done > 0 && s.Elapsed > 0 {
+		s.Throughput = float64(s.Done) / s.Elapsed.Seconds()
+		if remaining := s.Total - s.Done; remaining > 0 {
+			s.ETA = time.Duration(float64(s.Elapsed) / float64(s.Done) * float64(remaining))
+		}
+	}
+	return s
+}

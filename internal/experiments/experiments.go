@@ -7,7 +7,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sync"
 
 	"efficsense/internal/classify"
@@ -42,8 +44,12 @@ type Options struct {
 	// feature-MLP detector substitute; the windowed protocol remains
 	// available for studies.
 	WindowSeconds float64
-	// Progress, if set, receives sweep progress.
+	// Progress, if set, receives sweep progress (serial, monotonic done
+	// counts — see dse.WithProgress).
 	Progress func(done, total int)
+	// Trace, if set, receives the sweep engine's JSONL per-point trace
+	// (see dse.WithTrace).
+	Trace io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -79,9 +85,11 @@ type Suite struct {
 	once      sync.Once
 	evaluator *core.Evaluator
 	detector  *classify.Detector
+	engine    *dse.Sweep
+	cache     *dse.MemoryCache
 
-	sweepOnce sync.Once
-	sweep     []core.Result
+	sweepMu sync.Mutex
+	sweep   []core.Result
 }
 
 // NewSuite builds a suite with the gpdk045 technology and Table III system
@@ -115,6 +123,21 @@ func (s *Suite) init() {
 			panic(fmt.Sprintf("experiments: %v", err))
 		}
 		s.evaluator = ev
+		// One engine + one cache per suite: every figure reproduction and
+		// ad-hoc query shares the same memoised evaluations, so the Fig 9
+		// and Fig 10 constrained re-queries never recompute the Fig 7
+		// cloud.
+		s.cache = dse.NewMemoryCache()
+		engine, err := dse.NewSweep(ev,
+			dse.WithWorkers(max(s.opts.Workers, 0)),
+			dse.WithProgress(s.opts.Progress),
+			dse.WithCache(s.cache),
+			dse.WithTrace(s.opts.Trace),
+		)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		s.engine = engine
 	})
 }
 
@@ -164,20 +187,60 @@ func (s *Suite) Fig4(bits int) []Fig4Point {
 	return out
 }
 
-// SweepResults runs (once) the full Table III design-space sweep shared by
-// Figs 7–10.
-func (s *Suite) SweepResults() []core.Result {
+// Engine exposes the suite's sweep engine (building it on first use):
+// every figure reproduction runs through it, so its metrics and cache
+// describe the whole suite.
+func (s *Suite) Engine() *dse.Sweep {
 	s.init()
-	s.sweepOnce.Do(func() {
-		space := dse.PaperSpace(s.opts.NoiseSteps)
-		sweep := &dse.Sweep{
-			Evaluator: s.evaluator,
-			Workers:   s.opts.Workers,
-			Progress:  s.opts.Progress,
-		}
-		s.sweep = sweep.Run(space.Points())
-	})
-	return s.sweep
+	return s.engine
+}
+
+// Cache exposes the suite-wide memoisation cache.
+func (s *Suite) Cache() *dse.MemoryCache {
+	s.init()
+	return s.cache
+}
+
+// SweepMetrics snapshots the engine's counters (throughput, cache hits,
+// per-point durations, ETA of a running sweep).
+func (s *Suite) SweepMetrics() dse.Snapshot {
+	s.init()
+	return s.engine.Metrics()
+}
+
+// SweepResultsContext runs (once) the full Table III design-space sweep
+// shared by Figs 7–10, honouring ctx: on cancellation it returns the
+// completed partial results and ctx.Err() without memoising, so a later
+// call can finish the sweep (the per-point cache makes the retry resume
+// where it stopped rather than start over).
+func (s *Suite) SweepResultsContext(ctx context.Context) ([]core.Result, error) {
+	s.init()
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	if s.sweep != nil {
+		return s.sweep, nil
+	}
+	space := dse.PaperSpace(s.opts.NoiseSteps)
+	if err := space.Validate(); err != nil {
+		return nil, err
+	}
+	rs, err := s.engine.Run(ctx, space.Points())
+	if err != nil {
+		return rs, err
+	}
+	s.sweep = rs
+	return rs, nil
+}
+
+// SweepResults is SweepResultsContext without cancellation.
+func (s *Suite) SweepResults() []core.Result {
+	rs, err := s.SweepResultsContext(context.Background())
+	if err != nil {
+		// Unreachable for a background context and a validated paper
+		// space; keep the old infallible signature for the figure paths.
+		panic(fmt.Sprintf("experiments: sweep failed: %v", err))
+	}
+	return rs
 }
 
 // Fronts holds the per-architecture Pareto fronts of one goal function.

@@ -116,7 +116,7 @@ func NewFigsFromResults(rs []core.Result, minAccuracy float64) *FigsFromResults 
 func (f *FigsFromResults) staticSuite() *Suite {
 	s := &Suite{opts: Options{MinAccuracy: f.minAccuracy}.withDefaults()}
 	s.once.Do(func() {}) // no evaluator needed for front extraction
-	s.sweepOnce.Do(func() { s.sweep = f.results })
+	s.sweep = f.results  // pre-satisfy the sweep memo
 	return s
 }
 

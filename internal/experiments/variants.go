@@ -45,7 +45,8 @@ func (s *Suite) Variants(bits int, lnaNoise float64, m int) VariantsResult {
 		if a != core.ArchBaseline {
 			p.M = m
 		}
-		out.Points = append(out.Points, s.evaluator.Evaluate(p))
+		// Through the engine, so variant studies share the sweep cache.
+		out.Points = append(out.Points, s.engine.Evaluate(p))
 	}
 	return out
 }
