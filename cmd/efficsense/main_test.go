@@ -1,9 +1,13 @@
 package main
 
 import (
+	"flag"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"efficsense/internal/experiments"
 )
 
 // captureStdout redirects os.Stdout for the duration of f.
@@ -79,6 +83,81 @@ func TestCmdSuiteFromRejectsSweepAndAll(t *testing.T) {
 	}
 	if !strings.Contains(out, "cs optimum") || !strings.Contains(out, "power saving") {
 		t.Fatalf("fig7b -from output incomplete:\n%s", out)
+	}
+}
+
+func TestSuiteFlagsReachOptions(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	opts := suiteFlags(fs)
+	err := fs.Parse([]string{
+		"-seed", "9", "-records", "7", "-train-records", "21",
+		"-noise-steps", "3", "-workers", "5", "-epochs", "11",
+		"-min-accuracy", "0.9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Seed != 9 || opts.Records != 7 || opts.TrainRecords != 21 ||
+		opts.NoiseSteps != 3 || opts.Workers != 5 || opts.Epochs != 11 ||
+		opts.MinAccuracy != 0.9 {
+		t.Fatalf("parsed options %+v", *opts)
+	}
+}
+
+// TestProgressAndTraceReachOptions pins the -progress/-trace plumbing:
+// newSuite must install a progress sink and route the trace path into
+// experiments.Options before the suite is built, or the engine silently
+// runs untraced.
+func TestProgressAndTraceReachOptions(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	opts := &experiments.Options{Seed: 1}
+	suite, closer, err := newSuite(opts, true, tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite == nil {
+		t.Fatal("no suite")
+	}
+	if opts.Progress == nil {
+		t.Fatal("rich mode left Options.Progress nil")
+	}
+	if opts.Trace == nil {
+		t.Fatal("-trace did not reach Options.Trace")
+	}
+	if _, err := opts.Trace.Write([]byte("{\"probe\":true}\n")); err != nil {
+		t.Fatalf("trace sink not writable: %v", err)
+	}
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"probe":true`) {
+		t.Fatalf("trace file content %q", data)
+	}
+
+	// Minimal mode still reports progress; no trace path leaves Trace nil
+	// and the closer a no-op.
+	opts2 := &experiments.Options{Seed: 1}
+	if _, closer2, err := newSuite(opts2, false, ""); err != nil {
+		t.Fatal(err)
+	} else if err := closer2(); err != nil {
+		t.Fatal(err)
+	}
+	if opts2.Progress == nil {
+		t.Fatal("minimal mode left Options.Progress nil")
+	}
+	if opts2.Trace != nil {
+		t.Fatal("Options.Trace set without -trace")
+	}
+}
+
+func TestNewSuiteBadTracePath(t *testing.T) {
+	opts := &experiments.Options{}
+	if _, _, err := newSuite(opts, false, filepath.Join(t.TempDir(), "no", "such", "dir", "t.jsonl")); err == nil {
+		t.Fatal("unwritable trace path should error")
 	}
 }
 

@@ -1,0 +1,152 @@
+// Command efficsensed serves the EffiCSense pathfinding framework over
+// HTTP: synchronous design-point evaluation, asynchronous design-space
+// sweeps with SSE progress streams, Pareto fronts and optima on demand,
+// and Prometheus metrics — the paper's framework as a long-running
+// service instead of a one-shot CLI.
+//
+// Usage:
+//
+//	efficsensed [-addr :8080] [suite flags] [server flags]
+//
+// The suite flags (-seed, -records, …) set the server-wide defaults;
+// requests override them per call. All sweep engines share one
+// memoisation cache, so repeated or overlapping studies get warmer the
+// longer the daemon runs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"efficsense/internal/experiments"
+	"efficsense/internal/serve"
+)
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		fmt.Fprintf(os.Stderr, "efficsensed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	addr  string
+	drain time.Duration
+	quiet bool
+
+	defaults experiments.Options
+	manager  serve.ManagerConfig
+}
+
+// parseFlags builds the daemon configuration. Suite flags mirror the
+// efficsense CLI so a study moves between the two without relabelling.
+func parseFlags(args []string) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("efficsensed", flag.ContinueOnError)
+	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "shutdown grace period for running sweeps")
+	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress request logging")
+
+	fs.Int64Var(&cfg.defaults.Seed, "seed", 1, "default root seed")
+	fs.IntVar(&cfg.defaults.Records, "records", 40, "default evaluation records (paper: 500)")
+	fs.IntVar(&cfg.defaults.TrainRecords, "train-records", 120, "default detector training records")
+	fs.IntVar(&cfg.defaults.NoiseSteps, "noise-steps", 8, "default LNA-noise grid resolution")
+	fs.IntVar(&cfg.defaults.Workers, "workers", 0, "default sweep workers (0 = GOMAXPROCS)")
+	fs.IntVar(&cfg.defaults.Epochs, "epochs", 150, "default detector training epochs")
+	fs.Float64Var(&cfg.defaults.MinAccuracy, "min-accuracy", 0.98, "default accuracy constraint")
+
+	fs.IntVar(&cfg.manager.MaxConcurrentJobs, "max-jobs", 2, "concurrent sweep jobs before 429")
+	fs.DurationVar(&cfg.manager.JobTTL, "job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
+	fs.IntVar(&cfg.manager.MaxSweepPoints, "max-points", 100000, "largest accepted sweep")
+	fs.DurationVar(&cfg.manager.EvalTimeout, "eval-timeout", 2*time.Minute, "cap on synchronous evaluation deadlines")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(fs.Output(), "efficsensed: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return nil, errors.New("unexpected positional arguments")
+	}
+	return cfg, nil
+}
+
+// run brings the daemon up and blocks until ctx is cancelled (SIGINT /
+// SIGTERM in production), then drains: running sweeps get cfg.drain to
+// finish before being cancelled, and the HTTP server closes after the
+// job manager so SSE streams flush their terminal events. ready, when
+// set, receives the bound address once the listener is up (tests bind
+// ":0").
+func run(ctx context.Context, cfg *config, ready func(addr string)) error {
+	logger := log.New(os.Stderr, "efficsensed ", log.LstdFlags)
+	reqLog := logger
+	if cfg.quiet {
+		reqLog = nil
+	}
+
+	engines := serve.NewSuiteEngines()
+	mcfg := cfg.manager
+	mcfg.Defaults = cfg.defaults
+	mcfg.Engines = engines.Engine
+	mcfg.Cache = engines.Cache()
+	mgr, err := serve.NewManager(mcfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
+	}
+	logger.Printf("listening on %s (defaults: seed %d, %d records, %d noise steps)",
+		ln.Addr(), cfg.defaults.Seed, cfg.defaults.Records, cfg.defaults.NoiseSteps)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	srv := &http.Server{Handler: serve.NewServer(mgr, reqLog)}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: draining sweeps (grace %s)", cfg.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
+	defer cancel()
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		logger.Printf("drain deadline hit; running sweeps were cancelled")
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := srv.Shutdown(httpCtx); err != nil {
+		_ = srv.Close()
+	}
+	<-errc
+	logger.Printf("bye")
+	return nil
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaultsAndOverrides(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8080" || cfg.drain != 30*time.Second || cfg.quiet {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.defaults.Records != 40 || cfg.defaults.MinAccuracy != 0.98 {
+		t.Fatalf("suite defaults: %+v", cfg.defaults)
+	}
+	if cfg.manager.MaxConcurrentJobs != 2 || cfg.manager.JobTTL != 15*time.Minute {
+		t.Fatalf("manager defaults: %+v", cfg.manager)
+	}
+
+	cfg, err = parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-quiet", "-drain", "5s",
+		"-seed", "3", "-records", "9", "-min-accuracy", "0.5",
+		"-max-jobs", "4", "-job-ttl", "1m", "-max-points", "50", "-eval-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "127.0.0.1:0" || !cfg.quiet || cfg.drain != 5*time.Second {
+		t.Fatalf("overrides: %+v", cfg)
+	}
+	if cfg.defaults.Seed != 3 || cfg.defaults.Records != 9 || cfg.defaults.MinAccuracy != 0.5 {
+		t.Fatalf("suite overrides: %+v", cfg.defaults)
+	}
+	if cfg.manager.MaxConcurrentJobs != 4 || cfg.manager.JobTTL != time.Minute ||
+		cfg.manager.MaxSweepPoints != 50 || cfg.manager.EvalTimeout != 10*time.Second {
+		t.Fatalf("manager overrides: %+v", cfg.manager)
+	}
+}
+
+func TestParseFlagsRejectsJunk(t *testing.T) {
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag should error")
+	}
+	if _, err := parseFlags([]string{"positional"}); err == nil {
+		t.Fatal("positional arguments should error")
+	}
+}
+
+// TestDaemonServesAndShutsDown boots the daemon on an ephemeral port,
+// exercises the endpoints that need no trained suite, and checks the
+// signal-driven shutdown path returns cleanly.
+func TestDaemonServesAndShutsDown(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-quiet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, cfg, func(addr string) { addrc <- addr })
+	}()
+	var base string
+	select {
+	case addr := <-addrc:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthz %d %q", resp.StatusCode, h.Status)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	resp.Body.Close()
+	if !strings.Contains(string(buf[:n]), "efficsense_uptime_seconds") {
+		t.Fatalf("metrics exposition missing uptime gauge:\n%s", buf[:n])
+	}
+
+	// A malformed sweep is rejected without touching a suite.
+	resp, err = http.Post(base+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"space":{"architectures":["warp"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad sweep status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+}

@@ -186,10 +186,9 @@ type (
 	MemoryCache = dse.MemoryCache
 	// SweepMetrics is a snapshot of a sweep engine's counters.
 	SweepMetrics = dse.Snapshot
-	// LegacySweep is the pre-engine field-configured sweep.
-	//
-	// Deprecated: use NewSweep and (*Sweep).Run.
-	LegacySweep = dse.LegacySweep
+	// SweepEvent is one structured per-point engine observation
+	// (WithEventHook, (*Sweep).RunWithHook).
+	SweepEvent = dse.Event
 	// Quality is a goal-function selector (paper Step 5).
 	Quality = dse.Quality
 )
@@ -208,6 +207,7 @@ func WithWorkers(n int) SweepOption                     { return dse.WithWorkers
 func WithProgress(fn func(done, total int)) SweepOption { return dse.WithProgress(fn) }
 func WithCache(c SweepCache) SweepOption                { return dse.WithCache(c) }
 func WithTrace(w io.Writer) SweepOption                 { return dse.WithTrace(w) }
+func WithEventHook(fn func(SweepEvent)) SweepOption     { return dse.WithEventHook(fn) }
 func WithEvaluatorID(id string) SweepOption             { return dse.WithEvaluatorID(id) }
 
 // PaperSpace returns the Table III search grid.

@@ -36,6 +36,28 @@ type Fingerprinter interface {
 // serve one anonymous evaluator the results of another).
 var anonEvalID atomic.Int64
 
+// Event is one structured engine observation: exactly one is emitted per
+// completed point, carrying the evaluated result and the per-run progress
+// window. The JSONL trace sink (WithTrace), the construction-time hook
+// (WithEventHook) and any per-run hook (RunWithHook) all render from the
+// same events.
+type Event struct {
+	// Index is the point's position in the Run's input slice.
+	Index int
+	// Point is the evaluated design point.
+	Point core.DesignPoint
+	// Result carries the point's figures of interest; Result.Err is
+	// non-nil for degraded (panicked) evaluations.
+	Result core.Result
+	// Cached reports that the result was served from the memoisation
+	// cache rather than evaluated.
+	Cached bool
+	// Duration is the evaluation time (zero for cache hits).
+	Duration time.Duration
+	// Done and Total describe the run's progress after this point.
+	Done, Total int
+}
+
 // Sweep evaluates design points in parallel: the production engine behind
 // every figure reproduction. Construct with NewSweep; the zero value is
 // not usable.
@@ -51,17 +73,20 @@ var anonEvalID atomic.Int64
 //   - fault tolerance: a panic while evaluating one point is recovered in
 //     the worker and degraded into an error-carrying result instead of
 //     killing the run;
-//   - observability: atomic counters, per-point duration statistics, ETA
-//     and an optional JSONL trace sink.
+//   - observability: atomic counters, per-point duration statistics, ETA,
+//     structured per-point events (WithEventHook, RunWithHook) and an
+//     optional JSONL trace sink.
 //
 // A Sweep may be reused for any number of Runs; metrics accumulate across
 // them. Concurrent Runs on one Sweep are safe but interleave the per-run
-// progress window (Total/Done/ETA).
+// progress window (Total/Done/ETA); per-run hooks observe only their own
+// run.
 type Sweep struct {
 	ev       PointEvaluator
 	evalID   string
 	workers  int
 	progress func(done, total int)
+	hook     func(Event)
 	cache    Cache
 	metrics  Metrics
 
@@ -113,6 +138,18 @@ func WithCache(c Cache) Option {
 func WithTrace(w io.Writer) Option {
 	return func(s *Sweep) error {
 		s.trace = w
+		return nil
+	}
+}
+
+// WithEventHook installs a structured per-point hook: the engine invokes
+// it once per completed point with the same Event the JSONL trace renders,
+// serially — never from two workers at once — with strictly increasing
+// Done counts within a run. Keep it fast: like the progress callback, it
+// runs under the engine's completion lock. A nil fn is a no-op.
+func WithEventHook(fn func(Event)) Option {
+	return func(s *Sweep) error {
+		s.hook = fn
 		return nil
 	}
 }
@@ -188,6 +225,16 @@ func (s *Sweep) EvaluatorID() string { return s.evalID }
 // run continues; Run itself only returns a non-nil error for context
 // cancellation.
 func (s *Sweep) Run(ctx context.Context, points []core.DesignPoint) ([]core.Result, error) {
+	return s.RunWithHook(ctx, points, nil)
+}
+
+// RunWithHook is Run with an additional per-run event hook: hook observes
+// only this run's events (unlike the construction-time WithEventHook,
+// which sees every run), under the same delivery contract — serial calls,
+// strictly increasing Done. A serving layer multiplexing concurrent
+// sweeps over one shared engine uses it to give each job its own event
+// stream. A nil hook is a no-op.
+func (s *Sweep) RunWithHook(ctx context.Context, points []core.DesignPoint, hook func(Event)) ([]core.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -222,11 +269,22 @@ func (s *Sweep) Run(ctx context.Context, points []core.DesignPoint) ([]core.Resu
 				done++
 				d := done
 				s.metrics.done.Store(int64(d))
+				ev := Event{
+					Index: idx, Point: points[idx], Result: res,
+					Cached: cached, Duration: dur,
+					Done: d, Total: len(points),
+				}
 				if s.progress != nil {
 					s.progress(d, len(points))
 				}
+				if s.hook != nil {
+					s.hook(ev)
+				}
+				if hook != nil {
+					hook(ev)
+				}
 				mu.Unlock()
-				s.writeTrace(idx, points[idx], res, cached, dur, d, len(points))
+				s.writeTrace(ev)
 			}
 		}()
 	}
@@ -293,52 +351,26 @@ type traceEvent struct {
 	Err        string  `json:"err,omitempty"`
 }
 
-func (s *Sweep) writeTrace(idx int, p core.DesignPoint, res core.Result, cached bool, dur time.Duration, done, total int) {
+func (s *Sweep) writeTrace(ev Event) {
 	if s.trace == nil {
 		return
 	}
-	ev := traceEvent{
-		Index:      idx,
-		Point:      p.String(),
-		Cached:     cached,
-		DurationMS: float64(dur) / float64(time.Millisecond),
-		Done:       done,
-		Total:      total,
+	te := traceEvent{
+		Index:      ev.Index,
+		Point:      ev.Point.String(),
+		Cached:     ev.Cached,
+		DurationMS: float64(ev.Duration) / float64(time.Millisecond),
+		Done:       ev.Done,
+		Total:      ev.Total,
 	}
-	if res.Err != nil {
-		ev.Err = res.Err.Error()
+	if ev.Result.Err != nil {
+		te.Err = ev.Result.Err.Error()
 	}
-	line, err := json.Marshal(ev)
+	line, err := json.Marshal(te)
 	if err != nil {
 		return
 	}
 	s.traceMu.Lock()
 	s.trace.Write(append(line, '\n'))
 	s.traceMu.Unlock()
-}
-
-// LegacySweep mirrors the original field-configured sweep API.
-//
-// Deprecated: use NewSweep and (*Sweep).Run, which validate their inputs,
-// honour a context, cache evaluations and survive panicking points. This
-// wrapper exists so pre-engine call sites keep compiling; it returns nil
-// (instead of the old panic) when misconfigured.
-type LegacySweep struct {
-	// Evaluator scores the points.
-	Evaluator *core.Evaluator
-	// Workers bounds parallelism (0 → GOMAXPROCS).
-	Workers int
-	// Progress, if set, is called after each completed point.
-	Progress func(done, total int)
-}
-
-// Run evaluates every point and returns results in point order, or nil
-// if the sweep is misconfigured (nil evaluator, negative workers).
-func (s *LegacySweep) Run(points []core.DesignPoint) []core.Result {
-	eng, err := NewSweep(s.Evaluator, WithWorkers(max(s.Workers, 0)), WithProgress(s.Progress))
-	if err != nil {
-		return nil
-	}
-	rs, _ := eng.Run(context.Background(), points)
-	return rs
 }

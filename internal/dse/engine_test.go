@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -359,9 +360,74 @@ func TestMetricsSnapshotFields(t *testing.T) {
 	}
 }
 
-func TestLegacySweepWrapper(t *testing.T) {
-	if rs := (&LegacySweep{}).Run(fakePoints(3)); rs != nil {
-		t.Fatal("misconfigured legacy sweep should return nil, not panic")
+func TestEventHooksAreSerialAndCarryResults(t *testing.T) {
+	var global []Event
+	s, err := NewSweep(&fakeEvaluator{}, WithWorkers(8), WithCache(NewMemoryCache()),
+		WithEventHook(func(ev Event) {
+			global = append(global, ev) // serial by contract: no lock needed
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(40)
+	var run []Event
+	if _, err := s.RunWithHook(context.Background(), pts, func(ev Event) {
+		run = append(run, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(global) != len(pts) || len(run) != len(pts) {
+		t.Fatalf("event counts: global %d, run %d, want %d", len(global), len(run), len(pts))
+	}
+	for i, ev := range run {
+		if ev.Done != i+1 || ev.Total != len(pts) {
+			t.Fatalf("event %d progress not monotonic: done %d total %d", i, ev.Done, ev.Total)
+		}
+		if ev.Point != pts[ev.Index] || ev.Result.Point != pts[ev.Index] {
+			t.Fatalf("event %d carries the wrong point", i)
+		}
+		if ev.Cached || ev.Result.TotalPower <= 0 {
+			t.Fatalf("cold event %d malformed: %+v", i, ev)
+		}
+	}
+	// A warm re-run delivers cached events to the per-run hook only.
+	run = nil
+	if _, err := s.RunWithHook(context.Background(), pts, func(ev Event) {
+		run = append(run, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range run {
+		if !ev.Cached || ev.Duration != 0 {
+			t.Fatalf("warm event %d not cached: %+v", i, ev)
+		}
+	}
+	if len(global) != 2*len(pts) {
+		t.Fatalf("construction hook saw %d events, want %d", len(global), 2*len(pts))
+	}
+}
+
+func TestRunWithHookObservesOnlyItsOwnRun(t *testing.T) {
+	s, err := NewSweep(&fakeEvaluator{delay: time.Millisecond}, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b atomic.Int64
+	var wg sync.WaitGroup
+	for i, ctr := range []*atomic.Int64{&a, &b} {
+		wg.Add(1)
+		go func(n int, ctr *atomic.Int64) {
+			defer wg.Done()
+			if _, err := s.RunWithHook(context.Background(), fakePoints(8+4*n), func(Event) {
+				ctr.Add(1)
+			}); err != nil {
+				t.Error(err)
+			}
+		}(i, ctr)
+	}
+	wg.Wait()
+	if a.Load() != 8 || b.Load() != 12 {
+		t.Fatalf("per-run hooks leaked across runs: %d, %d", a.Load(), b.Load())
 	}
 }
 

@@ -50,6 +50,11 @@ type Options struct {
 	// Trace, if set, receives the sweep engine's JSONL per-point trace
 	// (see dse.WithTrace).
 	Trace io.Writer
+	// Cache, if set, replaces the suite's private memoisation cache, so
+	// many suites (for example a server's per-option-set instances) share
+	// one warm store. Entries are keyed on the evaluator fingerprint, so
+	// sharing is always safe.
+	Cache *dse.MemoryCache
 }
 
 func (o Options) withDefaults() Options {
@@ -126,8 +131,12 @@ func (s *Suite) init() {
 		// One engine + one cache per suite: every figure reproduction and
 		// ad-hoc query shares the same memoised evaluations, so the Fig 9
 		// and Fig 10 constrained re-queries never recompute the Fig 7
-		// cloud.
-		s.cache = dse.NewMemoryCache()
+		// cloud. An injected Options.Cache widens the sharing to every
+		// suite built over it.
+		s.cache = s.opts.Cache
+		if s.cache == nil {
+			s.cache = dse.NewMemoryCache()
+		}
 		engine, err := dse.NewSweep(ev,
 			dse.WithWorkers(max(s.opts.Workers, 0)),
 			dse.WithProgress(s.opts.Progress),

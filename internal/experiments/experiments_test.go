@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"efficsense/internal/core"
+	"efficsense/internal/dse"
 	"efficsense/internal/power"
 )
 
@@ -31,6 +32,30 @@ func testSuite(t *testing.T) *Suite {
 		})
 	})
 	return suiteInst
+}
+
+func TestSharedCacheInjection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two (tiny) detectors")
+	}
+	cache := dse.NewMemoryCache()
+	opts := Options{Seed: 5, Records: 1, TrainRecords: 4, NoiseSteps: 1, Epochs: 1, Cache: cache}
+	a, b := NewSuite(opts), NewSuite(opts)
+	if a.Cache() != cache || b.Cache() != cache {
+		t.Fatal("injected cache not adopted by the suites")
+	}
+	p := core.DesignPoint{Arch: core.ArchBaseline, Bits: 6, LNANoise: 10e-6}
+	a.Engine().Evaluate(p)
+	n := cache.Len()
+	if n == 0 {
+		t.Fatal("evaluation did not reach the shared cache")
+	}
+	// A second suite has its own evaluator fingerprint, so the shared
+	// store grows instead of cross-contaminating.
+	b.Engine().Evaluate(p)
+	if cache.Len() <= n {
+		t.Fatalf("distinct evaluators collided in the shared cache (len %d)", cache.Len())
+	}
 }
 
 func TestOptionsDefaults(t *testing.T) {

@@ -190,17 +190,36 @@ func CSVFig4(w io.Writer, pts []Fig4Point) error {
 	return report.CSV(w, headers, rows)
 }
 
-// CSVResults emits a result cloud as CSV rows (used for Figs 7, 9, 10).
-func CSVResults(w io.Writer, rs []core.Result) error {
-	headers := []string{"arch", "bits", "noise_vrms", "m", "chold_f",
-		"snr_db", "accuracy", "total_w", "area_caps"}
+// ResultHeaders are the columns of the sweep-result tabulations
+// (CSVResults, NDJSONResults, the serving layer's SSE payloads).
+var ResultHeaders = []string{"arch", "bits", "noise_vrms", "m", "chold_f",
+	"snr_db", "accuracy", "total_w", "area_caps"}
+
+// ResultRow renders one result as a ResultHeaders-ordered row.
+func ResultRow(r core.Result) []interface{} {
+	return []interface{}{
+		r.Point.Arch.String(), r.Point.Bits, r.Point.LNANoise,
+		r.Point.M, r.Point.CHold,
+		r.MeanSNRdB, r.Accuracy, r.TotalPower, r.AreaCaps,
+	}
+}
+
+func resultRows(rs []core.Result) [][]interface{} {
 	rows := make([][]interface{}, len(rs))
 	for i, r := range rs {
-		rows[i] = []interface{}{
-			r.Point.Arch.String(), r.Point.Bits, r.Point.LNANoise,
-			r.Point.M, r.Point.CHold,
-			r.MeanSNRdB, r.Accuracy, r.TotalPower, r.AreaCaps,
-		}
+		rows[i] = ResultRow(r)
 	}
-	return report.CSV(w, headers, rows)
+	return rows
+}
+
+// CSVResults emits a result cloud as CSV rows (used for Figs 7, 9, 10).
+func CSVResults(w io.Writer, rs []core.Result) error {
+	return report.CSV(w, ResultHeaders, resultRows(rs))
+}
+
+// NDJSONResults emits a result cloud as NDJSON — one JSON object per
+// line with the CSVResults columns — so sweep results stream line by
+// line through HTTP responses and log pipelines.
+func NDJSONResults(w io.Writer, rs []core.Result) error {
+	return report.NDJSON(w, ResultHeaders, resultRows(rs))
 }

@@ -5,10 +5,14 @@
 package report
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"reflect"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -23,20 +27,36 @@ func NewTable(headers ...string) *Table {
 	return &Table{headers: headers}
 }
 
-// AddRow appends a row; values are rendered with %v.
+// AddRow appends a row. Strings pass through; every numeric cell —
+// float64, float32, named float types and integer kinds alike — renders
+// with the same %.4g, so mixed-type numeric columns keep one notation;
+// anything else renders with %v.
 func (t *Table) AddRow(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case string:
-			row[i] = v
-		case float64:
-			row[i] = fmt.Sprintf("%.4g", v)
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
+		row[i] = formatCell(c)
 	}
 	t.rows = append(t.rows, row)
+}
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case string:
+		return v
+	case float64:
+		return fmt.Sprintf("%.4g", v)
+	case float32:
+		return fmt.Sprintf("%.4g", float64(v))
+	}
+	switch rv := reflect.ValueOf(c); rv.Kind() {
+	case reflect.Float32, reflect.Float64:
+		return fmt.Sprintf("%.4g", rv.Float())
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		return fmt.Sprintf("%.4g", float64(rv.Int()))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		return fmt.Sprintf("%.4g", float64(rv.Uint()))
+	}
+	return fmt.Sprintf("%v", c)
 }
 
 // Render writes the aligned table.
@@ -229,6 +249,9 @@ func CSV(w io.Writer, headers []string, rows [][]interface{}) error {
 			switch v := c.(type) {
 			case float64:
 				parts[i] = fmt.Sprintf("%g", v)
+			case float32:
+				// Shortest 32-bit representation, not the widened float64.
+				parts[i] = strconv.FormatFloat(float64(v), 'g', -1, 32)
 			case string:
 				parts[i] = escapeCSV(v)
 			default:
@@ -247,6 +270,64 @@ func escapeCSV(s string) string {
 		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 	}
 	return s
+}
+
+// NDJSON writes one JSON object per row — newline-delimited JSON, the
+// line-by-line streaming counterpart of CSV. Keys follow the header
+// order; rows shorter than the header emit only the cells present, longer
+// rows are truncated to it.
+func NDJSON(w io.Writer, headers []string, rows [][]interface{}) error {
+	for _, row := range rows {
+		line, err := NDJSONRow(headers, row)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NDJSONRow renders one row as a single-line JSON object without a
+// trailing newline, so line-oriented transports (SSE data frames, log
+// pipelines) can embed rows one at a time. Non-finite floats, which JSON
+// cannot carry, become null.
+func NDJSONRow(headers []string, row []interface{}) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, h := range headers {
+		if i >= len(row) {
+			break
+		}
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		key, err := json.Marshal(h)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(key)
+		buf.WriteByte(':')
+		v := row[i]
+		switch f := v.(type) {
+		case float64:
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				v = nil
+			}
+		case float32:
+			if f64 := float64(f); math.IsNaN(f64) || math.IsInf(f64, 0) {
+				v = nil
+			}
+		}
+		val, err := json.Marshal(v)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(val)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
 }
 
 // Bar renders a horizontal bar chart of labelled values (the stand-in for

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -35,6 +36,31 @@ func TestTableFloatFormatting(t *testing.T) {
 	tb.Render(&sb)
 	if !strings.Contains(sb.String(), "2.44e-06") {
 		t.Fatalf("float formatting: %q", sb.String())
+	}
+}
+
+func TestTableNumericCellsShareOneNotation(t *testing.T) {
+	type microwatts float64
+	cases := []struct {
+		cell interface{}
+		want string
+	}{
+		{float64(2.44e-6), "2.44e-06"},
+		{float32(2.5e-6), "2.5e-06"},
+		{microwatts(1.234567e-6), "1.235e-06"}, // named float type, %.4g
+		{150, "150"},                           // ints render like float64(150)
+		{int64(1234567), "1.235e+06"},
+		{uint(32000), "3.2e+04"},
+		{true, "true"}, // non-numerics keep %v
+	}
+	for _, c := range cases {
+		tb := NewTable("v")
+		tb.AddRow(c.cell)
+		var sb strings.Builder
+		tb.Render(&sb)
+		if !strings.Contains(sb.String(), c.want) {
+			t.Errorf("AddRow(%v): got %q, want cell %q", c.cell, sb.String(), c.want)
+		}
 	}
 }
 
@@ -112,6 +138,64 @@ func TestCSV(t *testing.T) {
 	}
 	if !strings.Contains(out, `"with,comma ""and quotes"""`) {
 		t.Fatalf("escaping: %q", out)
+	}
+}
+
+func TestCSVFloat32(t *testing.T) {
+	var sb strings.Builder
+	if err := CSV(&sb, []string{"v"}, [][]interface{}{{float32(2.5e-6)}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2.5e-06") {
+		t.Fatalf("float32 cell: %q", sb.String())
+	}
+}
+
+func TestNDJSON(t *testing.T) {
+	var sb strings.Builder
+	nan := 0.0
+	nan /= nan
+	err := NDJSON(&sb, []string{"arch", "bits", "total_w", "acc"}, [][]interface{}{
+		{"baseline", 8, 8.3e-06, nan},
+		{"cs", 7, 2.44e-06}, // short row: trailing columns omitted
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("line count %d: %q", len(lines), sb.String())
+	}
+	var first map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if first["arch"] != "baseline" || first["bits"] != float64(8) {
+		t.Fatalf("line 1 fields: %v", first)
+	}
+	if v, ok := first["acc"]; !ok || v != nil {
+		t.Fatalf("NaN must become null, got %v", v)
+	}
+	// Key order follows the headers, making the stream diff-friendly.
+	if !strings.HasPrefix(lines[0], `{"arch":`) {
+		t.Fatalf("header order not preserved: %q", lines[0])
+	}
+	var second map[string]interface{}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if _, ok := second["acc"]; ok {
+		t.Fatalf("short row grew a column: %v", second)
+	}
+}
+
+func TestNDJSONRowIsSingleLine(t *testing.T) {
+	line, err := NDJSONRow([]string{"s"}, []interface{}{"multi\nline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.ContainsRune(string(line), '\n') {
+		t.Fatalf("row payload spans lines: %q", line)
 	}
 }
 

@@ -1,0 +1,327 @@
+// Package serve exposes the EffiCSense pathfinding framework over HTTP:
+// the efficsensed daemon wires a Server (handlers.go) around a job
+// Manager (jobs.go) that owns the sweep engines, the shared memoisation
+// cache and the asynchronous sweep jobs. Everything is stdlib net/http;
+// the paper's "framework other designers query" becomes five endpoints:
+//
+//	POST   /v1/evaluate            synchronous single-point evaluation
+//	POST   /v1/sweeps              submit an async design-space sweep
+//	GET    /v1/sweeps/{id}         job status, metrics, fronts, optima
+//	GET    /v1/sweeps/{id}/events  SSE stream of engine progress events
+//	GET    /v1/sweeps/{id}/results NDJSON stream of the result cloud
+//	DELETE /v1/sweeps/{id}         cancel the job (partial results kept)
+//	GET    /healthz, GET /metrics  liveness and Prometheus exposition
+//
+// This file holds the wire types (requests, responses, conversions).
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"efficsense/internal/core"
+	"efficsense/internal/dse"
+	"efficsense/internal/experiments"
+)
+
+// PointSpec is the wire form of a core.DesignPoint.
+type PointSpec struct {
+	Arch     string  `json:"arch"`
+	Bits     int     `json:"bits"`
+	LNANoise float64 `json:"lna_noise"`
+	M        int     `json:"m,omitempty"`
+	CHold    float64 `json:"chold,omitempty"`
+}
+
+// parseArch maps the wire architecture names (the same strings
+// core.Architecture renders) back to values.
+func parseArch(s string) (core.Architecture, error) {
+	switch s {
+	case "baseline":
+		return core.ArchBaseline, nil
+	case "cs":
+		return core.ArchCS, nil
+	case "cs-digital":
+		return core.ArchCSDigital, nil
+	case "cs-active":
+		return core.ArchCSActive, nil
+	}
+	return 0, fmt.Errorf("unknown architecture %q (want baseline, cs, cs-digital or cs-active)", s)
+}
+
+// DesignPoint validates the spec and converts it.
+func (p PointSpec) DesignPoint() (core.DesignPoint, error) {
+	arch, err := parseArch(p.Arch)
+	if err != nil {
+		return core.DesignPoint{}, err
+	}
+	if p.Bits <= 0 {
+		return core.DesignPoint{}, fmt.Errorf("bits must be positive, got %d", p.Bits)
+	}
+	if p.LNANoise <= 0 {
+		return core.DesignPoint{}, fmt.Errorf("lna_noise must be positive, got %g", p.LNANoise)
+	}
+	dp := core.DesignPoint{Arch: arch, Bits: p.Bits, LNANoise: p.LNANoise}
+	if arch != core.ArchBaseline {
+		if p.M <= 0 {
+			return core.DesignPoint{}, fmt.Errorf("%s needs a positive measurement count m, got %d", p.Arch, p.M)
+		}
+		dp.M, dp.CHold = p.M, p.CHold
+	}
+	return dp, nil
+}
+
+func pointSpecOf(p core.DesignPoint) PointSpec {
+	return PointSpec{Arch: p.Arch.String(), Bits: p.Bits, LNANoise: p.LNANoise, M: p.M, CHold: p.CHold}
+}
+
+// OptionsSpec overrides the server's default suite options field by
+// field; absent fields inherit the default. Progress/trace sinks are
+// server-owned and not settable over the wire.
+type OptionsSpec struct {
+	Seed          *int64   `json:"seed,omitempty"`
+	Records       *int     `json:"records,omitempty"`
+	TrainRecords  *int     `json:"train_records,omitempty"`
+	NoiseSteps    *int     `json:"noise_steps,omitempty"`
+	Workers       *int     `json:"workers,omitempty"`
+	Epochs        *int     `json:"epochs,omitempty"`
+	MinAccuracy   *float64 `json:"min_accuracy,omitempty"`
+	WindowSeconds *float64 `json:"window_seconds,omitempty"`
+}
+
+func (o *OptionsSpec) apply(base experiments.Options) experiments.Options {
+	if o == nil {
+		return base
+	}
+	if o.Seed != nil {
+		base.Seed = *o.Seed
+	}
+	if o.Records != nil {
+		base.Records = *o.Records
+	}
+	if o.TrainRecords != nil {
+		base.TrainRecords = *o.TrainRecords
+	}
+	if o.NoiseSteps != nil {
+		base.NoiseSteps = *o.NoiseSteps
+	}
+	if o.Workers != nil {
+		base.Workers = *o.Workers
+	}
+	if o.Epochs != nil {
+		base.Epochs = *o.Epochs
+	}
+	if o.MinAccuracy != nil {
+		base.MinAccuracy = *o.MinAccuracy
+	}
+	if o.WindowSeconds != nil {
+		base.WindowSeconds = *o.WindowSeconds
+	}
+	return base
+}
+
+// SpaceSpec selects the design-space grid of a sweep. Absent fields
+// inherit the paper's Table III axes (dse.PaperSpace); lna_noise, when
+// set, wins over noise_steps.
+type SpaceSpec struct {
+	Architectures []string  `json:"architectures,omitempty"`
+	Bits          []int     `json:"bits,omitempty"`
+	LNANoise      []float64 `json:"lna_noise,omitempty"`
+	NoiseSteps    int       `json:"noise_steps,omitempty"`
+	M             []int     `json:"m,omitempty"`
+	CHold         []float64 `json:"chold,omitempty"`
+}
+
+func (sp *SpaceSpec) space(opts experiments.Options) (dse.Space, error) {
+	s := dse.PaperSpace(opts.NoiseSteps)
+	if sp == nil {
+		return s, s.Validate()
+	}
+	if len(sp.Architectures) > 0 {
+		s.Architectures = s.Architectures[:0]
+		for _, name := range sp.Architectures {
+			arch, err := parseArch(name)
+			if err != nil {
+				return dse.Space{}, err
+			}
+			s.Architectures = append(s.Architectures, arch)
+		}
+	}
+	if len(sp.Bits) > 0 {
+		s.Bits = sp.Bits
+	}
+	switch {
+	case len(sp.LNANoise) > 0:
+		s.LNANoise = sp.LNANoise
+	case sp.NoiseSteps > 0:
+		s.LNANoise = dse.GeomRange(1e-6, 20e-6, sp.NoiseSteps)
+	}
+	if len(sp.M) > 0 {
+		s.M = sp.M
+	}
+	if len(sp.CHold) > 0 {
+		s.CHold = sp.CHold
+	}
+	return s, s.Validate()
+}
+
+// EvaluateRequest is the POST /v1/evaluate body.
+type EvaluateRequest struct {
+	Options   *OptionsSpec `json:"options,omitempty"`
+	Point     PointSpec    `json:"point"`
+	TimeoutMS int          `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest is the POST /v1/sweeps body.
+type SweepRequest struct {
+	Options *OptionsSpec `json:"options,omitempty"`
+	Space   *SpaceSpec   `json:"space,omitempty"`
+}
+
+// ResultJSON is the wire form of a core.Result.
+type ResultJSON struct {
+	Point    PointSpec          `json:"point"`
+	SNRdB    float64            `json:"snr_db"`
+	Accuracy float64            `json:"accuracy"`
+	TotalW   float64            `json:"total_w"`
+	PowerW   map[string]float64 `json:"power_w,omitempty"`
+	AreaCaps float64            `json:"area_caps"`
+	Cached   bool               `json:"cached,omitempty"`
+	Err      string             `json:"err,omitempty"`
+}
+
+func resultJSON(r core.Result) ResultJSON {
+	out := ResultJSON{
+		Point:    pointSpecOf(r.Point),
+		SNRdB:    r.MeanSNRdB,
+		Accuracy: r.Accuracy,
+		TotalW:   r.TotalPower,
+		AreaCaps: r.AreaCaps,
+	}
+	for _, c := range r.Power.Components() {
+		if out.PowerW == nil {
+			out.PowerW = make(map[string]float64)
+		}
+		out.PowerW[string(c)] = r.Power[c]
+	}
+	if r.Err != nil {
+		out.Err = r.Err.Error()
+	}
+	return out
+}
+
+func resultsJSON(rs []core.Result) []ResultJSON {
+	out := make([]ResultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = resultJSON(r)
+	}
+	return out
+}
+
+// FrontJSON is one goal function's Pareto fronts.
+type FrontJSON struct {
+	Baseline []ResultJSON `json:"baseline"`
+	CS       []ResultJSON `json:"cs"`
+}
+
+// SweepOutcome is the result payload of a finished (or cancelled —
+// Partial true) sweep job.
+type SweepOutcome struct {
+	// Partial marks a cancelled job: the fronts and optima below are
+	// computed over the points completed before cancellation.
+	Partial bool `json:"partial"`
+	// Points counts completed evaluations; Errors the degraded ones.
+	Points int `json:"points"`
+	Total  int `json:"total"`
+	Errors int `json:"errors"`
+	// Fronts holds the Pareto fronts per goal function ("snr",
+	// "accuracy"); Optima the minimum-power designs meeting the accuracy
+	// constraint, per architecture.
+	Fronts        map[string]FrontJSON   `json:"fronts"`
+	Optima        map[string]*ResultJSON `json:"optima"`
+	MinAccuracy   float64                `json:"min_accuracy"`
+	PowerSavingsX float64                `json:"power_savings_x,omitempty"`
+}
+
+// outcomeOf distils a result cloud into the response payload, reusing
+// the experiments-layer front/optimum extraction.
+func outcomeOf(rs []core.Result, total int, partial bool, minAccuracy float64) *SweepOutcome {
+	figs := experiments.NewFigsFromResults(rs, minAccuracy)
+	f7a, f7b := figs.Fig7a(), figs.Fig7b()
+	out := &SweepOutcome{
+		Partial: partial,
+		Points:  len(rs),
+		Total:   total,
+		Fronts: map[string]FrontJSON{
+			"snr":      {Baseline: resultsJSON(f7a.Baseline), CS: resultsJSON(f7a.CS)},
+			"accuracy": {Baseline: resultsJSON(f7b.Baseline), CS: resultsJSON(f7b.CS)},
+		},
+		Optima:        map[string]*ResultJSON{"baseline": nil, "cs": nil},
+		MinAccuracy:   f7b.MinAccuracy,
+		PowerSavingsX: f7b.PowerSavingsX,
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			out.Errors++
+		}
+	}
+	if f7b.HaveBaseline {
+		rj := resultJSON(f7b.BaselineOpt)
+		out.Optima["baseline"] = &rj
+	}
+	if f7b.HaveCS {
+		rj := resultJSON(f7b.CSOpt)
+		out.Optima["cs"] = &rj
+	}
+	return out
+}
+
+// EngineMetricsJSON is the wire form of a dse.Snapshot.
+type EngineMetricsJSON struct {
+	Evaluated  int64   `json:"evaluated"`
+	CacheHits  int64   `json:"cache_hits"`
+	Panics     int64   `json:"panics"`
+	MeanEvalMS float64 `json:"mean_eval_ms"`
+	Throughput float64 `json:"throughput_pts_per_s"`
+	ETAMS      float64 `json:"eta_ms"`
+}
+
+func engineMetricsJSON(s dse.Snapshot) *EngineMetricsJSON {
+	return &EngineMetricsJSON{
+		Evaluated:  s.Evaluated,
+		CacheHits:  s.CacheHits,
+		Panics:     s.Panics,
+		MeanEvalMS: float64(s.MeanEval) / float64(time.Millisecond),
+		Throughput: s.Throughput,
+		ETAMS:      float64(s.ETA) / float64(time.Millisecond),
+	}
+}
+
+// ProgressJSON is a job's progress window.
+type ProgressJSON struct {
+	Done  int `json:"done"`
+	Total int `json:"total"`
+}
+
+// JobStatus is the GET /v1/sweeps/{id} response (and the body of the
+// 202 returned on submission).
+type JobStatus struct {
+	ID              string             `json:"id"`
+	State           string             `json:"state"`
+	CancelRequested bool               `json:"cancel_requested,omitempty"`
+	CreatedAt       time.Time          `json:"created_at"`
+	StartedAt       *time.Time         `json:"started_at,omitempty"`
+	FinishedAt      *time.Time         `json:"finished_at,omitempty"`
+	Progress        ProgressJSON       `json:"progress"`
+	Metrics         *EngineMetricsJSON `json:"metrics,omitempty"`
+	Error           string             `json:"error,omitempty"`
+	Result          *SweepOutcome      `json:"result,omitempty"`
+	StatusURL       string             `json:"status_url"`
+	EventsURL       string             `json:"events_url"`
+	ResultsURL      string             `json:"results_url"`
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}

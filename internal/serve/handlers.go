@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"efficsense/internal/experiments"
+)
+
+// Server is the HTTP face of a job Manager.
+type Server struct {
+	mgr     *Manager
+	mux     *http.ServeMux
+	log     *log.Logger
+	started time.Time
+
+	reqMu     sync.Mutex
+	reqByCode map[int]int64
+
+	sseActive atomic.Int64
+}
+
+// NewServer wires the routes around a Manager. logger may be nil for a
+// silent server (tests).
+func NewServer(mgr *Manager, logger *log.Logger) *Server {
+	s := &Server{
+		mgr:       mgr,
+		mux:       http.NewServeMux(),
+		log:       logger,
+		started:   time.Now(),
+		reqByCode: make(map[int]int64),
+	}
+	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP dispatches through the status-recording middleware.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rec := &statusRecorder{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	code := rec.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	s.reqMu.Lock()
+	s.reqByCode[code]++
+	s.reqMu.Unlock()
+	if s.log != nil {
+		s.log.Printf("%s %s %d %s", r.Method, r.URL.Path, code, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// statusRecorder captures the response code for the request counters. It
+// forwards Flush so SSE streaming keeps working through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) requestCounts() map[int]int64 {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	out := make(map[int]int64, len(s.reqByCode))
+	for k, v := range s.reqByCode {
+		out[k] = v
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body; unknown fields are
+// rejected so typos fail loudly instead of silently sweeping the wrong
+// space. An empty body decodes to the zero value.
+func decodeBody(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// handleEvaluate scores one design point synchronously, bounded by the
+// request deadline (timeout_ms, capped by the server's EvalTimeout).
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	dp, err := req.Point.DesignPoint()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "point: %v", err)
+		return
+	}
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	result, cached, err := s.mgr.Evaluate(r.Context(), req.Options, dp, timeout)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "evaluation exceeded the deadline")
+		return
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	rj := resultJSON(result)
+	rj.Cached = cached
+	writeJSON(w, http.StatusOK, rj)
+}
+
+// handleSubmit accepts an asynchronous sweep: 202 + Location on success,
+// 429 + Retry-After when every slot is busy.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	job, err := s.mgr.Submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBadRequest):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrSaturated):
+		retry := int(s.mgr.RetryAfter().Round(time.Second) / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
+		writeError(w, http.StatusTooManyRequests, "%v (retry after ~%ds)", err, retry)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	st := job.Status()
+	w.Header().Set("Location", st.StatusURL)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	job, err := s.mgr.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job, ok := s.job(w, r); ok {
+		writeJSON(w, http.StatusOK, job.Status())
+	}
+}
+
+// handleResults streams the finished (or cancelled) job's result cloud
+// as NDJSON, one design point per line — the same rows the CLI's CSV
+// emitter writes.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if !job.State().Terminal() {
+		writeError(w, http.StatusConflict, "job %s is still %s; results stream after it finishes", job.ID, job.State())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = experiments.NDJSONResults(w, job.Results())
+}
+
+// handleCancel requests cancellation and reports the (possibly already
+// terminal) status.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// healthJSON is the /healthz body.
+type healthJSON struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	JobsRunning   int     `json:"jobs_running"`
+	JobsTracked   int     `json:"jobs_tracked"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	c := s.mgr.Counters()
+	h := healthJSON{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		JobsRunning:   c.Running,
+		JobsTracked:   c.Tracked,
+	}
+	code := http.StatusOK
+	if s.mgr.Draining() {
+		h.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+// sortedCodes returns the request-counter keys in ascending order so the
+// Prometheus exposition is deterministic.
+func sortedCodes(m map[int]int64) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,624 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"efficsense/internal/core"
+	"efficsense/internal/dse"
+	"efficsense/internal/experiments"
+	"efficsense/internal/report"
+)
+
+// JobState is the lifecycle of an asynchronous sweep job.
+type JobState string
+
+const (
+	// StatePending: submitted, slot held, evaluator not yet ready.
+	StatePending JobState = "pending"
+	// StateRunning: the engine is evaluating points.
+	StateRunning JobState = "running"
+	// StateCompleted: every point evaluated; the outcome is final.
+	StateCompleted JobState = "completed"
+	// StateCancelled: stopped by DELETE; the outcome holds the partial
+	// results completed before cancellation.
+	StateCancelled JobState = "cancelled"
+	// StateFailed: the suite could not be built or the run errored.
+	StateFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateCompleted || s == StateCancelled || s == StateFailed
+}
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrSaturated: every job slot is busy (429 + Retry-After).
+	ErrSaturated = errors.New("serve: all sweep slots are busy")
+	// ErrShuttingDown: the manager is draining (503).
+	ErrShuttingDown = errors.New("serve: shutting down")
+	// ErrNotFound: unknown job ID (404).
+	ErrNotFound = errors.New("serve: no such job")
+	// ErrBadRequest wraps spec validation failures (400).
+	ErrBadRequest = errors.New("serve: invalid request")
+)
+
+// ManagerConfig sizes a job Manager. The zero value of every field picks
+// a sensible default except Engines, which is required.
+type ManagerConfig struct {
+	// Defaults are the base suite options; request options override them
+	// field by field.
+	Defaults experiments.Options
+	// Engines resolves option sets to sweep engines
+	// ((*SuiteEngines).Engine in production).
+	Engines EngineFunc
+	// Cache, if set, is reported under /metrics (pass the SuiteEngines
+	// shared cache).
+	Cache *dse.MemoryCache
+	// MaxConcurrentJobs bounds simultaneously running sweeps (default 2).
+	// Submissions beyond it are rejected with ErrSaturated — the caller
+	// retries after Retry-After — rather than queued, so a burst cannot
+	// build unbounded state.
+	MaxConcurrentJobs int
+	// JobTTL is how long finished jobs stay queryable (default 15m).
+	JobTTL time.Duration
+	// MaxSweepPoints rejects spaces bigger than this (default 100000).
+	MaxSweepPoints int
+	// EvalTimeout caps the synchronous /v1/evaluate deadline (default 2m).
+	EvalTimeout time.Duration
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.MaxConcurrentJobs <= 0 {
+		c.MaxConcurrentJobs = 2
+	}
+	if c.JobTTL <= 0 {
+		c.JobTTL = 15 * time.Minute
+	}
+	if c.MaxSweepPoints <= 0 {
+		c.MaxSweepPoints = 100000
+	}
+	if c.EvalTimeout <= 0 {
+		c.EvalTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Manager owns the server's sweep jobs: it bounds their concurrency with
+// a slot semaphore, runs each against the shared engine layer, buffers
+// per-point events for SSE replay, evicts finished jobs after a TTL and
+// drains cleanly on shutdown.
+type Manager struct {
+	cfg   ManagerConfig
+	slots chan struct{}
+
+	mu      sync.Mutex
+	jobs    map[string]*Job
+	engines map[Engine]struct{}
+	seq     int64
+	closed  bool
+	wg      sync.WaitGroup
+
+	submitted, rejected  atomic.Int64
+	completed, cancelled atomic.Int64
+	failed, evaluations  atomic.Int64
+}
+
+// NewManager builds a Manager; cfg.Engines must be set.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Engines == nil {
+		return nil, errors.New("serve: ManagerConfig.Engines is required")
+	}
+	cfg = cfg.withDefaults()
+	return &Manager{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.MaxConcurrentJobs),
+		jobs:    make(map[string]*Job),
+		engines: make(map[Engine]struct{}),
+	}, nil
+}
+
+// JobEvent is one buffered job event, ready for SSE framing: ID is the
+// per-job monotonic sequence number (the SSE id, so Last-Event-ID
+// resumption replays exactly the missed suffix), Name the SSE event name
+// ("state", "point" or "done") and Data a single-line JSON payload.
+type JobEvent struct {
+	ID   int
+	Name string
+	Data []byte
+}
+
+// pointEventHeaders are the keys of "point" event payloads: the progress
+// window plus the ResultHeaders columns the CSV/NDJSON emitters share.
+var pointEventHeaders = func() []string {
+	h := []string{"done", "total", "cached", "duration_ms"}
+	h = append(h, experiments.ResultHeaders...)
+	return append(h, "err")
+}()
+
+func pointEventRow(ev dse.Event) []interface{} {
+	row := []interface{}{ev.Done, ev.Total, ev.Cached,
+		float64(ev.Duration) / float64(time.Millisecond)}
+	row = append(row, experiments.ResultRow(ev.Result)...)
+	errStr := ""
+	if ev.Result.Err != nil {
+		errStr = ev.Result.Err.Error()
+	}
+	return append(row, errStr)
+}
+
+// Job is one asynchronous sweep.
+type Job struct {
+	ID string
+
+	opts   experiments.Options
+	space  dse.Space
+	points []core.DesignPoint
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu              sync.Mutex
+	cond            *sync.Cond
+	state           JobState
+	cancelRequested bool
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	done, total     int
+	events          []JobEvent
+	results         []core.Result
+	outcome         *SweepOutcome
+	err             error
+	engine          Engine
+}
+
+func (m *Manager) newJob(opts experiments.Options, space dse.Space, points []core.DesignPoint) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		opts: opts, space: space, points: points,
+		ctx: ctx, cancel: cancel,
+		state: StatePending, created: time.Now(), total: len(points),
+	}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Submit validates the request, claims a job slot and starts the sweep.
+// It never blocks on a slot: when every slot is busy the submission is
+// rejected with ErrSaturated and the client retries after RetryAfter.
+func (m *Manager) Submit(req SweepRequest) (*Job, error) {
+	opts := req.Options.apply(m.cfg.Defaults)
+	space, err := req.Space.space(opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: space: %v", ErrBadRequest, err)
+	}
+	if n := space.Size(); n > m.cfg.MaxSweepPoints {
+		return nil, fmt.Errorf("%w: space enumerates %d points, limit %d",
+			ErrBadRequest, n, m.cfg.MaxSweepPoints)
+	}
+	points := space.Points()
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	select {
+	case m.slots <- struct{}{}:
+	default:
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrSaturated
+	}
+	m.seq++
+	job := m.newJob(opts, space, points)
+	job.ID = fmt.Sprintf("sweep-%d", m.seq)
+	m.jobs[job.ID] = job
+	m.submitted.Add(1)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go m.run(job)
+	return job, nil
+}
+
+// run owns a job goroutine end to end: resolve the engine (which may
+// train a detector on a cold option set), sweep, distil the outcome.
+func (m *Manager) run(job *Job) {
+	defer m.wg.Done()
+	defer func() { <-m.slots }()
+
+	engine, err := m.cfg.Engines(job.opts)
+	if err != nil {
+		m.finish(job, nil, fmt.Errorf("engine: %w", err))
+		return
+	}
+	m.registerEngine(engine)
+	job.mu.Lock()
+	job.engine = engine
+	job.mu.Unlock()
+	if job.ctx.Err() != nil { // cancelled while the suite was building
+		m.finish(job, nil, job.ctx.Err())
+		return
+	}
+	job.setState(StateRunning)
+
+	rs, err := engine.RunWithHook(job.ctx, job.points, job.onPoint)
+	m.finish(job, rs, err)
+}
+
+// onPoint is the engine's per-run hook: it runs under the engine's
+// completion lock (serial, strictly increasing Done), so it only
+// serialises the event and wakes the streams.
+func (j *Job) onPoint(ev dse.Event) {
+	data, err := report.NDJSONRow(pointEventHeaders, pointEventRow(ev))
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	j.mu.Lock()
+	j.done, j.total = ev.Done, ev.Total
+	j.appendEventLocked("point", data)
+	j.mu.Unlock()
+}
+
+func (j *Job) appendEventLocked(name string, data []byte) {
+	j.events = append(j.events, JobEvent{ID: len(j.events) + 1, Name: name, Data: data})
+	j.cond.Broadcast()
+}
+
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	if s == StateRunning {
+		j.started = time.Now()
+	}
+	j.appendEventLocked("state", []byte(fmt.Sprintf(`{"state":%q}`, s)))
+}
+
+// finish classifies the run's end, computes the outcome over whatever
+// results exist (full, partial or none) and schedules eviction.
+func (m *Manager) finish(job *Job, rs []core.Result, err error) {
+	job.mu.Lock()
+	job.finished = time.Now()
+	job.results = rs
+	switch {
+	case err == nil:
+		job.state = StateCompleted
+		m.completed.Add(1)
+	case job.cancelRequested && errors.Is(err, context.Canceled):
+		job.state = StateCancelled
+		m.cancelled.Add(1)
+	default:
+		job.state = StateFailed
+		job.err = err
+		m.failed.Add(1)
+	}
+	partial := job.state != StateCompleted
+	if len(rs) > 0 || job.state == StateCompleted {
+		job.outcome = outcomeOf(rs, job.total, partial, job.opts.MinAccuracy)
+	}
+	done := struct {
+		State   JobState `json:"state"`
+		Done    int      `json:"done"`
+		Total   int      `json:"total"`
+		Partial bool     `json:"partial"`
+		Error   string   `json:"error,omitempty"`
+	}{job.state, len(rs), job.total, partial, ""}
+	if job.err != nil {
+		done.Error = job.err.Error()
+	}
+	data, jerr := report.NDJSONRow(
+		[]string{"state", "done", "total", "partial", "error"},
+		[]interface{}{string(done.State), done.Done, done.Total, done.Partial, done.Error})
+	if jerr != nil {
+		data = []byte(`{}`)
+	}
+	job.appendEventLocked("done", data)
+	job.mu.Unlock()
+
+	time.AfterFunc(m.cfg.JobTTL, func() { m.evict(job.ID) })
+}
+
+// evict forgets a finished job (jobs cannot leave a terminal state, so
+// checking once is enough).
+func (m *Manager) evict(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok && j.State().Terminal() {
+		delete(m.jobs, id)
+	}
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.jobs[id]; ok {
+		return j, nil
+	}
+	return nil, ErrNotFound
+}
+
+// Jobs snapshots every tracked job, newest first not guaranteed.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	return out
+}
+
+// Cancel requests cancellation: the engine stops dispatching, in-flight
+// points finish, and the job lands in StateCancelled with its partial
+// results. Cancelling a finished job is a no-op.
+func (m *Manager) Cancel(id string) (*Job, error) {
+	job, err := m.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	job.requestCancel()
+	return job, nil
+}
+
+// requestCancel flags a deliberate cancellation (so the job finishes in
+// StateCancelled, not StateFailed) and fires the context.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.cancelRequested = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// State returns the job's current state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Results returns the job's (possibly partial) result cloud.
+func (j *Job) Results() []core.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.results
+}
+
+// Status renders the job for the API.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:              j.ID,
+		State:           string(j.state),
+		CancelRequested: j.cancelRequested && !j.state.Terminal(),
+		CreatedAt:       j.created,
+		Progress:        ProgressJSON{Done: j.done, Total: j.total},
+		Error:           "",
+		Result:          j.outcome,
+		StatusURL:       "/v1/sweeps/" + j.ID,
+		EventsURL:       "/v1/sweeps/" + j.ID + "/events",
+		ResultsURL:      "/v1/sweeps/" + j.ID + "/results",
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.engine != nil {
+		st.Metrics = engineMetricsJSON(j.engine.Metrics())
+	}
+	return st
+}
+
+// WaitEvents blocks until events after the given sequence number exist,
+// then returns them. more is false when the stream is over: the job is
+// terminal and fully replayed, or ctx ended.
+func (j *Job) WaitEvents(ctx context.Context, after int) (evs []JobEvent, more bool) {
+	stop := context.AfterFunc(ctx, func() {
+		// Take the lock so the broadcast cannot slip between a waiter's
+		// ctx check and its cond.Wait (the classic lost wakeup).
+		j.mu.Lock()
+		j.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		j.cond.Broadcast()
+	})
+	defer stop()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if ctx.Err() != nil {
+			return nil, false
+		}
+		if after < len(j.events) {
+			evs = make([]JobEvent, len(j.events)-after)
+			copy(evs, j.events[after:])
+			return evs, true
+		}
+		if j.state.Terminal() {
+			return nil, false
+		}
+		j.cond.Wait()
+	}
+}
+
+// estimateRemaining guesses the job's remaining wall-clock time from its
+// own progress window.
+func (j *Job) estimateRemaining() (time.Duration, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.done == 0 || j.started.IsZero() {
+		return 0, false
+	}
+	elapsed := time.Since(j.started)
+	remaining := float64(elapsed) / float64(j.done) * float64(j.total-j.done)
+	return time.Duration(remaining), true
+}
+
+// RetryAfter estimates how soon a rejected submission is worth retrying:
+// the smallest remaining-time estimate over the running jobs, clamped to
+// [1s, 5m]; 5s when nothing is measurable yet.
+func (m *Manager) RetryAfter() time.Duration {
+	best := time.Duration(math.MaxInt64)
+	for _, j := range m.Jobs() {
+		if est, ok := j.estimateRemaining(); ok && est < best {
+			best = est
+		}
+	}
+	if best == time.Duration(math.MaxInt64) {
+		return 5 * time.Second
+	}
+	return min(max(best, time.Second), 5*time.Minute)
+}
+
+// Evaluate scores one design point synchronously through the shared
+// engine layer, honouring ctx and the configured deadline cap. The
+// cached flag reports a memoisation hit. Single evaluations bypass the
+// job slots: they are the interactive fast path, bounded by EvalTimeout
+// rather than queueing.
+func (m *Manager) Evaluate(ctx context.Context, spec *OptionsSpec, p core.DesignPoint, timeout time.Duration) (core.Result, bool, error) {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return core.Result{}, false, ErrShuttingDown
+	}
+	m.evaluations.Add(1)
+	opts := spec.apply(m.cfg.Defaults)
+	engine, err := m.cfg.Engines(opts)
+	if err != nil {
+		return core.Result{}, false, fmt.Errorf("engine: %w", err)
+	}
+	m.registerEngine(engine)
+	if timeout <= 0 || timeout > m.cfg.EvalTimeout {
+		timeout = m.cfg.EvalTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var cached bool
+	rs, err := engine.RunWithHook(ctx, []core.DesignPoint{p}, func(ev dse.Event) {
+		cached = ev.Cached
+	})
+	if err != nil {
+		return core.Result{}, false, err
+	}
+	return rs[0], cached, nil
+}
+
+func (m *Manager) registerEngine(e Engine) {
+	m.mu.Lock()
+	m.engines[e] = struct{}{}
+	m.mu.Unlock()
+}
+
+// Counters is the manager's point-in-time accounting for /metrics and
+// /healthz.
+type Counters struct {
+	Submitted, Rejected    int64
+	Completed, Cancelled   int64
+	Failed, Evaluations    int64
+	Running, Tracked       int
+	EngineEvaluated        int64
+	EngineCacheHits        int64
+	EnginePanics           int64
+	EngineMeanEval         time.Duration
+	CacheEntries           int
+	CacheHits, CacheMisses int64
+}
+
+// Counters aggregates the manager's counters and every engine's metrics.
+func (m *Manager) Counters() Counters {
+	c := Counters{
+		Submitted:   m.submitted.Load(),
+		Rejected:    m.rejected.Load(),
+		Completed:   m.completed.Load(),
+		Cancelled:   m.cancelled.Load(),
+		Failed:      m.failed.Load(),
+		Evaluations: m.evaluations.Load(),
+	}
+	m.mu.Lock()
+	c.Tracked = len(m.jobs)
+	engines := make([]Engine, 0, len(m.engines))
+	for e := range m.engines {
+		engines = append(engines, e)
+	}
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		if s := j.State(); s == StateRunning || s == StatePending {
+			c.Running++
+		}
+	}
+	var meanSum time.Duration
+	var meanN int64
+	for _, e := range engines {
+		s := e.Metrics()
+		c.EngineEvaluated += s.Evaluated
+		c.EngineCacheHits += s.CacheHits
+		c.EnginePanics += s.Panics
+		if s.Evaluated > 0 {
+			meanSum += time.Duration(int64(s.MeanEval) * s.Evaluated)
+			meanN += s.Evaluated
+		}
+	}
+	if meanN > 0 {
+		c.EngineMeanEval = meanSum / time.Duration(meanN)
+	}
+	if m.cfg.Cache != nil {
+		c.CacheEntries = m.cfg.Cache.Len()
+		c.CacheHits, c.CacheMisses = m.cfg.Cache.Stats()
+	}
+	return c
+}
+
+// Draining reports whether Shutdown has begun (new work is rejected).
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Shutdown drains the manager: new submissions and evaluations are
+// rejected immediately, and in-flight jobs get until ctx expires to
+// finish before being cancelled. It returns nil on a clean drain and
+// ctx.Err() when jobs had to be cancelled; either way every job
+// goroutine has exited by return, so the HTTP server can be shut down
+// next (SSE streams of finished jobs close themselves).
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		for _, j := range m.Jobs() {
+			j.requestCancel()
+		}
+		<-drained
+		return ctx.Err()
+	}
+}

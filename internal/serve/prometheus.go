@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// handleMetrics renders the Prometheus text exposition (format 0.0.4) by
+// hand — the server stays stdlib-only. It aggregates three layers: HTTP
+// request counters, the job manager's accounting, and the sweep engines'
+// own metrics (evaluations, memoisation hits, recovered panics) plus the
+// shared cache occupancy.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.mgr.Counters()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+
+	gauge := func(name, help string, v interface{}) {
+		writeMetric(w, name, help, "gauge", v)
+	}
+	counter := func(name, help string, v interface{}) {
+		writeMetric(w, name, help, "counter", v)
+	}
+
+	gauge("efficsense_uptime_seconds", "Seconds since the server started.",
+		time.Since(s.started).Seconds())
+
+	reqs := s.requestCounts()
+	fmt.Fprintf(w, "# HELP efficsense_http_requests_total HTTP requests served, by status code.\n")
+	fmt.Fprintf(w, "# TYPE efficsense_http_requests_total counter\n")
+	for _, code := range sortedCodes(reqs) {
+		fmt.Fprintf(w, "efficsense_http_requests_total{code=%q} %d\n", fmt.Sprint(code), reqs[code])
+	}
+
+	counter("efficsense_jobs_submitted_total", "Sweep jobs accepted.", c.Submitted)
+	counter("efficsense_jobs_rejected_total", "Sweep submissions rejected for saturation.", c.Rejected)
+	counter("efficsense_jobs_completed_total", "Sweep jobs that ran to completion.", c.Completed)
+	counter("efficsense_jobs_cancelled_total", "Sweep jobs cancelled by clients.", c.Cancelled)
+	counter("efficsense_jobs_failed_total", "Sweep jobs that failed.", c.Failed)
+	gauge("efficsense_jobs_running", "Sweep jobs currently pending or running.", c.Running)
+	gauge("efficsense_jobs_tracked", "Jobs retained for status queries (TTL-bounded).", c.Tracked)
+	counter("efficsense_evaluate_requests_total", "Synchronous single-point evaluations.", c.Evaluations)
+	gauge("efficsense_sse_streams_active", "Open SSE event streams.", s.sseActive.Load())
+
+	counter("efficsense_engine_evaluations_total", "Design points scored by the evaluators (cache misses).", c.EngineEvaluated)
+	counter("efficsense_engine_cache_hits_total", "Design points served from the memoisation cache.", c.EngineCacheHits)
+	counter("efficsense_engine_panics_total", "Evaluator panics recovered into error results.", c.EnginePanics)
+	gauge("efficsense_engine_mean_eval_seconds", "Mean wall-clock seconds per real evaluation.", c.EngineMeanEval.Seconds())
+
+	gauge("efficsense_cache_entries", "Entries in the shared memoisation cache.", c.CacheEntries)
+	counter("efficsense_cache_hits_total", "Shared cache lookups that hit.", c.CacheHits)
+	counter("efficsense_cache_misses_total", "Shared cache lookups that missed.", c.CacheMisses)
+}
+
+func writeMetric(w io.Writer, name, help, kind string, v interface{}) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+	switch n := v.(type) {
+	case float64:
+		fmt.Fprintf(w, "%s %g\n", name, n)
+	default:
+		fmt.Fprintf(w, "%s %v\n", name, n)
+	}
+}
