@@ -20,9 +20,11 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# verify is the tier-1 gate: formatting, vet, build, and the full test
-# suite under the race detector.
+# verify is the tier-1 gate: formatting, vet, build, the full test
+# suite under the race detector, and a short fuzz smoke over the
+# streaming report emitters.
 verify: fmt
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -fuzz FuzzNDJSONRow -fuzztime 10s ./internal/report

@@ -46,9 +46,10 @@ func main() {
 
 // config is the parsed command line.
 type config struct {
-	addr  string
-	drain time.Duration
-	quiet bool
+	addr         string
+	drain        time.Duration
+	quiet        bool
+	cacheEntries int
 
 	defaults experiments.Options
 	manager  serve.ManagerConfig
@@ -71,10 +72,12 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.defaults.Epochs, "epochs", 150, "default detector training epochs")
 	fs.Float64Var(&cfg.defaults.MinAccuracy, "min-accuracy", 0.98, "default accuracy constraint")
 
-	fs.IntVar(&cfg.manager.MaxConcurrentJobs, "max-jobs", 2, "concurrent sweep jobs before 429")
+	fs.IntVar(&cfg.manager.MaxConcurrentJobs, "max-jobs", 2, "concurrent sweep job slots before 429")
 	fs.DurationVar(&cfg.manager.JobTTL, "job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
 	fs.IntVar(&cfg.manager.MaxSweepPoints, "max-points", 100000, "largest accepted sweep")
 	fs.DurationVar(&cfg.manager.EvalTimeout, "eval-timeout", 2*time.Minute, "cap on synchronous evaluation deadlines")
+	fs.IntVar(&cfg.cacheEntries, "cache-entries", serve.DefaultCacheEntries,
+		"bound on the shared evaluation cache (LRU eviction beyond it)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -83,7 +86,37 @@ func parseFlags(args []string) (*config, error) {
 		fs.Usage()
 		return nil, errors.New("unexpected positional arguments")
 	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(fs.Output(), "efficsensed: %v\n", err)
+		fs.Usage()
+		return nil, err
+	}
 	return cfg, nil
+}
+
+// validate rejects server-shaping flag values that would silently
+// produce a degenerate daemon (zero job slots, instantly evicted jobs,
+// un-runnable deadlines, a cache that can hold nothing) instead of
+// letting defaulting or runtime behaviour paper over them.
+func (cfg *config) validate() error {
+	checks := []struct {
+		ok  bool
+		msg string
+	}{
+		{cfg.drain > 0, fmt.Sprintf("-drain must be positive, got %s", cfg.drain)},
+		{cfg.manager.MaxConcurrentJobs > 0, fmt.Sprintf("-max-jobs must be positive, got %d", cfg.manager.MaxConcurrentJobs)},
+		{cfg.manager.JobTTL > 0, fmt.Sprintf("-job-ttl must be positive, got %s", cfg.manager.JobTTL)},
+		{cfg.manager.MaxSweepPoints > 0, fmt.Sprintf("-max-points must be positive, got %d", cfg.manager.MaxSweepPoints)},
+		{cfg.manager.EvalTimeout > 0, fmt.Sprintf("-eval-timeout must be positive, got %s", cfg.manager.EvalTimeout)},
+		{cfg.cacheEntries > 0, fmt.Sprintf("-cache-entries must be positive, got %d", cfg.cacheEntries)},
+		{cfg.defaults.Workers >= 0, fmt.Sprintf("-workers must be non-negative, got %d", cfg.defaults.Workers)},
+	}
+	for _, c := range checks {
+		if !c.ok {
+			return errors.New(c.msg)
+		}
+	}
+	return nil
 }
 
 // run brings the daemon up and blocks until ctx is cancelled (SIGINT /
@@ -99,7 +132,7 @@ func run(ctx context.Context, cfg *config, ready func(addr string)) error {
 		reqLog = nil
 	}
 
-	engines := serve.NewSuiteEngines()
+	engines := serve.NewSuiteEngines(cfg.cacheEntries)
 	mcfg := cfg.manager
 	mcfg.Defaults = cfg.defaults
 	mcfg.Engines = engines.Engine

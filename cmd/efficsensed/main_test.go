@@ -7,6 +7,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"efficsense/internal/serve"
 )
 
 func TestParseFlagsDefaultsAndOverrides(t *testing.T) {
@@ -23,11 +25,15 @@ func TestParseFlagsDefaultsAndOverrides(t *testing.T) {
 	if cfg.manager.MaxConcurrentJobs != 2 || cfg.manager.JobTTL != 15*time.Minute {
 		t.Fatalf("manager defaults: %+v", cfg.manager)
 	}
+	if cfg.cacheEntries != serve.DefaultCacheEntries {
+		t.Fatalf("cache default: got %d, want %d", cfg.cacheEntries, serve.DefaultCacheEntries)
+	}
 
 	cfg, err = parseFlags([]string{
 		"-addr", "127.0.0.1:0", "-quiet", "-drain", "5s",
 		"-seed", "3", "-records", "9", "-min-accuracy", "0.5",
 		"-max-jobs", "4", "-job-ttl", "1m", "-max-points", "50", "-eval-timeout", "10s",
+		"-cache-entries", "512",
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -41,6 +47,43 @@ func TestParseFlagsDefaultsAndOverrides(t *testing.T) {
 	if cfg.manager.MaxConcurrentJobs != 4 || cfg.manager.JobTTL != time.Minute ||
 		cfg.manager.MaxSweepPoints != 50 || cfg.manager.EvalTimeout != 10*time.Second {
 		t.Fatalf("manager overrides: %+v", cfg.manager)
+	}
+	if cfg.cacheEntries != 512 {
+		t.Fatalf("cache override: got %d, want 512", cfg.cacheEntries)
+	}
+}
+
+// TestParseFlagsRejectsDegenerateValues checks the validation sweep:
+// server-shaping flags that would yield a daemon that accepts no work,
+// forgets jobs instantly, or caches nothing must fail parse, not limp.
+func TestParseFlagsRejectsDegenerateValues(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero max-jobs", []string{"-max-jobs", "0"}, "-max-jobs"},
+		{"negative max-jobs", []string{"-max-jobs", "-1"}, "-max-jobs"},
+		{"zero job-ttl", []string{"-job-ttl", "0s"}, "-job-ttl"},
+		{"negative job-ttl", []string{"-job-ttl", "-1m"}, "-job-ttl"},
+		{"zero eval-timeout", []string{"-eval-timeout", "0s"}, "-eval-timeout"},
+		{"negative drain", []string{"-drain", "-5s"}, "-drain"},
+		{"zero drain", []string{"-drain", "0s"}, "-drain"},
+		{"zero max-points", []string{"-max-points", "0"}, "-max-points"},
+		{"zero cache-entries", []string{"-cache-entries", "0"}, "-cache-entries"},
+		{"negative cache-entries", []string{"-cache-entries", "-8"}, "-cache-entries"},
+		{"negative workers", []string{"-workers", "-1"}, "-workers"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseFlags(tc.args)
+			if err == nil {
+				t.Fatalf("parseFlags(%v) accepted a degenerate value", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.want)
+			}
+		})
 	}
 }
 

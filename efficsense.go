@@ -22,6 +22,7 @@ package efficsense
 import (
 	"io"
 
+	"efficsense/internal/cache"
 	"efficsense/internal/chain"
 	"efficsense/internal/classify"
 	"efficsense/internal/core"
@@ -182,8 +183,14 @@ type (
 	PointEvaluator = dse.PointEvaluator
 	// SweepCache memoises design-point evaluations across sweeps.
 	SweepCache = dse.Cache
-	// MemoryCache is the in-memory SweepCache with hit/miss accounting.
+	// MemoryCache is the unbounded in-memory SweepCache with hit/miss
+	// accounting — right for one-shot CLI runs.
 	MemoryCache = dse.MemoryCache
+	// LRUCache is the bounded sharded SweepCache with LRU eviction and
+	// singleflight de-duplication — right for long-running servers.
+	LRUCache = cache.LRU
+	// CacheStats is an LRUCache accounting snapshot.
+	CacheStats = cache.Stats
 	// SweepMetrics is a snapshot of a sweep engine's counters.
 	SweepMetrics = dse.Snapshot
 	// SweepEvent is one structured per-point engine observation
@@ -201,6 +208,12 @@ func NewSweep(ev PointEvaluator, opts ...SweepOption) (*Sweep, error) {
 // NewMemoryCache returns an empty memoisation cache, shareable between
 // sweeps (keys embed the evaluator identity).
 func NewMemoryCache() *MemoryCache { return dse.NewMemoryCache() }
+
+// NewLRUCache returns an empty bounded memoisation cache holding at
+// most entries results, with LRU eviction and singleflight
+// de-duplication of concurrent identical evaluations. It panics when
+// entries is not positive.
+func NewLRUCache(entries int) *LRUCache { return cache.New(entries) }
 
 // Sweep options (see the dse package for semantics).
 func WithWorkers(n int) SweepOption                     { return dse.WithWorkers(n) }

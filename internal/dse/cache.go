@@ -18,11 +18,24 @@ type Cache interface {
 	Put(key string, r core.Result)
 }
 
+// Flight is optionally implemented by caches that can collapse
+// concurrent misses on one key into a single computation (singleflight).
+// Do returns the value for key, calling fn to compute it on a cold
+// miss: hit reports the value was already cached; shared reports fn ran
+// in another goroutine and its result was handed over without a second
+// evaluation. The engine prefers Do over Get/Put when the attached
+// cache provides it, so N concurrent sweeps over one design point cost
+// one evaluation (see internal/cache.LRU, the bounded implementation).
+type Flight interface {
+	Do(key string, fn func() core.Result) (r core.Result, hit, shared bool)
+}
+
 // MemoryCache is an unbounded in-memory Cache with hit/miss accounting.
 // The zero value is not usable; construct with NewMemoryCache. A full
 // Table III sweep is ~10² points of a few hundred bytes each, so an
-// unbounded map is the right default; callers with adversarial spaces can
-// supply their own evicting Cache.
+// unbounded map is the right default for CLI one-shots; long-running
+// servers should bound their memory with the evicting, singleflight
+// internal/cache.LRU instead.
 type MemoryCache struct {
 	mu     sync.RWMutex
 	m      map[string]core.Result

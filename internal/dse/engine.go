@@ -49,8 +49,9 @@ type Event struct {
 	// Result carries the point's figures of interest; Result.Err is
 	// non-nil for degraded (panicked) evaluations.
 	Result core.Result
-	// Cached reports that the result was served from the memoisation
-	// cache rather than evaluated.
+	// Cached reports that the result was served without a fresh
+	// evaluation: a memoisation-cache hit, or the shared outcome of an
+	// identical in-flight evaluation (singleflight).
 	Cached bool
 	// Duration is the evaluation time (zero for cache hits).
 	Duration time.Duration
@@ -123,8 +124,10 @@ func WithProgress(fn func(done, total int)) Option {
 // WithCache attaches a memoisation cache. Entries are keyed on the
 // evaluator identity plus core.DesignPoint.Key, so a single cache may be
 // shared between sweeps and across evaluator rebuilds (see
-// Fingerprinter). Error-carrying results are never cached. A nil cache
-// is a no-op.
+// Fingerprinter). Error-carrying results are never cached. A cache
+// that additionally implements Flight de-duplicates concurrent
+// evaluations of one key (the engine calls Do instead of Get/Put). A
+// nil cache is a no-op.
 func WithCache(c Cache) Option {
 	return func(s *Sweep) error {
 		s.cache = c
@@ -311,9 +314,30 @@ dispatch:
 }
 
 // evalPoint serves one point from the cache or the evaluator, recovering
-// panics into error-carrying results.
+// panics into error-carrying results. When the cache implements Flight,
+// concurrent misses on one key collapse into a single evaluation whose
+// result every caller shares (counted as Deduped in the metrics).
 func (s *Sweep) evalPoint(p core.DesignPoint) (res core.Result, cached bool, dur time.Duration) {
 	key := s.evalID + "/" + p.Key()
+	if fl, ok := s.cache.(Flight); ok {
+		var evalDur time.Duration
+		res, hit, shared := fl.Do(key, func() core.Result {
+			start := time.Now()
+			r := s.safeEvaluate(p)
+			evalDur = time.Since(start)
+			s.metrics.observeEval(evalDur)
+			return r
+		})
+		switch {
+		case hit:
+			s.metrics.cacheHits.Add(1)
+			return res, true, 0
+		case shared:
+			s.metrics.deduped.Add(1)
+			return res, true, 0
+		}
+		return res, false, evalDur
+	}
 	if s.cache != nil {
 		if r, ok := s.cache.Get(key); ok {
 			s.metrics.cacheHits.Add(1)

@@ -11,6 +11,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"efficsense/internal/cache"
 	"efficsense/internal/core"
 )
 
@@ -500,6 +501,106 @@ func TestDesignPointKeyIsInjective(t *testing.T) {
 			t.Fatalf("key collision: %v and %v both map to %q", prev, p, k)
 		}
 		seen[k] = p
+	}
+}
+
+// TestConcurrentRunsSingleflightOneEvalPerPoint pins the daemon-path
+// guarantee: concurrent identical runs over one bounded cache evaluate
+// each design point exactly once — late arrivals either hit the cache
+// or join the in-flight computation, never recompute. Run under -race
+// this doubles as the engine/cache coherence stress.
+func TestConcurrentRunsSingleflightOneEvalPerPoint(t *testing.T) {
+	const (
+		k       = 4
+		nPoints = 16
+	)
+	fe := &fakeEvaluator{delay: 2 * time.Millisecond}
+	s, err := NewSweep(fe, WithCache(cache.New(64)), WithWorkers(4), WithEvaluatorID("shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(nPoints)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, err := s.Run(context.Background(), pts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for j, r := range rs {
+				if r.Err != nil || r.Point != pts[j] {
+					t.Errorf("result %d malformed: %+v", j, r)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := fe.calls.Load(); got != nPoints {
+		t.Fatalf("%d concurrent identical runs cost %d evaluations, want exactly %d", k, got, nPoints)
+	}
+	snap := s.Metrics()
+	if snap.CacheHits+snap.Deduped != (k-1)*nPoints {
+		t.Fatalf("hits %d + deduped %d, want %d together", snap.CacheHits, snap.Deduped, (k-1)*nPoints)
+	}
+}
+
+// TestConcurrentSweepsTinyCacheBoundHolds squeezes concurrent sweeps
+// through a cache far smaller than the space: a monitor goroutine
+// watches occupancy throughout, and the bound must never give.
+func TestConcurrentSweepsTinyCacheBoundHolds(t *testing.T) {
+	store := cache.New(8)
+	fe := &fakeEvaluator{}
+	s, err := NewSweep(fe, WithCache(store), WithWorkers(4), WithEvaluatorID("shared"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(64)
+
+	stop := make(chan struct{})
+	violated := make(chan int, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := store.Len(); n > store.Cap() {
+				violated <- n
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Run(context.Background(), pts); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+
+	select {
+	case n := <-violated:
+		t.Fatalf("cache occupancy reached %d, above its cap %d", n, store.Cap())
+	default:
+	}
+	st := store.Stats()
+	if st.Entries > st.Capacity {
+		t.Fatalf("final occupancy %d over cap %d", st.Entries, st.Capacity)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("64 distinct points through an 8-slot cache must evict")
 	}
 }
 

@@ -15,6 +15,7 @@ type Metrics struct {
 	done      atomic.Int64
 	evaluated atomic.Int64
 	cacheHits atomic.Int64
+	deduped   atomic.Int64
 	panics    atomic.Int64
 	evalNanos atomic.Int64
 	minNanos  atomic.Int64
@@ -58,10 +59,12 @@ type Snapshot struct {
 	// Total and Done describe the current (or last) Run.
 	Total, Done int
 	// Evaluated counts real evaluator calls; CacheHits counts points
-	// served from the memoisation cache; Panics counts evaluations that
-	// panicked and were degraded into error-carrying results. All three
-	// are cumulative across Runs.
-	Evaluated, CacheHits, Panics int64
+	// served from the memoisation cache; Deduped counts points served by
+	// joining an identical in-flight evaluation (singleflight, caches
+	// implementing Flight); Panics counts evaluations that panicked and
+	// were degraded into error-carrying results. All four are cumulative
+	// across Runs.
+	Evaluated, CacheHits, Deduped, Panics int64
 	// Elapsed is the wall-clock time since the current Run started.
 	Elapsed time.Duration
 	// MeanEval, MinEval, MaxEval summarise per-point evaluation time
@@ -82,6 +85,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Done:      int(m.done.Load()),
 		Evaluated: m.evaluated.Load(),
 		CacheHits: m.cacheHits.Load(),
+		Deduped:   m.deduped.Load(),
 		Panics:    m.panics.Load(),
 		MinEval:   time.Duration(m.minNanos.Load()),
 		MaxEval:   time.Duration(m.maxNanos.Load()),

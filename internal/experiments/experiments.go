@@ -12,6 +12,7 @@ import (
 	"io"
 	"sync"
 
+	"efficsense/internal/cache"
 	"efficsense/internal/classify"
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
@@ -53,8 +54,15 @@ type Options struct {
 	// Cache, if set, replaces the suite's private memoisation cache, so
 	// many suites (for example a server's per-option-set instances) share
 	// one warm store. Entries are keyed on the evaluator fingerprint, so
-	// sharing is always safe.
-	Cache *dse.MemoryCache
+	// sharing is always safe. Pass a cache.LRU to bound the store and
+	// de-duplicate concurrent evaluations (singleflight).
+	Cache dse.Cache
+	// CacheEntries bounds the suite's private cache when Cache is nil:
+	// a positive value builds a sharded LRU of that capacity (with
+	// singleflight de-duplication); 0 keeps the historical unbounded
+	// MemoryCache, the right default for CLI one-shots over finite paper
+	// spaces.
+	CacheEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -91,7 +99,7 @@ type Suite struct {
 	evaluator *core.Evaluator
 	detector  *classify.Detector
 	engine    *dse.Sweep
-	cache     *dse.MemoryCache
+	cache     dse.Cache
 
 	sweepMu sync.Mutex
 	sweep   []core.Result
@@ -135,7 +143,11 @@ func (s *Suite) init() {
 		// suite built over it.
 		s.cache = s.opts.Cache
 		if s.cache == nil {
-			s.cache = dse.NewMemoryCache()
+			if s.opts.CacheEntries > 0 {
+				s.cache = cache.New(s.opts.CacheEntries)
+			} else {
+				s.cache = dse.NewMemoryCache()
+			}
 		}
 		engine, err := dse.NewSweep(ev,
 			dse.WithWorkers(max(s.opts.Workers, 0)),
@@ -205,7 +217,7 @@ func (s *Suite) Engine() *dse.Sweep {
 }
 
 // Cache exposes the suite-wide memoisation cache.
-func (s *Suite) Cache() *dse.MemoryCache {
+func (s *Suite) Cache() dse.Cache {
 	s.init()
 	return s.cache
 }

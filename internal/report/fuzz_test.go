@@ -1,0 +1,37 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzNDJSONRow checks the single-row emitter's invariants over
+// arbitrary headers and cells: it never errors on marshal-safe values,
+// never emits a newline (the whole point of the row form is embedding
+// in line-oriented transports), and always produces one valid JSON
+// object — including for NaN/Inf floats, which must degrade to null
+// rather than corrupt the stream.
+func FuzzNDJSONRow(f *testing.F) {
+	f.Add("arch,bits,total_w", "baseline", int64(8), 8.3e-6)
+	f.Add("a", "x", int64(-1), 0.0)
+	f.Add("", "", int64(0), -1.5)
+	f.Add("k\nv,  ,\"q\"", "multi\nline \" cell", int64(1234567), 1e308)
+	f.Fuzz(func(t *testing.T, headerCSV, s string, i int64, fv float64) {
+		headers := strings.Split(headerCSV, ",")
+		row := []interface{}{s, i, fv}
+		line, err := NDJSONRow(headers, row)
+		if err != nil {
+			t.Fatalf("NDJSONRow(%q, %v): %v", headers, row, err)
+		}
+		if strings.ContainsRune(string(line), '\n') {
+			t.Fatalf("row payload spans lines: %q", line)
+		}
+		if len(line) < 2 || line[0] != '{' || line[len(line)-1] != '}' {
+			t.Fatalf("row is not a braced object: %q", line)
+		}
+		if !json.Valid(line) {
+			t.Fatalf("row is not valid JSON: %q", line)
+		}
+	})
+}

@@ -27,10 +27,11 @@ func NewTable(headers ...string) *Table {
 	return &Table{headers: headers}
 }
 
-// AddRow appends a row. Strings pass through; every numeric cell —
-// float64, float32, named float types and integer kinds alike — renders
-// with the same %.4g, so mixed-type numeric columns keep one notation;
-// anything else renders with %v.
+// AddRow appends a row. Strings pass through; float cells — float64,
+// float32 and named float types — render with %.4g so float columns
+// keep one notation; integer kinds render exactly (counts and indices
+// must not round: %.4g would turn 1234567 into 1.235e+06); anything
+// else renders with %v.
 func (t *Table) AddRow(cells ...interface{}) {
 	row := make([]string, len(cells))
 	for i, c := range cells {
@@ -52,9 +53,9 @@ func formatCell(c interface{}) string {
 	case reflect.Float32, reflect.Float64:
 		return fmt.Sprintf("%.4g", rv.Float())
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
-		return fmt.Sprintf("%.4g", float64(rv.Int()))
+		return strconv.FormatInt(rv.Int(), 10)
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		return fmt.Sprintf("%.4g", float64(rv.Uint()))
+		return strconv.FormatUint(rv.Uint(), 10)
 	}
 	return fmt.Sprintf("%v", c)
 }
@@ -122,9 +123,16 @@ type Scatter struct {
 	Series     []Series
 }
 
-// Add appends a series.
-func (s *Scatter) Add(name string, marker rune, x, y []float64) {
+// Add appends a series. The X and Y slices must pair up point for
+// point; a mismatch is rejected rather than silently truncated to the
+// shorter slice, which would plot a subset of the data and misrepresent
+// the sweep.
+func (s *Scatter) Add(name string, marker rune, x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("scatter series %q: %d x values but %d y values", name, len(x), len(y))
+	}
 	s.Series = append(s.Series, Series{Name: name, Marker: marker, X: x, Y: y})
+	return nil
 }
 
 // Render draws the plot.

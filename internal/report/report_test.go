@@ -39,7 +39,7 @@ func TestTableFloatFormatting(t *testing.T) {
 	}
 }
 
-func TestTableNumericCellsShareOneNotation(t *testing.T) {
+func TestTableCellFormatting(t *testing.T) {
 	type microwatts float64
 	cases := []struct {
 		cell interface{}
@@ -48,9 +48,14 @@ func TestTableNumericCellsShareOneNotation(t *testing.T) {
 		{float64(2.44e-6), "2.44e-06"},
 		{float32(2.5e-6), "2.5e-06"},
 		{microwatts(1.234567e-6), "1.235e-06"}, // named float type, %.4g
-		{150, "150"},                           // ints render like float64(150)
-		{int64(1234567), "1.235e+06"},
-		{uint(32000), "3.2e+04"},
+		{150, "150"},
+		// Integer kinds render exactly: %.4g would mangle anything with
+		// five or more significant digits into scientific notation.
+		{int64(1234567), "1234567"},
+		{12345, "12345"},
+		{uint(32000), "32000"},
+		{int64(-9007199254740993), "-9007199254740993"}, // beyond float64 exactness
+		{uint64(18446744073709551615), "18446744073709551615"},
 		{true, "true"}, // non-numerics keep %v
 	}
 	for _, c := range cases {
@@ -78,6 +83,25 @@ func TestScatterRendersAllSeries(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("scatter output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestScatterAddRejectsMismatchedSeries is the regression test for the
+// silent-truncation defect: Add used to accept unequal X/Y slices and
+// Render quietly plotted only the shorter prefix.
+func TestScatterAddRejectsMismatchedSeries(t *testing.T) {
+	var sc Scatter
+	if err := sc.Add("lopsided", '*', []float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched series lengths accepted")
+	}
+	if len(sc.Series) != 0 {
+		t.Fatalf("rejected series still appended: %d series", len(sc.Series))
+	}
+	if err := sc.Add("square", '*', []float64{1, 2}, []float64{3, 4}); err != nil {
+		t.Fatalf("matched series rejected: %v", err)
+	}
+	if len(sc.Series) != 1 {
+		t.Fatalf("series count %d", len(sc.Series))
 	}
 }
 
@@ -186,6 +210,16 @@ func TestNDJSON(t *testing.T) {
 	}
 	if _, ok := second["acc"]; ok {
 		t.Fatalf("short row grew a column: %v", second)
+	}
+}
+
+func TestNDJSONBigIntegersStayExact(t *testing.T) {
+	line, err := NDJSONRow([]string{"count"}, []interface{}{int64(1234567)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(line) != `{"count":1234567}` {
+		t.Fatalf("big integer mangled: %s", line)
 	}
 }
 

@@ -280,6 +280,7 @@ func outcomeOf(rs []core.Result, total int, partial bool, minAccuracy float64) *
 type EngineMetricsJSON struct {
 	Evaluated  int64   `json:"evaluated"`
 	CacheHits  int64   `json:"cache_hits"`
+	Deduped    int64   `json:"deduped"`
 	Panics     int64   `json:"panics"`
 	MeanEvalMS float64 `json:"mean_eval_ms"`
 	Throughput float64 `json:"throughput_pts_per_s"`
@@ -290,6 +291,7 @@ func engineMetricsJSON(s dse.Snapshot) *EngineMetricsJSON {
 	return &EngineMetricsJSON{
 		Evaluated:  s.Evaluated,
 		CacheHits:  s.CacheHits,
+		Deduped:    s.Deduped,
 		Panics:     s.Panics,
 		MeanEvalMS: float64(s.MeanEval) / float64(time.Millisecond),
 		Throughput: s.Throughput,

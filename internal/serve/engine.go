@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"efficsense/internal/cache"
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
@@ -26,28 +27,41 @@ type Engine interface {
 // from request handlers that must stay fast.
 type EngineFunc func(opts experiments.Options) (Engine, error)
 
+// DefaultCacheEntries bounds the daemon's shared evaluation cache when
+// the operator does not pick a capacity. Results are a few hundred
+// bytes each, so the default costs tens of megabytes at worst while a
+// paper-scale sweep (~10³ points) still fits entirely warm.
+const DefaultCacheEntries = 65536
+
 // SuiteEngines is the production EngineFunc: one experiments.Suite per
-// distinct option set, every suite sharing a single memoisation cache.
-// Cache keys embed the evaluator fingerprint, so the sharing is safe by
+// distinct option set, every suite sharing a single bounded memoisation
+// cache (a sharded LRU with singleflight de-duplication, so the
+// daemon's memory stays provably bounded under sustained distinct
+// traffic and concurrent identical requests evaluate once). Cache keys
+// embed the evaluator fingerprint, so the sharing is safe by
 // construction; the payoff is that every request against one option set
 // — sweeps, re-sweeps, single-point evaluations — reuses each other's
 // evaluations.
 type SuiteEngines struct {
 	mu     sync.Mutex
-	cache  *dse.MemoryCache
+	cache  *cache.LRU
 	suites map[string]*experiments.Suite
 }
 
-// NewSuiteEngines builds an empty provider around a fresh shared cache.
-func NewSuiteEngines() *SuiteEngines {
+// NewSuiteEngines builds an empty provider around a fresh shared
+// bounded cache; cacheEntries <= 0 selects DefaultCacheEntries.
+func NewSuiteEngines(cacheEntries int) *SuiteEngines {
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultCacheEntries
+	}
 	return &SuiteEngines{
-		cache:  dse.NewMemoryCache(),
+		cache:  cache.New(cacheEntries),
 		suites: make(map[string]*experiments.Suite),
 	}
 }
 
 // Cache exposes the shared memoisation store (for /metrics exposition).
-func (se *SuiteEngines) Cache() *dse.MemoryCache { return se.cache }
+func (se *SuiteEngines) Cache() *cache.LRU { return se.cache }
 
 // optionsKey canonicalises an option set: two option sets that build
 // equivalent evaluators map to the same key. Sinks (Progress, Trace) and

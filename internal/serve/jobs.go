@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"efficsense/internal/cache"
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
@@ -59,8 +60,10 @@ type ManagerConfig struct {
 	// ((*SuiteEngines).Engine in production).
 	Engines EngineFunc
 	// Cache, if set, is reported under /metrics (pass the SuiteEngines
-	// shared cache).
-	Cache *dse.MemoryCache
+	// shared cache). Both the bounded *cache.LRU (occupancy, capacity,
+	// evictions, singleflight shares) and the unbounded *dse.MemoryCache
+	// (occupancy, hit/miss) are understood.
+	Cache dse.Cache
 	// MaxConcurrentJobs bounds simultaneously running sweeps (default 2).
 	// Submissions beyond it are rejected with ErrSaturated — the caller
 	// retries after Retry-After — rather than queued, so a burst cannot
@@ -432,10 +435,10 @@ func (j *Job) Status() JobStatus {
 // terminal and fully replayed, or ctx ended.
 func (j *Job) WaitEvents(ctx context.Context, after int) (evs []JobEvent, more bool) {
 	stop := context.AfterFunc(ctx, func() {
-		// Take the lock so the broadcast cannot slip between a waiter's
-		// ctx check and its cond.Wait (the classic lost wakeup).
+		// Broadcast under the lock so the wakeup cannot slip between a
+		// waiter's ctx check and its cond.Wait (the classic lost wakeup).
 		j.mu.Lock()
-		j.mu.Unlock() //nolint:staticcheck // empty critical section is the point
+		defer j.mu.Unlock()
 		j.cond.Broadcast()
 	})
 	defer stop()
@@ -535,10 +538,14 @@ type Counters struct {
 	Running, Tracked       int
 	EngineEvaluated        int64
 	EngineCacheHits        int64
+	EngineDeduped          int64
 	EnginePanics           int64
 	EngineMeanEval         time.Duration
 	CacheEntries           int
+	CacheCapacity          int // 0 = unbounded
 	CacheHits, CacheMisses int64
+	CacheEvictions         int64
+	CacheDeduped           int64
 }
 
 // Counters aggregates the manager's counters and every engine's metrics.
@@ -573,6 +580,7 @@ func (m *Manager) Counters() Counters {
 		s := e.Metrics()
 		c.EngineEvaluated += s.Evaluated
 		c.EngineCacheHits += s.CacheHits
+		c.EngineDeduped += s.Deduped
 		c.EnginePanics += s.Panics
 		if s.Evaluated > 0 {
 			meanSum += time.Duration(int64(s.MeanEval) * s.Evaluated)
@@ -582,9 +590,15 @@ func (m *Manager) Counters() Counters {
 	if meanN > 0 {
 		c.EngineMeanEval = meanSum / time.Duration(meanN)
 	}
-	if m.cfg.Cache != nil {
-		c.CacheEntries = m.cfg.Cache.Len()
-		c.CacheHits, c.CacheMisses = m.cfg.Cache.Stats()
+	switch cc := m.cfg.Cache.(type) {
+	case *cache.LRU:
+		st := cc.Stats()
+		c.CacheEntries, c.CacheCapacity = st.Entries, st.Capacity
+		c.CacheHits, c.CacheMisses = st.Hits, st.Misses
+		c.CacheEvictions, c.CacheDeduped = st.Evictions, st.FlightShared
+	case *dse.MemoryCache:
+		c.CacheEntries = cc.Len()
+		c.CacheHits, c.CacheMisses = cc.Stats()
 	}
 	return c
 }

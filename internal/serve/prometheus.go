@@ -46,12 +46,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	counter("efficsense_engine_evaluations_total", "Design points scored by the evaluators (cache misses).", c.EngineEvaluated)
 	counter("efficsense_engine_cache_hits_total", "Design points served from the memoisation cache.", c.EngineCacheHits)
+	counter("efficsense_engine_dedup_total", "Design points served by joining an identical in-flight evaluation (singleflight).", c.EngineDeduped)
 	counter("efficsense_engine_panics_total", "Evaluator panics recovered into error results.", c.EnginePanics)
 	gauge("efficsense_engine_mean_eval_seconds", "Mean wall-clock seconds per real evaluation.", c.EngineMeanEval.Seconds())
 
 	gauge("efficsense_cache_entries", "Entries in the shared memoisation cache.", c.CacheEntries)
+	gauge("efficsense_cache_capacity", "Entry bound of the shared memoisation cache (0 = unbounded).", c.CacheCapacity)
 	counter("efficsense_cache_hits_total", "Shared cache lookups that hit.", c.CacheHits)
 	counter("efficsense_cache_misses_total", "Shared cache lookups that missed.", c.CacheMisses)
+	counter("efficsense_cache_evictions_total", "Entries evicted from the shared cache to honour its bound.", c.CacheEvictions)
+	counter("efficsense_cache_singleflight_shared_total", "Shared-cache lookups served by joining an identical in-flight evaluation.", c.CacheDeduped)
 }
 
 func writeMetric(w io.Writer, name, help, kind string, v interface{}) {

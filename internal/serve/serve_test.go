@@ -5,15 +5,18 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"efficsense/internal/cache"
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
@@ -41,19 +44,26 @@ func (e *slowEval) Evaluate(p core.DesignPoint) core.Result {
 }
 
 // newTestServer wires a real dse.Sweep over slowEval behind the full
-// HTTP stack. Every option set resolves to the same engine, so the warm
-// cache behaviour is exactly production's.
+// HTTP stack, memoising through a bounded store so the tests exercise
+// exactly the production (daemon) cache path. Every option set resolves
+// to the same engine, so the warm cache behaviour is production's.
 func newTestServer(t *testing.T, delay time.Duration, cfg ManagerConfig) (*httptest.Server, *Manager, *slowEval) {
 	t.Helper()
+	return newTestServerWithCache(t, delay, cfg, cache.New(128))
+}
+
+// newTestServerWithCache is newTestServer with the memoisation store
+// chosen by the caller (a tiny capacity, say, to force evictions).
+func newTestServerWithCache(t *testing.T, delay time.Duration, cfg ManagerConfig, store dse.Cache) (*httptest.Server, *Manager, *slowEval) {
+	t.Helper()
 	eval := &slowEval{delay: delay}
-	cache := dse.NewMemoryCache()
 	eng, err := dse.NewSweep(eval,
-		dse.WithCache(cache), dse.WithWorkers(2), dse.WithEvaluatorID("test-eval"))
+		dse.WithCache(store), dse.WithWorkers(2), dse.WithEvaluatorID("test-eval"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg.Engines = func(opts experiments.Options) (Engine, error) { return eng, nil }
-	cfg.Cache = cache
+	cfg.Cache = store
 	mgr, err := NewManager(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -66,6 +76,37 @@ func newTestServer(t *testing.T, delay time.Duration, cfg ManagerConfig) (*httpt
 		ts.Close()
 	})
 	return ts, mgr, eval
+}
+
+// metricValue extracts the value of an unlabelled metric from a
+// Prometheus text exposition.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("metric %s: unparsable value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s absent from exposition:\n%s", name, exposition)
+	return 0
+}
+
+func fetchMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
 }
 
 func postJSON(t *testing.T, url, body string) *http.Response {
@@ -259,11 +300,118 @@ func TestSweepLifecycleAndWarmCache(t *testing.T) {
 		"efficsense_cache_hits_total 6",
 		"efficsense_jobs_completed_total 2",
 		"efficsense_cache_entries 6",
+		"efficsense_cache_capacity 128",
+		"efficsense_cache_evictions_total 0",
 		`efficsense_http_requests_total{code="202"} 2`,
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestEvaluateCacheBoundAndEvictions drives a stream of distinct
+// /v1/evaluate requests past the cache's entry cap and checks the bound
+// is a hard invariant — occupancy never exceeds capacity, however many
+// distinct points flow through — while the evictions that enforce it
+// surface in the Prometheus exposition.
+func TestEvaluateCacheBoundAndEvictions(t *testing.T) {
+	store := cache.New(4)
+	ts, _, eval := newTestServerWithCache(t, 0, ManagerConfig{}, store)
+
+	const distinct = 10
+	for i := 0; i < distinct; i++ {
+		body := fmt.Sprintf(`{"point":{"arch":"baseline","bits":8,"lna_noise":%g}}`, float64(i+1)*1e-6)
+		resp := postJSON(t, ts.URL+"/v1/evaluate", body)
+		if resp.StatusCode != http.StatusOK {
+			raw, _ := io.ReadAll(resp.Body)
+			t.Fatalf("evaluate %d status %d: %s", i, resp.StatusCode, raw)
+		}
+		resp.Body.Close()
+		if n := store.Len(); n > store.Cap() {
+			t.Fatalf("after %d distinct points the cache holds %d entries, above its cap %d",
+				i+1, n, store.Cap())
+		}
+	}
+	if got := eval.calls.Load(); got != distinct {
+		t.Fatalf("distinct points must all evaluate: %d calls, want %d", got, distinct)
+	}
+	// 10 inserts into 4 slots: at least 6 must have been evicted (the
+	// exact count depends on how the keys shard, never the bound).
+	if st := store.Stats(); st.Evictions < distinct-4 {
+		t.Fatalf("evictions %d, want >= %d (stats %+v)", st.Evictions, distinct-4, st)
+	}
+
+	metrics := fetchMetrics(t, ts.URL)
+	if !strings.Contains(metrics, "efficsense_cache_capacity 4") {
+		t.Errorf("/metrics missing capacity gauge:\n%s", metrics)
+	}
+	if ev := metricValue(t, metrics, "efficsense_cache_evictions_total"); ev < distinct-4 {
+		t.Errorf("exposed evictions %g, want >= %d", ev, distinct-4)
+	}
+	if entries := metricValue(t, metrics, "efficsense_cache_entries"); entries > 4 {
+		t.Errorf("exposed occupancy %g above cap 4", entries)
+	}
+}
+
+// TestConcurrentIdenticalSweepsSingleflight is the de-duplication
+// acceptance test: K identical sweeps racing through one engine incur
+// exactly one underlying evaluation per design point — every other
+// request settles from the cache or by joining the in-flight
+// computation — and the split shows up in /metrics.
+func TestConcurrentIdenticalSweepsSingleflight(t *testing.T) {
+	const k = 3
+	ts, mgr, eval := newTestServer(t, 20*time.Millisecond, ManagerConfig{MaxConcurrentJobs: k})
+
+	ids := make(chan string, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(smallSweep))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submit status %d", resp.StatusCode)
+				return
+			}
+			var st JobStatus
+			if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+				t.Error(err)
+				return
+			}
+			ids <- st.ID
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	if t.Failed() {
+		t.FailNow()
+	}
+	for id := range ids {
+		if st := waitTerminal(t, ts.URL, id); st.State != string(StateCompleted) {
+			t.Fatalf("job %s finished %s: %s", id, st.State, st.Error)
+		}
+	}
+
+	if got := eval.calls.Load(); got != 6 {
+		t.Fatalf("6 distinct points across %d identical sweeps cost %d evaluations, want exactly 6", k, got)
+	}
+	c := mgr.Counters()
+	if c.EngineCacheHits+c.EngineDeduped != (k-1)*6 {
+		t.Fatalf("hits %d + deduped %d, want %d together",
+			c.EngineCacheHits, c.EngineDeduped, (k-1)*6)
+	}
+
+	metrics := fetchMetrics(t, ts.URL)
+	hits := metricValue(t, metrics, "efficsense_engine_cache_hits_total")
+	dedup := metricValue(t, metrics, "efficsense_engine_dedup_total")
+	if hits+dedup != (k-1)*6 {
+		t.Errorf("exposed hits %g + dedup %g, want %d together", hits, dedup, (k-1)*6)
 	}
 }
 
@@ -556,7 +704,7 @@ func TestSuiteEnginesShareByOptions(t *testing.T) {
 		t.Skip("trains two (tiny) detectors")
 	}
 	tiny := experiments.Options{Seed: 1, Records: 1, TrainRecords: 4, NoiseSteps: 1, Epochs: 1}
-	se := NewSuiteEngines()
+	se := NewSuiteEngines(0)
 	a, err := se.Engine(tiny)
 	if err != nil {
 		t.Fatal(err)
@@ -587,7 +735,7 @@ func TestServeRealSuite(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a (tiny) detector")
 	}
-	engines := NewSuiteEngines()
+	engines := NewSuiteEngines(0)
 	mgr, err := NewManager(ManagerConfig{
 		// MinAccuracy is loosened: a 2-epoch detector on 2 records cannot
 		// clear the paper's 98 % constraint, and this test is about the
