@@ -11,8 +11,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench writes a machine-readable baseline (BENCH_PR4.json, ignored by
+# git) for the hot paths: the obs histogram, the sweep engine, and the
+# HTTP serving stack. -count=6 gives benchstat enough samples to call a
+# regression; the target is informational, not a gate.
 bench:
-	$(GO) test -bench . -benchtime 1x
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 -json \
+		./internal/obs ./internal/dse ./internal/serve > BENCH_PR4.json
+	@echo "wrote BENCH_PR4.json"
 
 fmt:
 	@out=$$(gofmt -l .); \

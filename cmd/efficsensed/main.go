@@ -6,12 +6,19 @@
 //
 // Usage:
 //
-//	efficsensed [-addr :8080] [suite flags] [server flags]
+//	efficsensed [-addr :8080] [-ops-addr 127.0.0.1:6060] [suite flags] [server flags]
 //
 // The suite flags (-seed, -records, …) set the server-wide defaults;
 // requests override them per call. All sweep engines share one
 // memoisation cache, so repeated or overlapping studies get warmer the
 // longer the daemon runs.
+//
+// Logs are structured (log/slog, text format): every request line and
+// sweep lifecycle event carries the request_id assigned or propagated
+// by the X-Request-ID middleware, so one grep follows a request across
+// handler and job goroutines. The optional -ops-addr flag opens a
+// second, private listener with /debug/pprof/, /debug/vars and
+// /debug/build; those endpoints never appear on the public address.
 package main
 
 import (
@@ -19,7 +26,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -47,6 +54,7 @@ func main() {
 // config is the parsed command line.
 type config struct {
 	addr         string
+	opsAddr      string
 	drain        time.Duration
 	quiet        bool
 	cacheEntries int
@@ -61,6 +69,8 @@ func parseFlags(args []string) (*config, error) {
 	cfg := &config{}
 	fs := flag.NewFlagSet("efficsensed", flag.ContinueOnError)
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&cfg.opsAddr, "ops-addr", "",
+		"private ops listener for pprof/expvar/build info (empty = disabled; keep it loopback-only)")
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "shutdown grace period for running sweeps")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress request logging")
 
@@ -123,13 +133,13 @@ func (cfg *config) validate() error {
 // SIGTERM in production), then drains: running sweeps get cfg.drain to
 // finish before being cancelled, and the HTTP server closes after the
 // job manager so SSE streams flush their terminal events. ready, when
-// set, receives the bound address once the listener is up (tests bind
-// ":0").
-func run(ctx context.Context, cfg *config, ready func(addr string)) error {
-	logger := log.New(os.Stderr, "efficsensed ", log.LstdFlags)
-	reqLog := logger
+// set, receives the bound public and ops addresses once the listeners
+// are up (tests bind ":0"; opsAddr is "" when -ops-addr is unset).
+func run(ctx context.Context, cfg *config, ready func(addr, opsAddr string)) error {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("app", "efficsensed")
+	srvLog := logger
 	if cfg.quiet {
-		reqLog = nil
+		srvLog = nil
 	}
 
 	engines := serve.NewSuiteEngines(cfg.cacheEntries)
@@ -137,6 +147,7 @@ func run(ctx context.Context, cfg *config, ready func(addr string)) error {
 	mcfg.Defaults = cfg.defaults
 	mcfg.Engines = engines.Engine
 	mcfg.Cache = engines.Cache()
+	mcfg.Log = srvLog
 	mgr, err := serve.NewManager(mcfg)
 	if err != nil {
 		return err
@@ -146,13 +157,39 @@ func run(ctx context.Context, cfg *config, ready func(addr string)) error {
 	if err != nil {
 		return fmt.Errorf("listening on %s: %w", cfg.addr, err)
 	}
-	logger.Printf("listening on %s (defaults: seed %d, %d records, %d noise steps)",
-		ln.Addr(), cfg.defaults.Seed, cfg.defaults.Records, cfg.defaults.NoiseSteps)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"seed", cfg.defaults.Seed,
+		"records", cfg.defaults.Records,
+		"noise_steps", cfg.defaults.NoiseSteps)
+
+	// The ops listener is separate from the public mux by construction:
+	// pprof and expvar never register on the API server.
+	var opsSrv *http.Server
+	opsAddr := ""
+	opsErrc := make(chan error, 1)
+	if cfg.opsAddr != "" {
+		opsLn, err := net.Listen("tcp", cfg.opsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("listening on ops address %s: %w", cfg.opsAddr, err)
+		}
+		opsAddr = opsLn.Addr().String()
+		logger.Info("ops listener up", "ops_addr", opsAddr)
+		opsSrv = &http.Server{Handler: serve.NewOpsHandler()}
+		go func() {
+			if err := opsSrv.Serve(opsLn); !errors.Is(err, http.ErrServerClosed) {
+				opsErrc <- err
+				return
+			}
+			opsErrc <- nil
+		}()
+	}
 	if ready != nil {
-		ready(ln.Addr().String())
+		ready(ln.Addr().String(), opsAddr)
 	}
 
-	srv := &http.Server{Handler: serve.NewServer(mgr, reqLog)}
+	srv := &http.Server{Handler: serve.NewServer(mgr, srvLog)}
 	errc := make(chan error, 1)
 	go func() {
 		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
@@ -164,15 +201,18 @@ func run(ctx context.Context, cfg *config, ready func(addr string)) error {
 
 	select {
 	case err := <-errc:
+		if opsSrv != nil {
+			_ = opsSrv.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
 
-	logger.Printf("shutting down: draining sweeps (grace %s)", cfg.drain)
+	logger.Info("shutting down: draining sweeps", "grace", cfg.drain.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := mgr.Shutdown(drainCtx); err != nil {
-		logger.Printf("drain deadline hit; running sweeps were cancelled")
+		logger.Warn("drain deadline hit; running sweeps were cancelled")
 	}
 	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancelHTTP()
@@ -180,6 +220,10 @@ func run(ctx context.Context, cfg *config, ready func(addr string)) error {
 		_ = srv.Close()
 	}
 	<-errc
-	logger.Printf("bye")
+	if opsSrv != nil {
+		_ = opsSrv.Close()
+		<-opsErrc
+	}
+	logger.Info("bye")
 	return nil
 }

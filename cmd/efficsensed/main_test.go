@@ -108,7 +108,12 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 	addrc := make(chan string, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, cfg, func(addr string) { addrc <- addr })
+		done <- run(ctx, cfg, func(addr, opsAddr string) {
+			if opsAddr != "" {
+				t.Errorf("ops listener started without -ops-addr: %q", opsAddr)
+			}
+			addrc <- addr
+		})
 	}()
 	var base string
 	select {
@@ -155,6 +160,81 @@ func TestDaemonServesAndShutsDown(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad sweep status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never shut down")
+	}
+}
+
+// TestOpsListenerServesPprofPrivately boots the daemon with -ops-addr
+// and checks the debug surface lives only on the private listener: the
+// ops address serves /debug/pprof/, /debug/vars and /debug/build, and
+// the public API address 404s all of them.
+func TestOpsListenerServesPprofPrivately(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-addr", "127.0.0.1:0", "-ops-addr", "127.0.0.1:0", "-quiet",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type addrs struct{ api, ops string }
+	addrc := make(chan addrs, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, cfg, func(addr, opsAddr string) { addrc <- addrs{addr, opsAddr} })
+	}()
+	var a addrs
+	select {
+	case a = <-addrc:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never came up")
+	}
+	if a.ops == "" {
+		t.Fatal("ops listener did not start despite -ops-addr")
+	}
+
+	get := func(base, path string) int {
+		t.Helper()
+		resp, err := http.Get("http://" + base + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", base, path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/vars", "/debug/build"} {
+		if code := get(a.ops, path); code != http.StatusOK {
+			t.Errorf("ops %s: got %d, want 200", path, code)
+		}
+		if code := get(a.api, path); code != http.StatusNotFound {
+			t.Errorf("public %s: got %d, want 404 (debug surface leaked)", path, code)
+		}
+	}
+
+	resp, err := http.Get("http://" + a.ops + "/debug/build")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bi struct {
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&bi); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !strings.HasPrefix(bi.GoVersion, "go") {
+		t.Fatalf("build info go_version %q", bi.GoVersion)
 	}
 
 	cancel()

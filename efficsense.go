@@ -30,6 +30,7 @@ import (
 	"efficsense/internal/dsp"
 	"efficsense/internal/eeg"
 	"efficsense/internal/experiments"
+	"efficsense/internal/obs"
 	"efficsense/internal/power"
 	"efficsense/internal/tech"
 )
@@ -191,8 +192,13 @@ type (
 	LRUCache = cache.LRU
 	// CacheStats is an LRUCache accounting snapshot.
 	CacheStats = cache.Stats
-	// SweepMetrics is a snapshot of a sweep engine's counters.
+	// SweepMetrics is a snapshot of a sweep engine's counters, including
+	// the evaluation-duration histogram and its p50/p90/p99 quantiles.
 	SweepMetrics = dse.Snapshot
+	// EvalHistogram is the fixed-bucket evaluation-duration histogram
+	// snapshot carried by SweepMetrics; it renders Prometheus exposition
+	// and estimates arbitrary quantiles.
+	EvalHistogram = obs.Snapshot
 	// SweepEvent is one structured per-point engine observation
 	// (WithEventHook, (*Sweep).RunWithHook).
 	SweepEvent = dse.Event

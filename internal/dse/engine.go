@@ -196,6 +196,7 @@ func NewSweep(ev PointEvaluator, opts ...Option) (*Sweep, error) {
 			s.evalID = fmt.Sprintf("anon-ev-%d", anonEvalID.Add(1))
 		}
 	}
+	s.metrics.initHistogram()
 	return s, nil
 }
 

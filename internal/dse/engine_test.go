@@ -361,6 +361,50 @@ func TestMetricsSnapshotFields(t *testing.T) {
 	}
 }
 
+// TestMetricsEvalQuantilesAndHistogram checks the Snapshot's histogram
+// layer: every real evaluation (and nothing else) lands in EvalHist,
+// the quantiles are ordered and bracket the observed durations, and
+// cache hits do not pollute the distribution.
+func TestMetricsEvalQuantilesAndHistogram(t *testing.T) {
+	s, err := NewSweep(&fakeEvaluator{delay: 2 * time.Millisecond},
+		WithWorkers(2), WithCache(NewMemoryCache()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fakePoints(8)
+	if _, err := s.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if got := m.EvalHist.Count; got != uint64(len(pts)) {
+		t.Fatalf("histogram count %d, want %d", got, len(pts))
+	}
+	if m.P50Eval <= 0 || m.P50Eval > m.P90Eval || m.P90Eval > m.P99Eval {
+		t.Fatalf("quantiles not ordered: p50 %v p90 %v p99 %v", m.P50Eval, m.P90Eval, m.P99Eval)
+	}
+	// Every evaluation slept 2ms, so every observation lands in a bucket
+	// whose span includes 2ms or higher. The quantile interpolates
+	// within its bucket (Prometheus histogram_quantile semantics), so
+	// the estimate can undershoot the true value but never below the
+	// containing bucket's lower edge — 1ms for the (1ms, 2.5ms] bucket.
+	if m.P50Eval < time.Millisecond {
+		t.Fatalf("p50 %v below the containing bucket's 1ms lower edge", m.P50Eval)
+	}
+	if m.P99Eval > 10*time.Second {
+		t.Fatalf("p99 %v absurdly high for 2ms evaluations", m.P99Eval)
+	}
+	if m.EvalHist.Sum < (2*time.Millisecond).Seconds()*float64(len(pts)) {
+		t.Fatalf("histogram sum %g below the slept total", m.EvalHist.Sum)
+	}
+	// A warm re-run is all cache hits: the distribution must not move.
+	if _, err := s.Run(context.Background(), pts); err != nil {
+		t.Fatal(err)
+	}
+	if m2 := s.Metrics(); m2.EvalHist.Count != uint64(len(pts)) {
+		t.Fatalf("cache hits polluted the histogram: count %d", m2.EvalHist.Count)
+	}
+}
+
 func TestEventHooksAreSerialAndCarryResults(t *testing.T) {
 	var global []Event
 	s, err := NewSweep(&fakeEvaluator{}, WithWorkers(8), WithCache(NewMemoryCache()),

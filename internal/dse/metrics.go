@@ -3,6 +3,8 @@ package dse
 import (
 	"sync/atomic"
 	"time"
+
+	"efficsense/internal/obs"
 )
 
 // Metrics is the observability layer of a Sweep: lock-free counters
@@ -21,6 +23,18 @@ type Metrics struct {
 	minNanos  atomic.Int64
 	maxNanos  atomic.Int64
 	startNano atomic.Int64
+
+	// evalHist distributes per-point evaluation durations over fixed
+	// buckets (obs.EvalBuckets), feeding the Snapshot quantiles and the
+	// serving layer's Prometheus histogram. Set once by initHistogram
+	// before any worker runs; nil (zero-value Metrics) disables it.
+	evalHist *obs.Histogram
+}
+
+// initHistogram attaches the eval-duration histogram. NewSweep calls it
+// exactly once at construction, before any worker can observe.
+func (m *Metrics) initHistogram() {
+	m.evalHist = obs.NewHistogram(obs.EvalBuckets)
 }
 
 // beginRun resets the per-run progress window.
@@ -34,6 +48,9 @@ func (m *Metrics) observeEval(d time.Duration) {
 	n := int64(d)
 	m.evaluated.Add(1)
 	m.evalNanos.Add(n)
+	if m.evalHist != nil {
+		m.evalHist.Observe(d.Seconds())
+	}
 	for {
 		cur := m.minNanos.Load()
 		if cur != 0 && cur <= n {
@@ -70,6 +87,15 @@ type Snapshot struct {
 	// MeanEval, MinEval, MaxEval summarise per-point evaluation time
 	// (cache hits excluded — they cost microseconds).
 	MeanEval, MinEval, MaxEval time.Duration
+	// P50Eval, P90Eval, P99Eval are eval-duration quantiles estimated
+	// from EvalHist by linear interpolation within its fixed buckets —
+	// the tail the mean hides. Zero when no evaluation has happened (or
+	// on a zero-value Metrics with no histogram attached).
+	P50Eval, P90Eval, P99Eval time.Duration
+	// EvalHist is the raw eval-duration histogram snapshot, cumulative
+	// across Runs; the serving layer merges these across engines into
+	// the efficsense_eval_duration_seconds exposition.
+	EvalHist obs.Snapshot
 	// Throughput is completed points per second in the current Run.
 	Throughput float64
 	// ETA estimates the time to finish the current Run at the observed
@@ -92,6 +118,12 @@ func (m *Metrics) Snapshot() Snapshot {
 	}
 	if s.Evaluated > 0 {
 		s.MeanEval = time.Duration(m.evalNanos.Load() / s.Evaluated)
+	}
+	if m.evalHist != nil {
+		s.EvalHist = m.evalHist.Snapshot()
+		s.P50Eval = time.Duration(s.EvalHist.Quantile(0.50) * float64(time.Second))
+		s.P90Eval = time.Duration(s.EvalHist.Quantile(0.90) * float64(time.Second))
+		s.P99Eval = time.Duration(s.EvalHist.Quantile(0.99) * float64(time.Second))
 	}
 	if start := m.startNano.Load(); start > 0 {
 		s.Elapsed = time.Since(time.Unix(0, start))

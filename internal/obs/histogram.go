@@ -1,0 +1,196 @@
+// Package obs holds the request-scoped observability primitives the
+// serving stack shares: a fixed-bucket, allocation-free latency
+// histogram (rendered by hand into the Prometheus text exposition, like
+// the rest of /metrics) and X-Request-ID generation/propagation.
+//
+// The histogram exists so the engine and HTTP layers can attribute
+// latency per pipeline stage — tail quantiles per endpoint and per
+// evaluation — instead of the single mean the first serving cut
+// exported. Observe is lock-free and performs no allocation, so it is
+// safe on the sweep engine's hot path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// maxBuckets bounds the finite-bucket count so a Histogram's counters
+// live in a fixed-size array: no allocation per Observe, no resizing,
+// and the zero-ish construction cost is one slice header.
+const maxBuckets = 32
+
+// DurationBuckets are the HTTP request-latency bounds in seconds:
+// 1ms … 10s, roughly logarithmic, matching the Prometheus defaults so
+// dashboards transfer.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// EvalBuckets are the per-point evaluation-duration bounds in seconds.
+// Evaluations span microseconds (warm analytic paths in tests) to tens
+// of seconds (detector-backed points at paper scale), so the range is
+// wider and starts finer than DurationBuckets.
+var EvalBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// Histogram is a fixed-bucket cumulative histogram with lock-free,
+// allocation-free observation. Bucket semantics match Prometheus: a
+// bucket's bound is its inclusive upper edge (le), and an implicit
+// +Inf bucket catches everything beyond the last bound.
+//
+// Construct with NewHistogram; the zero value has no buckets and drops
+// observations into +Inf only.
+type Histogram struct {
+	bounds []float64
+	counts [maxBuckets + 1]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram builds a histogram over the given ascending upper
+// bounds. It panics on unsorted bounds or more than maxBuckets of them
+// — bucket layouts are compile-time decisions, not request data.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) > maxBuckets {
+		panic(fmt.Sprintf("obs: %d histogram buckets, max %d", len(bounds), maxBuckets))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at index %d (%g after %g)",
+				i, bounds[i], bounds[i-1]))
+		}
+	}
+	h := &Histogram{bounds: make([]float64, len(bounds))}
+	copy(h.bounds, bounds)
+	return h
+}
+
+// Observe records one value. It is safe for concurrent use, lock-free,
+// and allocates nothing.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= le
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram. Buckets are
+// read without pausing writers, so a snapshot taken mid-Observe may be
+// off by the in-flight observation — fine for monitoring, which is the
+// only consumer.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)+1),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sum.Load()),
+	}
+	for i := range s.Counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Snapshot is a point-in-time histogram reading: per-bucket
+// (non-cumulative) counts, with Counts[len(Bounds)] the +Inf bucket.
+// The zero value is an empty histogram that merges with anything.
+type Snapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Merge accumulates o into s. An empty receiver adopts o's bucket
+// layout; mismatched layouts merge only the totals (Count/Sum), so
+// aggregate quantiles degrade rather than lie.
+func (s *Snapshot) Merge(o Snapshot) {
+	if o.Count == 0 && len(o.Counts) == 0 {
+		return
+	}
+	if len(s.Counts) == 0 {
+		s.Bounds = o.Bounds
+		s.Counts = append([]uint64(nil), o.Counts...)
+		s.Count, s.Sum = o.Count, o.Sum
+		return
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if len(o.Counts) != len(s.Counts) {
+		return
+	}
+	for i, c := range o.Counts {
+		s.Counts[i] += c
+	}
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear
+// interpolation within the bucket holding the target rank, the same
+// estimate Prometheus's histogram_quantile computes. Values in the
+// +Inf bucket clamp to the largest finite bound. An empty histogram
+// reports 0.
+func (s Snapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	q = math.Max(0, math.Min(1, q))
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(s.Bounds) { // +Inf bucket: clamp to the last finite edge
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		return lo + (s.Bounds[i]-lo)*(rank-prev)/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// WritePrometheus renders the snapshot as one Prometheus histogram
+// series: cumulative _bucket lines with le labels ending at +Inf, then
+// _sum and _count. labels is either empty or a rendered label list
+// (`endpoint="POST /v1/evaluate"`); the caller writes # HELP/# TYPE
+// once per metric name, since one name may carry many label sets.
+func (s Snapshot) WritePrometheus(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		if i < len(s.Counts) {
+			cum += s.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n",
+			name, labels, sep, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, labels, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labels, s.Count)
+}

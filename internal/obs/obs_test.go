@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 1, 10})
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	for _, v := range []float64{0.05, 0.1} {
+		h.Observe(v)
+	}
+	h.Observe(0.5)
+	h.Observe(10)
+	h.Observe(11) // +Inf
+	s := h.Snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count %d, want %d (%+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("count %d, want 5", s.Count)
+	}
+	if math.Abs(s.Sum-21.65) > 1e-9 {
+		t.Errorf("sum %g, want 21.65", s.Sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// 4 observations spread one per finite bucket plus one in +Inf.
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// rank(0.5) = 2 → second bucket (1,2], full rank → its upper edge.
+	if q := s.Quantile(0.5); math.Abs(q-2) > 1e-9 {
+		t.Errorf("p50 %g, want 2", q)
+	}
+	// rank(0.25) = 1 → first bucket [0,1], full rank → 1.
+	if q := s.Quantile(0.25); math.Abs(q-1) > 1e-9 {
+		t.Errorf("p25 %g, want 1", q)
+	}
+	// Interpolation inside a bucket: rank 2.5 is halfway through (2,4].
+	if q := s.Quantile(0.625); math.Abs(q-3) > 1e-9 {
+		t.Errorf("p62.5 %g, want 3", q)
+	}
+	// The +Inf bucket clamps to the largest finite bound.
+	if q := s.Quantile(1); math.Abs(q-4) > 1e-9 {
+		t.Errorf("p100 %g, want 4 (clamped)", q)
+	}
+	if q := (Snapshot{}).Quantile(0.5); q != 0 {
+		t.Errorf("empty histogram p50 %g, want 0", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2}).Snapshot()
+	var agg Snapshot
+	agg.Merge(a) // empty receiver adopts layout
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(3)
+	agg.Merge(h.Snapshot())
+	if agg.Count != 2 || agg.Counts[0] != 1 || agg.Counts[2] != 1 {
+		t.Fatalf("merged snapshot %+v", agg)
+	}
+	// Mismatched layouts merge only the totals.
+	other := NewHistogram([]float64{5})
+	other.Observe(4)
+	agg.Merge(other.Snapshot())
+	if agg.Count != 3 || agg.Counts[0] != 1 {
+		t.Fatalf("mismatched merge %+v", agg)
+	}
+}
+
+// TestHistogramPrometheusRendering pins the exposition byte for byte:
+// le labels in 'g' format, cumulative bucket counts, the +Inf bucket
+// equal to the total, then _sum and _count.
+func TestHistogramPrometheusRendering(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.0025, 0.005})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.01} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	h.Snapshot().WritePrometheus(&b, "x_seconds", `endpoint="GET /healthz"`)
+	want := `x_seconds_bucket{endpoint="GET /healthz",le="0.001"} 1
+x_seconds_bucket{endpoint="GET /healthz",le="0.0025"} 3
+x_seconds_bucket{endpoint="GET /healthz",le="0.005"} 3
+x_seconds_bucket{endpoint="GET /healthz",le="+Inf"} 4
+x_seconds_sum{endpoint="GET /healthz"} 0.0145
+x_seconds_count{endpoint="GET /healthz"} 4
+`
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+
+	// Unlabelled series carry no braces on _sum/_count.
+	var u strings.Builder
+	h.Snapshot().WritePrometheus(&u, "y_seconds", "")
+	if !strings.Contains(u.String(), "y_seconds_sum 0.0145\n") ||
+		!strings.Contains(u.String(), `y_seconds_bucket{le="+Inf"} 4`) {
+		t.Errorf("unlabelled exposition:\n%s", u.String())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(DurationBuckets)
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%13) * 0.001)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != workers*per {
+		t.Fatalf("count %d, want %d", s.Count, workers*per)
+	}
+}
+
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"descending": {2, 1},
+		"duplicate":  {1, 1},
+		"too many":   make([]float64, maxBuckets+1),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s bounds did not panic", name)
+				}
+			}()
+			if name == "too many" {
+				for i := range bounds {
+					bounds[i] = float64(i + 1)
+				}
+			}
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestRequestIDRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestID(ctx); got != "" {
+		t.Fatalf("bare context carries request ID %q", got)
+	}
+	ctx = WithRequestID(ctx, "abc-123")
+	if got := RequestID(ctx); got != "abc-123" {
+		t.Fatalf("round trip: %q", got)
+	}
+}
+
+func TestNewRequestIDShapeAndUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 || !ValidRequestID(id) {
+			t.Fatalf("generated ID %q", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate generated ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	cases := map[string]bool{
+		"abc-123":                true,
+		"0123456789abcdef":       true,
+		"":                       false,
+		"has space":              false,
+		"tab\there":              false,
+		"newline\n":              false,
+		"ctrl\x01":               false,
+		"über":                   false, // non-ASCII
+		strings.Repeat("x", 128): true,
+		strings.Repeat("x", 129): false,
+	}
+	for id, want := range cases {
+		if got := ValidRequestID(id); got != want {
+			t.Errorf("ValidRequestID(%q) = %v, want %v", id, got, want)
+		}
+	}
+}
+
+// BenchmarkHistogramObserve pins the hot-path contract: lock-free and
+// allocation-free (run with -benchmem; allocs/op must be 0).
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram(EvalBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%100) * 0.0007)
+	}
+}
+
+// BenchmarkHistogramSnapshotQuantile measures the read side the status
+// endpoint hits per request.
+func BenchmarkHistogramSnapshotQuantile(b *testing.B) {
+	h := NewHistogram(EvalBuckets)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i%100) * 0.0007)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := h.Snapshot()
+		_ = s.Quantile(0.5) + s.Quantile(0.9) + s.Quantile(0.99)
+	}
+}

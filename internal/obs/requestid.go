@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+)
+
+// ridKey is the context key for the request ID; unexported so only this
+// package's accessors touch it.
+type ridKey struct{}
+
+// WithRequestID attaches a request ID to the context. The serving
+// middleware calls it once per request; everything downstream — handler
+// log lines, job lifecycle records — reads it back with RequestID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestID returns the request ID carried by ctx, or "" when the work
+// is not request-scoped (CLI runs, tests driving the Manager directly).
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ridKey{}).(string)
+	return id
+}
+
+// NewRequestID returns a fresh 16-hex-character request ID (64 random
+// bits — collision-free for any realistic daemon lifetime, short enough
+// to read in a log line).
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on the supported platforms; degrade to
+		// a constant rather than panicking the serving path.
+		return "rid-rand-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// maxRequestIDLen caps caller-supplied IDs so a hostile header cannot
+// bloat every log line and job record.
+const maxRequestIDLen = 128
+
+// ValidRequestID reports whether a caller-supplied X-Request-ID is safe
+// to echo and log: non-empty, at most maxRequestIDLen bytes, visible
+// ASCII only (no spaces, no control bytes, nothing that could split a
+// log line or smuggle a header).
+func ValidRequestID(s string) bool {
+	if len(s) == 0 || len(s) > maxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] <= 0x20 || s[i] >= 0x7f {
+			return false
+		}
+	}
+	return true
+}

@@ -6,11 +6,16 @@
 //
 //	POST   /v1/evaluate            synchronous single-point evaluation
 //	POST   /v1/sweeps              submit an async design-space sweep
+//	GET    /v1/sweeps              list tracked jobs (?state= filter)
 //	GET    /v1/sweeps/{id}         job status, metrics, fronts, optima
 //	GET    /v1/sweeps/{id}/events  SSE stream of engine progress events
 //	GET    /v1/sweeps/{id}/results NDJSON stream of the result cloud
 //	DELETE /v1/sweeps/{id}         cancel the job (partial results kept)
 //	GET    /healthz, GET /metrics  liveness and Prometheus exposition
+//
+// Every response carries an X-Request-ID header (echoing the caller's,
+// when valid, else freshly assigned); error responses share the v1
+// envelope {"error": {"code", "message"}} with machine-readable codes.
 //
 // This file holds the wire types (requests, responses, conversions).
 package serve
@@ -276,13 +281,19 @@ func outcomeOf(rs []core.Result, total int, partial bool, minAccuracy float64) *
 	return out
 }
 
-// EngineMetricsJSON is the wire form of a dse.Snapshot.
+// EngineMetricsJSON is the wire form of a dse.Snapshot. The eval
+// quantiles come from the engine's fixed-bucket duration histogram, so
+// a slow sweep's tail is visible right on its status response instead
+// of only in aggregate /metrics.
 type EngineMetricsJSON struct {
 	Evaluated  int64   `json:"evaluated"`
 	CacheHits  int64   `json:"cache_hits"`
 	Deduped    int64   `json:"deduped"`
 	Panics     int64   `json:"panics"`
 	MeanEvalMS float64 `json:"mean_eval_ms"`
+	P50EvalMS  float64 `json:"p50_eval_ms"`
+	P90EvalMS  float64 `json:"p90_eval_ms"`
+	P99EvalMS  float64 `json:"p99_eval_ms"`
 	Throughput float64 `json:"throughput_pts_per_s"`
 	ETAMS      float64 `json:"eta_ms"`
 }
@@ -294,6 +305,9 @@ func engineMetricsJSON(s dse.Snapshot) *EngineMetricsJSON {
 		Deduped:    s.Deduped,
 		Panics:     s.Panics,
 		MeanEvalMS: float64(s.MeanEval) / float64(time.Millisecond),
+		P50EvalMS:  float64(s.P50Eval) / float64(time.Millisecond),
+		P90EvalMS:  float64(s.P90Eval) / float64(time.Millisecond),
+		P99EvalMS:  float64(s.P99Eval) / float64(time.Millisecond),
 		Throughput: s.Throughput,
 		ETAMS:      float64(s.ETA) / float64(time.Millisecond),
 	}
@@ -306,10 +320,13 @@ type ProgressJSON struct {
 }
 
 // JobStatus is the GET /v1/sweeps/{id} response (and the body of the
-// 202 returned on submission).
+// 202 returned on submission). RequestID is the X-Request-ID of the
+// submitting request, so a designer can correlate a job — and every log
+// line it produced — back to the call that created it.
 type JobStatus struct {
 	ID              string             `json:"id"`
 	State           string             `json:"state"`
+	RequestID       string             `json:"request_id,omitempty"`
 	CancelRequested bool               `json:"cancel_requested,omitempty"`
 	CreatedAt       time.Time          `json:"created_at"`
 	StartedAt       *time.Time         `json:"started_at,omitempty"`
@@ -323,7 +340,54 @@ type JobStatus struct {
 	ResultsURL      string             `json:"results_url"`
 }
 
-// errorJSON is the uniform error body.
+// JobSummary is one row of the GET /v1/sweeps listing: enough to find a
+// job (and the request that submitted it) without scraping /metrics.
+type JobSummary struct {
+	ID        string       `json:"id"`
+	State     string       `json:"state"`
+	RequestID string       `json:"request_id,omitempty"`
+	CreatedAt time.Time    `json:"created_at"`
+	Progress  ProgressJSON `json:"progress"`
+	StatusURL string       `json:"status_url"`
+}
+
+// JobListJSON is the GET /v1/sweeps response.
+type JobListJSON struct {
+	Jobs  []JobSummary `json:"jobs"`
+	Count int          `json:"count"`
+}
+
+// ErrorCode is the machine-readable error taxonomy of the v1 API: the
+// code names the failure class (what a client should branch on), the
+// accompanying message is for humans and makes no stability promise.
+type ErrorCode string
+
+const (
+	// CodeBadRequest: the request body or parameters failed validation (400).
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeNotFound: no such job — never existed or TTL-evicted (404).
+	CodeNotFound ErrorCode = "not_found"
+	// CodeConflict: the resource exists but is in the wrong state, e.g.
+	// results of a still-running job (409).
+	CodeConflict ErrorCode = "conflict"
+	// CodeSaturated: every sweep slot is busy; retry after Retry-After (429).
+	CodeSaturated ErrorCode = "saturated"
+	// CodeShuttingDown: the daemon is draining and rejects new work (503).
+	CodeShuttingDown ErrorCode = "shutting_down"
+	// CodeDeadline: the evaluation exceeded its deadline (504).
+	CodeDeadline ErrorCode = "deadline"
+	// CodeInternal: an unclassified server-side failure (500).
+	CodeInternal ErrorCode = "internal"
+)
+
+// ErrorDetail is the payload of the v1 error envelope.
+type ErrorDetail struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+}
+
+// errorJSON is the uniform v1 error body:
+// {"error": {"code": "...", "message": "..."}}.
 type errorJSON struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
 }

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"efficsense/internal/cache"
+	"efficsense/internal/dse"
+	"efficsense/internal/experiments"
+)
+
+// newBenchServer wires the full middleware + handler stack (request-ID
+// assignment, latency histograms, status counters) over an instant
+// evaluator, so the benchmarks price the serving path itself.
+func newBenchServer(b *testing.B) *Server {
+	b.Helper()
+	eval := &slowEval{}
+	store := cache.New(1024)
+	eng, err := dse.NewSweep(eval,
+		dse.WithCache(store), dse.WithWorkers(2), dse.WithEvaluatorID("bench-eval"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := NewManager(ManagerConfig{
+		Engines: func(opts experiments.Options) (Engine, error) { return eng, nil },
+		Cache:   store,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+	})
+	return NewServer(mgr, nil)
+}
+
+// BenchmarkHealthz prices the fixed per-request overhead: middleware,
+// histogram observation, counters, JSON encoding.
+func BenchmarkHealthz(b *testing.B) {
+	srv := newBenchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest("GET", "/healthz", nil))
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkEvaluateWarmHTTP prices a cache-hit evaluation through the
+// whole HTTP stack: decode, validate, memoised engine call, encode.
+func BenchmarkEvaluateWarmHTTP(b *testing.B) {
+	srv := newBenchServer(b)
+	const body = `{"point":{"arch":"baseline","bits":8,"lna_noise":1e-6}}`
+	warm := httptest.NewRecorder()
+	srv.ServeHTTP(warm, httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body)))
+	if warm.Code != http.StatusOK {
+		b.Fatalf("prime status %d: %s", warm.Code, warm.Body)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, httptest.NewRequest("POST", "/v1/evaluate", strings.NewReader(body)))
+		if w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

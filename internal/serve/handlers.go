@@ -6,52 +6,92 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"efficsense/internal/experiments"
+	"efficsense/internal/obs"
 )
 
 // Server is the HTTP face of a job Manager.
 type Server struct {
 	mgr     *Manager
 	mux     *http.ServeMux
-	log     *log.Logger
+	log     *slog.Logger
 	started time.Time
 
 	reqMu     sync.Mutex
 	reqByCode map[int]int64
 
+	// reqDur holds one fixed-bucket latency histogram per registered
+	// endpoint pattern, built at construction so the request path never
+	// allocates or locks to find its histogram; endpoints keeps the
+	// registration order so the /metrics exposition is deterministic.
+	reqDur    map[string]*obs.Histogram
+	endpoints []string
+
 	sseActive atomic.Int64
 }
 
 // NewServer wires the routes around a Manager. logger may be nil for a
-// silent server (tests).
-func NewServer(mgr *Manager, logger *log.Logger) *Server {
+// silent server (tests); when set, every request completion and error
+// is logged through it with the request's request_id attached.
+func NewServer(mgr *Manager, logger *slog.Logger) *Server {
 	s := &Server{
 		mgr:       mgr,
 		mux:       http.NewServeMux(),
 		log:       logger,
 		started:   time.Now(),
 		reqByCode: make(map[int]int64),
+		reqDur:    make(map[string]*obs.Histogram),
 	}
-	s.mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
-	s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
-	s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.route("POST /v1/evaluate", s.handleEvaluate)
+	s.route("POST /v1/sweeps", s.handleSubmit)
+	s.route("GET /v1/sweeps", s.handleList)
+	s.route("GET /v1/sweeps/{id}", s.handleStatus)
+	s.route("GET /v1/sweeps/{id}/events", s.handleEvents)
+	s.route("GET /v1/sweeps/{id}/results", s.handleResults)
+	s.route("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
 	return s
 }
 
-// ServeHTTP dispatches through the status-recording middleware.
+// route registers a handler under its mux pattern and gives it a
+// latency histogram labelled by that pattern. The observation wraps the
+// handler alone (mux dispatch and middleware cost stay out), and
+// unmatched requests (404/405 straight from the mux) are counted by
+// code but not timed — there is no endpoint to attribute them to.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	hist := obs.NewHistogram(obs.DurationBuckets)
+	s.reqDur[pattern] = hist
+	s.endpoints = append(s.endpoints, pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start).Seconds())
+	})
+}
+
+// ServeHTTP is the request middleware: it assigns or propagates the
+// X-Request-ID (a valid caller-supplied ID is echoed and reused, an
+// absent or unsafe one is replaced), attaches it to the request context
+// for every downstream log line and job record, echoes it on the
+// response, and records the status-code counters plus one structured
+// completion log line per request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqID := strings.TrimSpace(r.Header.Get("X-Request-ID"))
+	if !obs.ValidRequestID(reqID) {
+		reqID = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", reqID)
+	r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+
 	rec := &statusRecorder{ResponseWriter: w}
 	start := time.Now()
 	s.mux.ServeHTTP(rec, r)
@@ -63,7 +103,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.reqByCode[code]++
 	s.reqMu.Unlock()
 	if s.log != nil {
-		s.log.Printf("%s %s %d %s", r.Method, r.URL.Path, code, time.Since(start).Round(time.Millisecond))
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "http request",
+			slog.String("request_id", reqID),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", code),
+			slog.Duration("duration", time.Since(start)))
 	}
 }
 
@@ -105,13 +150,30 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...interface{}) {
-	writeJSON(w, code, errorJSON{Error: fmt.Sprintf(format, args...)})
+// error writes the v1 error envelope and logs the failure with the
+// request's request_id — client errors at INFO (they are the caller's
+// problem), server errors at WARN.
+func (s *Server) error(w http.ResponseWriter, r *http.Request, status int, code ErrorCode, format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if s.log != nil {
+		lvl := slog.LevelInfo
+		if status >= 500 {
+			lvl = slog.LevelWarn
+		}
+		s.log.LogAttrs(r.Context(), lvl, "request error",
+			slog.String("request_id", obs.RequestID(r.Context())),
+			slog.String("code", string(code)),
+			slog.Int("status", status),
+			slog.String("message", msg))
+	}
+	writeJSON(w, status, errorJSON{Error: ErrorDetail{Code: code, Message: msg}})
 }
 
-// decodeBody strictly decodes a JSON request body; unknown fields are
+// decodeBody strictly decodes a JSON request body: unknown fields are
 // rejected so typos fail loudly instead of silently sweeping the wrong
-// space. An empty body decodes to the zero value.
+// space, and trailing data after the first JSON value is rejected so a
+// concatenated or corrupted body cannot half-parse. An empty body
+// decodes to the zero value.
 func decodeBody(r *http.Request, v interface{}) error {
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -121,6 +183,9 @@ func decodeBody(r *http.Request, v interface{}) error {
 		}
 		return err
 	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return errors.New("request body holds more than one JSON value")
+	}
 	return nil
 }
 
@@ -129,12 +194,17 @@ func decodeBody(r *http.Request, v interface{}) error {
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
 	dp, err := req.Point.DesignPoint()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "point: %v", err)
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "point: %v", err)
+		return
+	}
+	if req.TimeoutMS < 0 {
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest,
+			"timeout_ms must be non-negative, got %d", req.TimeoutMS)
 		return
 	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
@@ -142,16 +212,16 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.error(w, r, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, "evaluation exceeded the deadline")
+		s.error(w, r, http.StatusGatewayTimeout, CodeDeadline, "evaluation exceeded the deadline")
 		return
 	case errors.Is(err, context.Canceled):
 		// Client went away; nothing useful to write.
 		return
 	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.error(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
 	rj := resultJSON(result)
@@ -164,14 +234,14 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
 	}
-	job, err := s.mgr.Submit(req)
+	job, err := s.mgr.Submit(r.Context(), req)
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrBadRequest):
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	case errors.Is(err, ErrSaturated):
 		retry := int(s.mgr.RetryAfter().Round(time.Second) / time.Second)
@@ -179,13 +249,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			retry = 1
 		}
 		w.Header().Set("Retry-After", fmt.Sprint(retry))
-		writeError(w, http.StatusTooManyRequests, "%v (retry after ~%ds)", err, retry)
+		s.error(w, r, http.StatusTooManyRequests, CodeSaturated, "%v (retry after ~%ds)", err, retry)
 		return
 	case errors.Is(err, ErrShuttingDown):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		s.error(w, r, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
 		return
 	default:
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.error(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
 		return
 	}
 	st := job.Status()
@@ -193,10 +263,48 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, st)
 }
 
+// validStateFilter accepts the JobState names a ?state= filter may use.
+func validStateFilter(s string) bool {
+	switch JobState(s) {
+	case StatePending, StateRunning, StateCompleted, StateCancelled, StateFailed:
+		return true
+	}
+	return false
+}
+
+// handleList returns every tracked job (running and TTL-retained
+// finished ones), newest first, optionally filtered by ?state=. This is
+// the discovery endpoint: clients find their jobs here — by the
+// request_id they submitted with — instead of scraping /metrics.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("state")
+	if filter != "" && !validStateFilter(filter) {
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest,
+			"unknown state %q (want pending, running, completed, cancelled or failed)", filter)
+		return
+	}
+	jobs := s.mgr.Jobs()
+	summaries := make([]JobSummary, 0, len(jobs))
+	for _, j := range jobs {
+		sum := j.Summary()
+		if filter != "" && sum.State != filter {
+			continue
+		}
+		summaries = append(summaries, sum)
+	}
+	sort.Slice(summaries, func(i, k int) bool {
+		if !summaries[i].CreatedAt.Equal(summaries[k].CreatedAt) {
+			return summaries[i].CreatedAt.After(summaries[k].CreatedAt)
+		}
+		return summaries[i].ID > summaries[k].ID
+	})
+	writeJSON(w, http.StatusOK, JobListJSON{Jobs: summaries, Count: len(summaries)})
+}
+
 func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	job, err := s.mgr.Job(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		s.error(w, r, http.StatusNotFound, CodeNotFound, "%v", err)
 		return nil, false
 	}
 	return job, true
@@ -217,7 +325,8 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !job.State().Terminal() {
-		writeError(w, http.StatusConflict, "job %s is still %s; results stream after it finishes", job.ID, job.State())
+		s.error(w, r, http.StatusConflict, CodeConflict,
+			"job %s is still %s; results stream after it finishes", job.ID, job.State())
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -228,9 +337,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 // handleCancel requests cancellation and reports the (possibly already
 // terminal) status.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	job, err := s.mgr.Cancel(r.PathValue("id"))
+	job, err := s.mgr.Cancel(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		s.error(w, r, http.StatusNotFound, CodeNotFound, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,7 @@ import (
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
+	"efficsense/internal/obs"
 	"efficsense/internal/report"
 )
 
@@ -75,6 +77,11 @@ type ManagerConfig struct {
 	MaxSweepPoints int
 	// EvalTimeout caps the synchronous /v1/evaluate deadline (default 2m).
 	EvalTimeout time.Duration
+	// Log receives structured job lifecycle records (accepted, started,
+	// finished, cancel requested), each carrying job_id and the
+	// submitting request's request_id so a slow sweep correlates back to
+	// the call that created it. nil disables lifecycle logging.
+	Log *slog.Logger
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -159,6 +166,10 @@ func pointEventRow(ev dse.Event) []interface{} {
 // Job is one asynchronous sweep.
 type Job struct {
 	ID string
+	// requestID is the X-Request-ID of the submitting request, immutable
+	// after Submit: status responses and every lifecycle log line carry
+	// it, so "which call started this sweep" is always answerable.
+	requestID string
 
 	opts   experiments.Options
 	space  dse.Space
@@ -192,10 +203,27 @@ func (m *Manager) newJob(opts experiments.Options, space dse.Space, points []cor
 	return j
 }
 
+// logJob emits one structured lifecycle record for a job, always
+// carrying job_id and the submitting request's request_id. Safe without
+// the job lock: both fields are immutable after Submit.
+func (m *Manager) logJob(j *Job, msg string, attrs ...slog.Attr) {
+	if m.cfg.Log == nil {
+		return
+	}
+	base := append([]slog.Attr{
+		slog.String("job_id", j.ID),
+		slog.String("request_id", j.requestID),
+	}, attrs...)
+	m.cfg.Log.LogAttrs(context.Background(), slog.LevelInfo, msg, base...)
+}
+
 // Submit validates the request, claims a job slot and starts the sweep.
 // It never blocks on a slot: when every slot is busy the submission is
 // rejected with ErrSaturated and the client retries after RetryAfter.
-func (m *Manager) Submit(req SweepRequest) (*Job, error) {
+// ctx is the submitting request's context — its request ID (if any) is
+// recorded on the job; the sweep itself outlives the request and is NOT
+// cancelled when ctx ends.
+func (m *Manager) Submit(ctx context.Context, req SweepRequest) (*Job, error) {
 	opts := req.Options.apply(m.cfg.Defaults)
 	space, err := req.Space.space(opts)
 	if err != nil {
@@ -222,11 +250,13 @@ func (m *Manager) Submit(req SweepRequest) (*Job, error) {
 	m.seq++
 	job := m.newJob(opts, space, points)
 	job.ID = fmt.Sprintf("sweep-%d", m.seq)
+	job.requestID = obs.RequestID(ctx)
 	m.jobs[job.ID] = job
 	m.submitted.Add(1)
 	m.wg.Add(1)
 	m.mu.Unlock()
 
+	m.logJob(job, "sweep accepted", slog.Int("points", len(points)))
 	go m.run(job)
 	return job, nil
 }
@@ -251,6 +281,7 @@ func (m *Manager) run(job *Job) {
 		return
 	}
 	job.setState(StateRunning)
+	m.logJob(job, "sweep started", slog.Int("points", len(job.points)))
 
 	rs, err := engine.RunWithHook(job.ctx, job.points, job.onPoint)
 	m.finish(job, rs, err)
@@ -286,7 +317,10 @@ func (j *Job) setState(s JobState) {
 }
 
 // finish classifies the run's end, computes the outcome over whatever
-// results exist (full, partial or none) and schedules eviction.
+// results exist (full, partial or none) and schedules eviction. The
+// terminal "done" SSE event carries the engine's eval-duration
+// quantiles so a streaming client gets the latency story without a
+// second round trip.
 func (m *Manager) finish(job *Job, rs []core.Result, err error) {
 	job.mu.Lock()
 	job.finished = time.Now()
@@ -307,24 +341,39 @@ func (m *Manager) finish(job *Job, rs []core.Result, err error) {
 	if len(rs) > 0 || job.state == StateCompleted {
 		job.outcome = outcomeOf(rs, job.total, partial, job.opts.MinAccuracy)
 	}
-	done := struct {
-		State   JobState `json:"state"`
-		Done    int      `json:"done"`
-		Total   int      `json:"total"`
-		Partial bool     `json:"partial"`
-		Error   string   `json:"error,omitempty"`
-	}{job.state, len(rs), job.total, partial, ""}
+	state := job.state
+	errMsg := ""
 	if job.err != nil {
-		done.Error = job.err.Error()
+		errMsg = job.err.Error()
+	}
+	var p50, p90, p99 float64
+	if job.engine != nil { // nil when engine resolution itself failed
+		snap := job.engine.Metrics()
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		p50, p90, p99 = ms(snap.P50Eval), ms(snap.P90Eval), ms(snap.P99Eval)
 	}
 	data, jerr := report.NDJSONRow(
-		[]string{"state", "done", "total", "partial", "error"},
-		[]interface{}{string(done.State), done.Done, done.Total, done.Partial, done.Error})
+		[]string{"state", "done", "total", "partial", "error",
+			"eval_p50_ms", "eval_p90_ms", "eval_p99_ms"},
+		[]interface{}{string(state), len(rs), job.total, partial, errMsg, p50, p90, p99})
 	if jerr != nil {
 		data = []byte(`{}`)
 	}
 	job.appendEventLocked("done", data)
+	total := job.total
+	elapsed := job.finished.Sub(job.created)
 	job.mu.Unlock()
+
+	attrs := []slog.Attr{
+		slog.String("state", string(state)),
+		slog.Int("points", len(rs)),
+		slog.Int("total", total),
+		slog.Duration("elapsed", elapsed),
+	}
+	if errMsg != "" {
+		attrs = append(attrs, slog.String("error", errMsg))
+	}
+	m.logJob(job, "sweep finished", attrs...)
 
 	time.AfterFunc(m.cfg.JobTTL, func() { m.evict(job.ID) })
 }
@@ -362,13 +411,17 @@ func (m *Manager) Jobs() []*Job {
 
 // Cancel requests cancellation: the engine stops dispatching, in-flight
 // points finish, and the job lands in StateCancelled with its partial
-// results. Cancelling a finished job is a no-op.
-func (m *Manager) Cancel(id string) (*Job, error) {
+// results. Cancelling a finished job is a no-op. ctx identifies the
+// cancelling request in the lifecycle log (which may differ from the
+// submitting request's ID on the job itself).
+func (m *Manager) Cancel(ctx context.Context, id string) (*Job, error) {
 	job, err := m.Job(id)
 	if err != nil {
 		return nil, err
 	}
 	job.requestCancel()
+	m.logJob(job, "sweep cancel requested",
+		slog.String("cancelled_by_request_id", obs.RequestID(ctx)))
 	return job, nil
 }
 
@@ -404,6 +457,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:              j.ID,
 		State:           string(j.state),
+		RequestID:       j.requestID,
 		CancelRequested: j.cancelRequested && !j.state.Terminal(),
 		CreatedAt:       j.created,
 		Progress:        ProgressJSON{Done: j.done, Total: j.total},
@@ -428,6 +482,20 @@ func (j *Job) Status() JobStatus {
 		st.Metrics = engineMetricsJSON(j.engine.Metrics())
 	}
 	return st
+}
+
+// Summary renders the job's listing row (GET /v1/sweeps).
+func (j *Job) Summary() JobSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobSummary{
+		ID:        j.ID,
+		State:     string(j.state),
+		RequestID: j.requestID,
+		CreatedAt: j.created,
+		Progress:  ProgressJSON{Done: j.done, Total: j.total},
+		StatusURL: "/v1/sweeps/" + j.ID,
+	}
 }
 
 // WaitEvents blocks until events after the given sequence number exist,
@@ -532,15 +600,19 @@ func (m *Manager) registerEngine(e Engine) {
 // Counters is the manager's point-in-time accounting for /metrics and
 // /healthz.
 type Counters struct {
-	Submitted, Rejected    int64
-	Completed, Cancelled   int64
-	Failed, Evaluations    int64
-	Running, Tracked       int
-	EngineEvaluated        int64
-	EngineCacheHits        int64
-	EngineDeduped          int64
-	EnginePanics           int64
-	EngineMeanEval         time.Duration
+	Submitted, Rejected  int64
+	Completed, Cancelled int64
+	Failed, Evaluations  int64
+	Running, Tracked     int
+	EngineEvaluated      int64
+	EngineCacheHits      int64
+	EngineDeduped        int64
+	EnginePanics         int64
+	EngineMeanEval       time.Duration
+	// EvalHist is the eval-duration histogram merged across every engine
+	// the manager has resolved — the efficsense_eval_duration_seconds
+	// exposition.
+	EvalHist               obs.Snapshot
 	CacheEntries           int
 	CacheCapacity          int // 0 = unbounded
 	CacheHits, CacheMisses int64
@@ -582,6 +654,7 @@ func (m *Manager) Counters() Counters {
 		c.EngineCacheHits += s.CacheHits
 		c.EngineDeduped += s.Deduped
 		c.EnginePanics += s.Panics
+		c.EvalHist.Merge(s.EvalHist)
 		if s.Evaluated > 0 {
 			meanSum += time.Duration(int64(s.MeanEval) * s.Evaluated)
 			meanN += s.Evaluated

@@ -5,6 +5,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"efficsense/internal/obs"
 )
 
 // handleMetrics renders the Prometheus text exposition (format 0.0.4) by
@@ -33,6 +35,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, code := range sortedCodes(reqs) {
 		fmt.Fprintf(w, "efficsense_http_requests_total{code=%q} %d\n", fmt.Sprint(code), reqs[code])
 	}
+
+	fmt.Fprintf(w, "# HELP efficsense_http_request_duration_seconds HTTP request latency, by endpoint pattern.\n")
+	fmt.Fprintf(w, "# TYPE efficsense_http_request_duration_seconds histogram\n")
+	for _, ep := range s.endpoints {
+		s.reqDur[ep].Snapshot().WritePrometheus(w,
+			"efficsense_http_request_duration_seconds", fmt.Sprintf("endpoint=%q", ep))
+	}
+
+	fmt.Fprintf(w, "# HELP efficsense_eval_duration_seconds Per-point evaluation duration across all engines (cache hits excluded).\n")
+	fmt.Fprintf(w, "# TYPE efficsense_eval_duration_seconds histogram\n")
+	evalHist := c.EvalHist
+	if len(evalHist.Counts) == 0 {
+		// No engine resolved yet: render the standard layout at zero so
+		// the series exists from the first scrape.
+		evalHist = obs.NewHistogram(obs.EvalBuckets).Snapshot()
+	}
+	evalHist.WritePrometheus(w, "efficsense_eval_duration_seconds", "")
 
 	counter("efficsense_jobs_submitted_total", "Sweep jobs accepted.", c.Submitted)
 	counter("efficsense_jobs_rejected_total", "Sweep submissions rejected for saturation.", c.Rejected)

@@ -510,7 +510,7 @@ func TestSaturationReturns429(t *testing.T) {
 	if mgr.Counters().Rejected != 1 {
 		t.Fatalf("rejected counter %d", mgr.Counters().Rejected)
 	}
-	if _, err := mgr.Cancel(st.ID); err != nil {
+	if _, err := mgr.Cancel(context.Background(), st.ID); err != nil {
 		t.Fatal(err)
 	}
 	waitTerminal(t, ts.URL, st.ID)
@@ -604,7 +604,7 @@ func TestResultsConflictWhileRunning(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("results of a running job: %d, want 409", resp.StatusCode)
 	}
-	if _, err := mgr.Cancel(st.ID); err != nil {
+	if _, err := mgr.Cancel(context.Background(), st.ID); err != nil {
 		t.Fatal(err)
 	}
 	waitTerminal(t, ts.URL, st.ID)
@@ -646,7 +646,7 @@ func TestShutdownDrainsAndRejects(t *testing.T) {
 	if h.Status != "draining" {
 		t.Fatalf("healthz status %q", h.Status)
 	}
-	if _, err := mgr.Submit(SweepRequest{}); err != ErrShuttingDown {
+	if _, err := mgr.Submit(context.Background(), SweepRequest{}); err != ErrShuttingDown {
 		t.Fatalf("submit while draining: %v", err)
 	}
 	if _, _, err := mgr.Evaluate(context.Background(), nil, core.DesignPoint{}, 0); err != ErrShuttingDown {

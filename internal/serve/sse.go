@@ -19,7 +19,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, canFlush := w.(http.Flusher)
 	if !canFlush {
-		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		s.error(w, r, http.StatusInternalServerError, CodeInternal, "response writer cannot stream")
 		return
 	}
 
