@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench verify fmt
+.PHONY: build test race bench chaos verify fmt
 
 build:
 	$(GO) build ./...
@@ -11,26 +11,30 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench writes a machine-readable baseline (BENCH_PR4.json, ignored by
+# bench writes a machine-readable baseline (BENCH_PR5.json, ignored by
 # git) for the hot paths: the obs histogram, the sweep engine, and the
 # HTTP serving stack. -count=6 gives benchstat enough samples to call a
 # regression; the target is informational, not a gate.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count=6 -json \
-		./internal/obs ./internal/dse ./internal/serve > BENCH_PR4.json
-	@echo "wrote BENCH_PR4.json"
+		./internal/obs ./internal/dse ./internal/serve > BENCH_PR5.json
+	@echo "wrote BENCH_PR5.json"
 
-fmt:
-	@out=$$(gofmt -l .); \
-	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
-	fi
+# chaos runs the fault-injection acceptance suites — seeded schedules
+# through the failpoint registry, the engine's retry path, the cache's
+# singleflight and the full HTTP stack — under the race detector.
+# Deterministic by construction (every schedule is seeded), so it gates
+# CI like any other test.
+chaos:
+	$(GO) test -race -count=1 -run 'Chaos|Fault|Retry|Inject' \
+		./internal/fault ./internal/cache ./internal/dse ./internal/serve
 
 # verify is the tier-1 gate: formatting, vet, build, the full test
-# suite under the race detector, and a short fuzz smoke over the
+# suite under the race detector with shuffled execution order (hidden
+# inter-test dependencies fail loudly), and a short fuzz smoke over the
 # streaming report emitters.
 verify: fmt
 	$(GO) vet ./...
 	$(GO) build ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run '^$$' -fuzz FuzzNDJSONRow -fuzztime 10s ./internal/report

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -18,38 +20,89 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eeggen: ")
-	records := flag.Int("records", 10, "number of records to synthesize")
-	seed := flag.Int64("seed", 1, "dataset seed")
-	artifacts := flag.Bool("artifacts", false, "add ocular/EMG/mains artefacts")
-	native := flag.Bool("native", false, "emit at the 173.61 Hz native rate (skip Step 4 upsampling)")
-	out := flag.String("out", "eeg-out", "output directory")
-	flag.Parse()
-
-	cfg := eeg.DefaultConfig(*seed, *records)
-	cfg.Artifacts = *artifacts
-	cfg.Upsample = !*native
-	ds := eeg.Synthesize(cfg)
-
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(cfg, os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	manifest, err := os.Create(filepath.Join(*out, "manifest.csv"))
+}
+
+// config is the parsed command line.
+type config struct {
+	records   int
+	seed      int64
+	artifacts bool
+	native    bool
+	out       string
+}
+
+// parseFlags builds the export configuration, rejecting values that
+// would synthesize nothing or write nowhere.
+func parseFlags(args []string) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("eeggen", flag.ContinueOnError)
+	fs.IntVar(&cfg.records, "records", 10, "number of records to synthesize")
+	fs.Int64Var(&cfg.seed, "seed", 1, "dataset seed")
+	fs.BoolVar(&cfg.artifacts, "artifacts", false, "add ocular/EMG/mains artefacts")
+	fs.BoolVar(&cfg.native, "native", false, "emit at the 173.61 Hz native rate (skip Step 4 upsampling)")
+	fs.StringVar(&cfg.out, "out", "eeg-out", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(fs.Output(), "eeggen: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return nil, errors.New("unexpected positional arguments")
+	}
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(fs.Output(), "eeggen: %v\n", err)
+		fs.Usage()
+		return nil, err
+	}
+	return cfg, nil
+}
+
+func (cfg *config) validate() error {
+	switch {
+	case cfg.records <= 0:
+		return fmt.Errorf("-records must be positive, got %d", cfg.records)
+	case cfg.out == "":
+		return errors.New("-out must name an output directory")
+	}
+	return nil
+}
+
+// run synthesizes the dataset and writes the per-record CSVs plus the
+// manifest; status output goes to stdout (a buffer in tests).
+func run(cfg *config, stdout io.Writer) error {
+	ecfg := eeg.DefaultConfig(cfg.seed, cfg.records)
+	ecfg.Artifacts = cfg.artifacts
+	ecfg.Upsample = !cfg.native
+	ds := eeg.Synthesize(ecfg)
+
+	if err := os.MkdirAll(cfg.out, 0o755); err != nil {
+		return err
+	}
+	manifest, err := os.Create(filepath.Join(cfg.out, "manifest.csv"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer manifest.Close()
 	rows := make([][]interface{}, 0, len(ds.Records))
 	for _, r := range ds.Records {
 		name := fmt.Sprintf("record_%03d_%s.csv", r.ID, r.Label)
-		if err := writeRecord(filepath.Join(*out, name), r); err != nil {
-			log.Fatal(err)
+		if err := writeRecord(filepath.Join(cfg.out, name), r); err != nil {
+			return err
 		}
 		rows = append(rows, []interface{}{r.ID, r.Label.String(), name, r.Rate, len(r.Samples)})
 	}
 	if err := report.CSV(manifest, []string{"id", "label", "file", "rate_hz", "samples"}, rows); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("wrote %d records @ %.2f Hz to %s\n", len(ds.Records), ds.Rate, *out)
+	fmt.Fprintf(stdout, "wrote %d records @ %.2f Hz to %s\n", len(ds.Records), ds.Rate, cfg.out)
+	return nil
 }
 
 func writeRecord(path string, r eeg.Record) error {

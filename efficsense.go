@@ -178,7 +178,7 @@ type (
 	// NewSweep.
 	Sweep = dse.Sweep
 	// SweepOption configures a Sweep at construction (WithWorkers,
-	// WithProgress, WithCache, WithTrace, WithEvaluatorID).
+	// WithProgress, WithCache, WithTrace, WithEvaluatorID, WithRetry).
 	SweepOption = dse.Option
 	// PointEvaluator scores one design point (implemented by *Evaluator).
 	PointEvaluator = dse.PointEvaluator
@@ -204,6 +204,10 @@ type (
 	SweepEvent = dse.Event
 	// Quality is a goal-function selector (paper Step 5).
 	Quality = dse.Quality
+	// RetryPolicy bounds per-point retries with exponential backoff and
+	// seeded jitter (WithRetry); only error-carrying results its
+	// Retryable predicate accepts are re-attempted.
+	RetryPolicy = dse.RetryPolicy
 )
 
 // NewSweep builds a validated sweep engine over an evaluator.
@@ -228,6 +232,7 @@ func WithCache(c SweepCache) SweepOption                { return dse.WithCache(c
 func WithTrace(w io.Writer) SweepOption                 { return dse.WithTrace(w) }
 func WithEventHook(fn func(SweepEvent)) SweepOption     { return dse.WithEventHook(fn) }
 func WithEvaluatorID(id string) SweepOption             { return dse.WithEvaluatorID(id) }
+func WithRetry(p RetryPolicy) SweepOption               { return dse.WithRetry(p) }
 
 // PaperSpace returns the Table III search grid.
 func PaperSpace(noiseSteps int) Space { return dse.PaperSpace(noiseSteps) }

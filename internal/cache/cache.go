@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"efficsense/internal/core"
+	"efficsense/internal/fault"
 )
 
 // defaultShards bounds lock contention: capacity is split across up to
@@ -36,6 +37,11 @@ type Stats struct {
 	// FlightShared counts Do calls served by joining another caller's
 	// in-flight computation (singleflight de-duplication).
 	FlightShared int64
+	// FlightPanics counts computations that panicked out of Do. Without
+	// it a panicking flight is invisible in the accounting: its waiters
+	// count under FlightShared yet no completed computation backs them,
+	// so sustained panics would read as healthy de-duplication.
+	FlightPanics int64
 }
 
 // LRU is a sharded, bounded, in-memory result cache. It implements
@@ -50,7 +56,7 @@ type LRU struct {
 	shards   []*shard
 	capacity int
 
-	hits, misses, evictions, shared atomic.Int64
+	hits, misses, evictions, shared, flightPanics atomic.Int64
 }
 
 // entry is one cached result; list elements carry *entry values.
@@ -196,6 +202,7 @@ func (c *LRU) Do(key string, fn func() core.Result) (r core.Result, hit, shared 
 	finished := false
 	defer func() {
 		if !finished {
+			c.flightPanics.Add(1)
 			cl.val = core.Result{Err: errFlightPanicked}
 			sh.mu.Lock()
 			delete(sh.flight, key)
@@ -203,7 +210,14 @@ func (c *LRU) Do(key string, fn func() core.Result) (r core.Result, hit, shared 
 			close(cl.done)
 		}
 	}()
-	cl.val = fn()
+	// The cache/flight failpoint injects into the computing goroutine:
+	// an error is shared with every waiter but never stored, a panic
+	// unwinds through the release path above.
+	if err := fault.Fire(fault.PointFlight); err != nil {
+		cl.val = core.Result{Err: err}
+	} else {
+		cl.val = fn()
+	}
 	finished = true
 
 	sh.mu.Lock()
@@ -239,5 +253,6 @@ func (c *LRU) Stats() Stats {
 		Misses:       c.misses.Load(),
 		Evictions:    c.evictions.Load(),
 		FlightShared: c.shared.Load(),
+		FlightPanics: c.flightPanics.Load(),
 	}
 }

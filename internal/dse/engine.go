@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"efficsense/internal/core"
+	"efficsense/internal/fault"
 )
 
 // PointEvaluator scores one design point. *core.Evaluator implements it;
@@ -73,7 +74,8 @@ type Event struct {
 //     the Fig 7 cloud) cost nothing after the first sweep;
 //   - fault tolerance: a panic while evaluating one point is recovered in
 //     the worker and degraded into an error-carrying result instead of
-//     killing the run;
+//     killing the run, and WithRetry re-attempts transient failures with
+//     exponential backoff and jitter before degrading;
 //   - observability: atomic counters, per-point duration statistics, ETA,
 //     structured per-point events (WithEventHook, RunWithHook) and an
 //     optional JSONL trace sink.
@@ -89,6 +91,7 @@ type Sweep struct {
 	progress func(done, total int)
 	hook     func(Event)
 	cache    Cache
+	retry    *retrier
 	metrics  Metrics
 
 	traceMu sync.Mutex
@@ -208,7 +211,7 @@ func (s *Sweep) Metrics() Snapshot { return s.metrics.Snapshot() }
 // Single-point paths (local refinement, variant studies, the CLI's
 // `point` subcommand) share the sweep cache this way.
 func (s *Sweep) Evaluate(p core.DesignPoint) core.Result {
-	res, _, _ := s.evalPoint(p)
+	res, _, _ := s.evalPoint(context.Background(), p)
 	return res
 }
 
@@ -266,7 +269,7 @@ func (s *Sweep) RunWithHook(ctx context.Context, points []core.DesignPoint, hook
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				res, cached, dur := s.evalPoint(points[idx])
+				res, cached, dur := s.evalPoint(ctx, points[idx])
 				mu.Lock()
 				results[idx] = res
 				completed[idx] = true
@@ -317,16 +320,17 @@ dispatch:
 // evalPoint serves one point from the cache or the evaluator, recovering
 // panics into error-carrying results. When the cache implements Flight,
 // concurrent misses on one key collapse into a single evaluation whose
-// result every caller shares (counted as Deduped in the metrics).
-func (s *Sweep) evalPoint(p core.DesignPoint) (res core.Result, cached bool, dur time.Duration) {
+// result every caller shares (counted as Deduped in the metrics). ctx
+// only bounds retry backoff (see WithRetry); an in-flight evaluation
+// always runs to its end.
+func (s *Sweep) evalPoint(ctx context.Context, p core.DesignPoint) (res core.Result, cached bool, dur time.Duration) {
 	key := s.evalID + "/" + p.Key()
 	if fl, ok := s.cache.(Flight); ok {
 		var evalDur time.Duration
-		res, hit, shared := fl.Do(key, func() core.Result {
+		res, hit, shared := s.flightDo(fl, key, p, func() core.Result {
 			start := time.Now()
-			r := s.safeEvaluate(p)
+			r := s.evaluate(ctx, p)
 			evalDur = time.Since(start)
-			s.metrics.observeEval(evalDur)
 			return r
 		})
 		switch {
@@ -346,15 +350,31 @@ func (s *Sweep) evalPoint(p core.DesignPoint) (res core.Result, cached bool, dur
 		}
 	}
 	start := time.Now()
-	res = s.safeEvaluate(p)
+	res = s.evaluate(ctx, p)
 	dur = time.Since(start)
-	s.metrics.observeEval(dur)
 	if s.cache != nil && res.Err == nil {
 		s.cache.Put(key, res)
 	}
 	return res, false, dur
 }
 
+// flightDo guards the cache's singleflight path with the same no-panic
+// contract safeEvaluate gives the evaluator: a panic inside the cache
+// layer itself (a bug, or an armed cache/flight failpoint) degrades
+// this point instead of killing the worker — and with it the daemon.
+func (s *Sweep) flightDo(fl Flight, key string, p core.DesignPoint, fn func() core.Result) (res core.Result, hit, shared bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			res = core.Result{Point: p, Err: fmt.Errorf("dse: cache flight for %s panicked: %v", p, r)}
+		}
+	}()
+	return fl.Do(key, fn)
+}
+
+// safeEvaluate is one guarded evaluator call: the dse/evaluate failpoint
+// fires first (errors degrade the point, injected panics land in the
+// same recovery as evaluator panics), then the evaluator runs.
 func (s *Sweep) safeEvaluate(p core.DesignPoint) (res core.Result) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -362,6 +382,9 @@ func (s *Sweep) safeEvaluate(p core.DesignPoint) (res core.Result) {
 			res = core.Result{Point: p, Err: fmt.Errorf("dse: evaluating %s panicked: %v", p, r)}
 		}
 	}()
+	if err := fault.Fire(fault.PointEvaluate); err != nil {
+		return core.Result{Point: p, Err: err}
+	}
 	return s.ev.Evaluate(p)
 }
 

@@ -19,6 +19,7 @@ type Metrics struct {
 	cacheHits atomic.Int64
 	deduped   atomic.Int64
 	panics    atomic.Int64
+	retries   atomic.Int64
 	evalNanos atomic.Int64
 	minNanos  atomic.Int64
 	maxNanos  atomic.Int64
@@ -82,6 +83,9 @@ type Snapshot struct {
 	// were degraded into error-carrying results. All four are cumulative
 	// across Runs.
 	Evaluated, CacheHits, Deduped, Panics int64
+	// Retries counts re-attempted evaluations under WithRetry (each
+	// counted attempt is also in Evaluated); cumulative across Runs.
+	Retries int64
 	// Elapsed is the wall-clock time since the current Run started.
 	Elapsed time.Duration
 	// MeanEval, MinEval, MaxEval summarise per-point evaluation time
@@ -113,6 +117,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		CacheHits: m.cacheHits.Load(),
 		Deduped:   m.deduped.Load(),
 		Panics:    m.panics.Load(),
+		Retries:   m.retries.Load(),
 		MinEval:   time.Duration(m.minNanos.Load()),
 		MaxEval:   time.Duration(m.maxNanos.Load()),
 	}

@@ -1,0 +1,137 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"efficsense/internal/core"
+	"efficsense/internal/xrand"
+)
+
+// RetryPolicy bounds per-point retries: an evaluation whose result
+// carries a transient error is re-attempted with exponential backoff and
+// jitter instead of degrading the point on first failure. Retries run
+// inside the engine's evaluation path, so they happen under the
+// singleflight (concurrent callers of a flaky key share one retrying
+// computation) and every attempt is observed by the duration metrics.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per point, first try
+	// included; it must be at least 2 (a policy that never retries is a
+	// configuration error — omit WithRetry instead).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 1ms);
+	// attempt n waits BaseDelay * 2^(n-1), capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 100 * BaseDelay).
+	MaxDelay time.Duration
+	// Jitter in [0, 1] randomises each delay down by up to that fraction
+	// (full delay at 0), de-synchronising retry storms across workers.
+	Jitter float64
+	// Retryable classifies errors: only errors it accepts are retried.
+	// nil retries every error-carrying result.
+	Retryable func(error) bool
+	// Seed drives the jitter PRNG, so a retry schedule reproduces
+	// exactly in tests.
+	Seed int64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * p.BaseDelay
+	}
+	return p
+}
+
+func (p RetryPolicy) validate() error {
+	if p.MaxAttempts < 2 {
+		return fmt.Errorf("dse: retry needs at least 2 attempts, got %d", p.MaxAttempts)
+	}
+	if p.Jitter < 0 || p.Jitter > 1 {
+		return fmt.Errorf("dse: retry jitter %g outside [0, 1]", p.Jitter)
+	}
+	if p.MaxDelay < p.BaseDelay && p.MaxDelay > 0 {
+		return fmt.Errorf("dse: retry max delay %s below base delay %s", p.MaxDelay, p.BaseDelay)
+	}
+	return nil
+}
+
+// WithRetry opts a Sweep into bounded per-point retries under the given
+// policy. Off by default: the engine's historical contract (one attempt,
+// errors degrade the point) is unchanged without it.
+func WithRetry(p RetryPolicy) Option {
+	return func(s *Sweep) error {
+		p = p.withDefaults()
+		if err := p.validate(); err != nil {
+			return err
+		}
+		s.retry = &retrier{policy: p, rng: xrand.Derive(p.Seed, "dse/retry")}
+		return nil
+	}
+}
+
+// retrier is a Sweep's armed retry policy plus its seeded jitter source
+// (locked: workers draw concurrently).
+type retrier struct {
+	policy RetryPolicy
+	mu     sync.Mutex
+	rng    *xrand.Source
+}
+
+func (r *retrier) retryable(err error) bool {
+	if r.policy.Retryable == nil {
+		return true
+	}
+	return r.policy.Retryable(err)
+}
+
+// backoff computes the jittered delay before retry n (1-based).
+func (r *retrier) backoff(n int) time.Duration {
+	d := r.policy.BaseDelay << (n - 1)
+	if d > r.policy.MaxDelay || d <= 0 { // <= 0: shift overflow
+		d = r.policy.MaxDelay
+	}
+	if r.policy.Jitter > 0 {
+		r.mu.Lock()
+		u := r.rng.Float64()
+		r.mu.Unlock()
+		d = time.Duration(float64(d) * (1 - r.policy.Jitter*u))
+	}
+	return d
+}
+
+// evaluate runs the engine's full per-point evaluation policy: the
+// evaluation failpoint, panic recovery, and — when WithRetry armed it —
+// bounded backoff retries of transient failures. Each real attempt is
+// observed by the duration metrics; ctx bounds the backoff sleeps so a
+// cancelled run stops retrying promptly (the last failed result stands).
+func (s *Sweep) evaluate(ctx context.Context, p core.DesignPoint) core.Result {
+	res := s.attempt(p)
+	if s.retry == nil || res.Err == nil {
+		return res
+	}
+	for n := 1; n < s.retry.policy.MaxAttempts && res.Err != nil && s.retry.retryable(res.Err); n++ {
+		timer := time.NewTimer(s.retry.backoff(n))
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return res
+		case <-timer.C:
+		}
+		s.metrics.retries.Add(1)
+		res = s.attempt(p)
+	}
+	return res
+}
+
+// attempt is one observed evaluation: failpoint, panic recovery, timing.
+func (s *Sweep) attempt(p core.DesignPoint) core.Result {
+	start := time.Now()
+	res := s.safeEvaluate(p)
+	s.metrics.observeEval(time.Since(start))
+	return res
+}

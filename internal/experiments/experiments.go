@@ -63,6 +63,12 @@ type Options struct {
 	// MemoryCache, the right default for CLI one-shots over finite paper
 	// spaces.
 	CacheEntries int
+	// Retry, if set, opts the suite's engine into bounded per-point
+	// retries with backoff (see dse.WithRetry) — the daemon's resilience
+	// knob against transient evaluation failures. A zero policy Seed
+	// inherits the suite Seed, so retry jitter is reproducible alongside
+	// everything else.
+	Retry *dse.RetryPolicy
 }
 
 func (o Options) withDefaults() Options {
@@ -149,12 +155,20 @@ func (s *Suite) init() {
 				s.cache = dse.NewMemoryCache()
 			}
 		}
-		engine, err := dse.NewSweep(ev,
+		sweepOpts := []dse.Option{
 			dse.WithWorkers(max(s.opts.Workers, 0)),
 			dse.WithProgress(s.opts.Progress),
 			dse.WithCache(s.cache),
 			dse.WithTrace(s.opts.Trace),
-		)
+		}
+		if s.opts.Retry != nil {
+			policy := *s.opts.Retry
+			if policy.Seed == 0 {
+				policy.Seed = s.opts.Seed
+			}
+			sweepOpts = append(sweepOpts, dse.WithRetry(policy))
+		}
+		engine, err := dse.NewSweep(ev, sweepOpts...)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
 		}

@@ -219,7 +219,18 @@ func CSVResults(w io.Writer, rs []core.Result) error {
 
 // NDJSONResults emits a result cloud as NDJSON — one JSON object per
 // line with the CSVResults columns — so sweep results stream line by
-// line through HTTP responses and log pipelines.
+// line through HTTP responses and log pipelines. A degraded point (a
+// result carrying an error: evaluator failure, recovered panic,
+// exhausted retries) gains an extra "err" field, so partial clouds are
+// self-describing row by row; sound rows omit it.
 func NDJSONResults(w io.Writer, rs []core.Result) error {
-	return report.NDJSON(w, ResultHeaders, resultRows(rs))
+	headers := append(append(make([]string, 0, len(ResultHeaders)+1), ResultHeaders...), "err")
+	rows := make([][]interface{}, len(rs))
+	for i, r := range rs {
+		rows[i] = ResultRow(r)
+		if r.Err != nil {
+			rows[i] = append(rows[i], r.Err.Error())
+		}
+	}
+	return report.NDJSON(w, headers, rows)
 }

@@ -232,8 +232,10 @@ type FrontJSON struct {
 // SweepOutcome is the result payload of a finished (or cancelled —
 // Partial true) sweep job.
 type SweepOutcome struct {
-	// Partial marks a cancelled job: the fronts and optima below are
-	// computed over the points completed before cancellation.
+	// Partial marks an incomplete cloud: the job was cancelled, failed
+	// mid-run, or completed with degraded points (Errors > 0). The
+	// fronts and optima below are computed over the sound results only,
+	// so a client must treat them as a lower bound, not the full space.
 	Partial bool `json:"partial"`
 	// Points counts completed evaluations; Errors the degraded ones.
 	Points int `json:"points"`
@@ -290,6 +292,7 @@ type EngineMetricsJSON struct {
 	CacheHits  int64   `json:"cache_hits"`
 	Deduped    int64   `json:"deduped"`
 	Panics     int64   `json:"panics"`
+	Retries    int64   `json:"retries"`
 	MeanEvalMS float64 `json:"mean_eval_ms"`
 	P50EvalMS  float64 `json:"p50_eval_ms"`
 	P90EvalMS  float64 `json:"p90_eval_ms"`
@@ -304,6 +307,7 @@ func engineMetricsJSON(s dse.Snapshot) *EngineMetricsJSON {
 		CacheHits:  s.CacheHits,
 		Deduped:    s.Deduped,
 		Panics:     s.Panics,
+		Retries:    s.Retries,
 		MeanEvalMS: float64(s.MeanEval) / float64(time.Millisecond),
 		P50EvalMS:  float64(s.P50Eval) / float64(time.Millisecond),
 		P90EvalMS:  float64(s.P90Eval) / float64(time.Millisecond),

@@ -14,6 +14,7 @@ import (
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
+	"efficsense/internal/fault"
 	"efficsense/internal/obs"
 	"efficsense/internal/report"
 )
@@ -266,10 +267,26 @@ func (m *Manager) Submit(ctx context.Context, req SweepRequest) (*Job, error) {
 func (m *Manager) run(job *Job) {
 	defer m.wg.Done()
 	defer func() { <-m.slots }()
+	// A panic anywhere in the job goroutine (engine resolution, the
+	// serve/job failpoint, a bug in outcome distillation) must degrade
+	// this one job to failed, never take the daemon down. finish is
+	// idempotence-guarded by the terminal check: a panic after a clean
+	// finish is swallowed rather than double-finishing.
+	defer func() {
+		if r := recover(); r != nil {
+			if !job.State().Terminal() {
+				m.finish(job, nil, fmt.Errorf("serve: job goroutine panicked: %v", r))
+			}
+		}
+	}()
 
 	engine, err := m.cfg.Engines(job.opts)
 	if err != nil {
 		m.finish(job, nil, fmt.Errorf("engine: %w", err))
+		return
+	}
+	if err := fault.Fire(fault.PointJob); err != nil {
+		m.finish(job, nil, fmt.Errorf("job: %w", err))
 		return
 	}
 	m.registerEngine(engine)
@@ -317,12 +334,47 @@ func (j *Job) setState(s JobState) {
 }
 
 // finish classifies the run's end, computes the outcome over whatever
-// results exist (full, partial or none) and schedules eviction. The
-// terminal "done" SSE event carries the engine's eval-duration
+// results exist (full, partial or none) and schedules eviction. A job
+// whose sweep completed but degraded points along the way (evaluator
+// errors, recovered panics, exhausted retries) still lands in
+// StateCompleted — graceful degradation, never an aborted job — but its
+// outcome and "done" SSE event carry partial: true plus the degraded
+// count, so a client knows the cloud is not the full schedule. The
+// terminal "done" event also carries the engine's eval-duration
 // quantiles so a streaming client gets the latency story without a
 // second round trip.
 func (m *Manager) finish(job *Job, rs []core.Result, err error) {
+	errs := 0
+	for _, r := range rs {
+		if r.Err != nil {
+			errs++
+		}
+	}
+	state, errMsg, total, elapsed := m.finishLocked(job, rs, err, errs)
+
+	attrs := []slog.Attr{
+		slog.String("state", string(state)),
+		slog.Int("points", len(rs)),
+		slog.Int("total", total),
+		slog.Duration("elapsed", elapsed),
+	}
+	if errs > 0 {
+		attrs = append(attrs, slog.Int("degraded", errs))
+	}
+	if errMsg != "" {
+		attrs = append(attrs, slog.String("error", errMsg))
+	}
+	m.logJob(job, "sweep finished", attrs...)
+
+	time.AfterFunc(m.cfg.JobTTL, func() { m.evict(job.ID) })
+}
+
+// finishLocked is finish's under-lock half; the deferred unlock keeps
+// the job lock released even if outcome distillation panics (the job
+// goroutine's recover then degrades the job instead of deadlocking).
+func (m *Manager) finishLocked(job *Job, rs []core.Result, err error, errs int) (state JobState, errMsg string, total int, elapsed time.Duration) {
 	job.mu.Lock()
+	defer job.mu.Unlock()
 	job.finished = time.Now()
 	job.results = rs
 	switch {
@@ -337,12 +389,11 @@ func (m *Manager) finish(job *Job, rs []core.Result, err error) {
 		job.err = err
 		m.failed.Add(1)
 	}
-	partial := job.state != StateCompleted
+	partial := job.state != StateCompleted || errs > 0
 	if len(rs) > 0 || job.state == StateCompleted {
 		job.outcome = outcomeOf(rs, job.total, partial, job.opts.MinAccuracy)
 	}
-	state := job.state
-	errMsg := ""
+	state = job.state
 	if job.err != nil {
 		errMsg = job.err.Error()
 	}
@@ -353,29 +404,14 @@ func (m *Manager) finish(job *Job, rs []core.Result, err error) {
 		p50, p90, p99 = ms(snap.P50Eval), ms(snap.P90Eval), ms(snap.P99Eval)
 	}
 	data, jerr := report.NDJSONRow(
-		[]string{"state", "done", "total", "partial", "error",
+		[]string{"state", "done", "total", "partial", "errors", "error",
 			"eval_p50_ms", "eval_p90_ms", "eval_p99_ms"},
-		[]interface{}{string(state), len(rs), job.total, partial, errMsg, p50, p90, p99})
+		[]interface{}{string(state), len(rs), job.total, partial, errs, errMsg, p50, p90, p99})
 	if jerr != nil {
 		data = []byte(`{}`)
 	}
 	job.appendEventLocked("done", data)
-	total := job.total
-	elapsed := job.finished.Sub(job.created)
-	job.mu.Unlock()
-
-	attrs := []slog.Attr{
-		slog.String("state", string(state)),
-		slog.Int("points", len(rs)),
-		slog.Int("total", total),
-		slog.Duration("elapsed", elapsed),
-	}
-	if errMsg != "" {
-		attrs = append(attrs, slog.String("error", errMsg))
-	}
-	m.logJob(job, "sweep finished", attrs...)
-
-	time.AfterFunc(m.cfg.JobTTL, func() { m.evict(job.ID) })
+	return state, errMsg, job.total, job.finished.Sub(job.created)
 }
 
 // evict forgets a finished job (jobs cannot leave a terminal state, so
@@ -608,6 +644,7 @@ type Counters struct {
 	EngineCacheHits      int64
 	EngineDeduped        int64
 	EnginePanics         int64
+	EngineRetries        int64
 	EngineMeanEval       time.Duration
 	// EvalHist is the eval-duration histogram merged across every engine
 	// the manager has resolved — the efficsense_eval_duration_seconds
@@ -618,6 +655,7 @@ type Counters struct {
 	CacheHits, CacheMisses int64
 	CacheEvictions         int64
 	CacheDeduped           int64
+	CacheFlightPanics      int64
 }
 
 // Counters aggregates the manager's counters and every engine's metrics.
@@ -654,6 +692,7 @@ func (m *Manager) Counters() Counters {
 		c.EngineCacheHits += s.CacheHits
 		c.EngineDeduped += s.Deduped
 		c.EnginePanics += s.Panics
+		c.EngineRetries += s.Retries
 		c.EvalHist.Merge(s.EvalHist)
 		if s.Evaluated > 0 {
 			meanSum += time.Duration(int64(s.MeanEval) * s.Evaluated)
@@ -669,6 +708,7 @@ func (m *Manager) Counters() Counters {
 		c.CacheEntries, c.CacheCapacity = st.Entries, st.Capacity
 		c.CacheHits, c.CacheMisses = st.Hits, st.Misses
 		c.CacheEvictions, c.CacheDeduped = st.Evictions, st.FlightShared
+		c.CacheFlightPanics = st.FlightPanics
 	case *dse.MemoryCache:
 		c.CacheEntries = cc.Len()
 		c.CacheHits, c.CacheMisses = cc.Stats()

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"efficsense/internal/fault"
 	"efficsense/internal/obs"
 )
 
@@ -67,7 +68,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("efficsense_engine_cache_hits_total", "Design points served from the memoisation cache.", c.EngineCacheHits)
 	counter("efficsense_engine_dedup_total", "Design points served by joining an identical in-flight evaluation (singleflight).", c.EngineDeduped)
 	counter("efficsense_engine_panics_total", "Evaluator panics recovered into error results.", c.EnginePanics)
+	counter("efficsense_engine_retries_total", "Evaluations re-attempted under the engines' retry policy.", c.EngineRetries)
 	gauge("efficsense_engine_mean_eval_seconds", "Mean wall-clock seconds per real evaluation.", c.EngineMeanEval.Seconds())
+
+	// Fault-injection accounting, rendered only while chaos is armed
+	// (efficsensed -chaos or a test schedule): reconciling these against
+	// the retry/panic/degradation counters above is how a chaos run
+	// proves the stack absorbed exactly the faults it was dealt.
+	if snap := fault.Snapshot(); len(snap) > 0 {
+		fmt.Fprintf(w, "# HELP efficsense_fault_injections_total Faults injected, by armed failpoint.\n")
+		fmt.Fprintf(w, "# TYPE efficsense_fault_injections_total counter\n")
+		for _, p := range snap {
+			fmt.Fprintf(w, "efficsense_fault_injections_total{point=%q,kind=%q} %d\n", p.Name, p.Kind.String(), p.Injected)
+		}
+		fmt.Fprintf(w, "# HELP efficsense_fault_calls_total Fire calls consulting each armed failpoint.\n")
+		fmt.Fprintf(w, "# TYPE efficsense_fault_calls_total counter\n")
+		for _, p := range snap {
+			fmt.Fprintf(w, "efficsense_fault_calls_total{point=%q,kind=%q} %d\n", p.Name, p.Kind.String(), p.Calls)
+		}
+	}
 
 	gauge("efficsense_cache_entries", "Entries in the shared memoisation cache.", c.CacheEntries)
 	gauge("efficsense_cache_capacity", "Entry bound of the shared memoisation cache (0 = unbounded).", c.CacheCapacity)
@@ -75,6 +94,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("efficsense_cache_misses_total", "Shared cache lookups that missed.", c.CacheMisses)
 	counter("efficsense_cache_evictions_total", "Entries evicted from the shared cache to honour its bound.", c.CacheEvictions)
 	counter("efficsense_cache_singleflight_shared_total", "Shared-cache lookups served by joining an identical in-flight evaluation.", c.CacheDeduped)
+	counter("efficsense_cache_flight_panics_total", "Singleflight computations that panicked out of the shared cache.", c.CacheFlightPanics)
 }
 
 func writeMetric(w io.Writer, name, help, kind string, v interface{}) {
