@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench chaos verify fmt
+.PHONY: build test race bench benchdiff chaos verify fmt
 
 build:
 	$(GO) build ./...
@@ -11,14 +11,26 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench writes a machine-readable baseline (BENCH_PR5.json, ignored by
-# git) for the hot paths: the obs histogram, the sweep engine, and the
-# HTTP serving stack. -count=6 gives benchstat enough samples to call a
-# regression; the target is informational, not a gate.
+# bench writes a machine-readable baseline (BENCH_PR6.json, ignored by
+# git) for the hot paths: the obs histogram, the sweep engine, the HTTP
+# serving stack, and the headline cold-sweep throughput benchmark
+# (BenchmarkSweepColdCS, points/s). -count=6 gives benchstat enough
+# samples to call a regression; the target is informational, not a gate.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count=6 -json \
-		./internal/obs ./internal/dse ./internal/serve > BENCH_PR5.json
-	@echo "wrote BENCH_PR5.json"
+		./internal/obs ./internal/dse ./internal/serve > BENCH_PR6.json
+	$(GO) test -run '^$$' -bench 'SweepColdCS' -benchmem -count=6 -json \
+		. >> BENCH_PR6.json
+	@echo "wrote BENCH_PR6.json"
+
+# benchdiff prints a per-benchmark delta table between the previous
+# release's baseline and the one `make bench` just wrote — points/s,
+# ns/op and allocs/op side by side. Informational only: it never fails
+# the build (a missing baseline is reported and skipped), it exists so
+# the batch-dispatch throughput claim stays visible release over
+# release.
+benchdiff:
+	$(GO) run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json
 
 # chaos runs the fault-injection acceptance suites — seeded schedules
 # through the failpoint registry, the engine's retry path, the cache's

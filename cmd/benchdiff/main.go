@@ -1,0 +1,224 @@
+// Command benchdiff compares two `go test -json -bench` capture files
+// (the BENCH_PR*.json baselines written by `make bench`) and prints a
+// per-benchmark, per-unit delta table. It is informational by design:
+// the exit status is zero whenever both files parse, regardless of how
+// the numbers moved — regressions are for humans (or benchstat on the
+// archived CI artifacts) to judge, not for the build to gate on.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff OLD.json NEW.json
+//
+// A missing or empty baseline is reported and skipped (exit 0), so the
+// target works on fresh clones that have never run `make bench`.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches the result line a benchmark emits through the JSON
+// stream's Output events, e.g.
+//
+//	BenchmarkSweepColdCS-8   	      12	  98231145 ns/op	       101.2 points/s	    1024 B/op	       3 allocs/op
+//
+// The -N GOMAXPROCS suffix is folded away so runs on different machines
+// still line up.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+// sample is the measurements of one benchmark run, keyed by unit.
+type sample map[string]float64
+
+// parseFile returns every benchmark sample in a go test -json stream,
+// keyed by benchmark name. Output events are fragments of the package's
+// text stream — a slow benchmark's result line arrives split across
+// events (the name flushes before the first iteration finishes) — so
+// fragments are reassembled per package and split on real newlines
+// before matching.
+func parseFile(path string) (map[string][]sample, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := make(map[string][]sample)
+	pending := make(map[string]string) // package → unterminated tail
+	record := func(line string) {
+		if name, s, ok := parseBenchOutput(line); ok {
+			out[name] = append(out[name], s)
+		}
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action  string
+			Package string
+			Output  string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate stray non-JSON lines
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := pending[ev.Package] + ev.Output
+		for {
+			nl := strings.IndexByte(text, '\n')
+			if nl < 0 {
+				break
+			}
+			record(text[:nl])
+			text = text[nl+1:]
+		}
+		pending[ev.Package] = text
+	}
+	for _, tail := range pending {
+		record(tail)
+	}
+	return out, sc.Err()
+}
+
+// parseBenchOutput parses one benchmark result line into its unit map.
+func parseBenchOutput(line string) (string, sample, bool) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return "", nil, false
+	}
+	fields := strings.Fields(m[3])
+	if len(fields)%2 != 0 || len(fields) == 0 {
+		return "", nil, false
+	}
+	s := make(sample, len(fields)/2)
+	for i := 0; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		s[fields[i+1]] = v
+	}
+	return m[1], s, true
+}
+
+// mean averages one unit across a benchmark's samples; ok is false when
+// no sample carries the unit.
+func mean(samples []sample, unit string) (float64, bool) {
+	var sum float64
+	var n int
+	for _, s := range samples {
+		if v, have := s[unit]; have {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// higherIsBetter: throughput-style units improve upward, everything the
+// testing package emits natively (ns/op, B/op, allocs/op) improves
+// downward.
+func higherIsBetter(unit string) bool {
+	return strings.HasSuffix(unit, "/s")
+}
+
+func formatVal(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	case math.Abs(v) >= 100:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+func run(oldPath, newPath string, w *bufio.Writer) error {
+	defer w.Flush()
+	oldRuns, err := parseFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(w, "benchdiff: no baseline %s (%v) — nothing to compare\n", oldPath, err)
+		return nil
+	}
+	newRuns, err := parseFile(newPath)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", newPath, err)
+	}
+	if len(oldRuns) == 0 || len(newRuns) == 0 {
+		fmt.Fprintf(w, "benchdiff: no benchmark samples to compare (%s: %d, %s: %d)\n",
+			oldPath, len(oldRuns), newPath, len(newRuns))
+		return nil
+	}
+
+	names := make([]string, 0, len(newRuns))
+	for name := range newRuns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "benchdiff %s → %s (mean over samples; informational, never gates)\n\n", oldPath, newPath)
+	fmt.Fprintf(w, "%-44s %-12s %14s %14s %10s\n", "benchmark", "unit", "old", "new", "delta")
+	for _, name := range names {
+		olds, haveOld := oldRuns[name]
+		news := newRuns[name]
+
+		units := make(map[string]bool)
+		for _, s := range news {
+			for u := range s {
+				units[u] = true
+			}
+		}
+		sorted := make([]string, 0, len(units))
+		for u := range units {
+			sorted = append(sorted, u)
+		}
+		sort.Strings(sorted)
+
+		for _, unit := range sorted {
+			nv, _ := mean(news, unit)
+			if !haveOld {
+				fmt.Fprintf(w, "%-44s %-12s %14s %14s %10s\n", name, unit, "-", formatVal(nv), "new")
+				continue
+			}
+			ov, haveUnit := mean(olds, unit)
+			if !haveUnit || ov == 0 {
+				fmt.Fprintf(w, "%-44s %-12s %14s %14s %10s\n", name, unit, "-", formatVal(nv), "new")
+				continue
+			}
+			delta := (nv - ov) / ov * 100
+			mark := ""
+			if math.Abs(delta) >= 2 {
+				if (delta > 0) == higherIsBetter(unit) {
+					mark = " ✓"
+				} else {
+					mark = " ✗"
+				}
+			}
+			fmt.Fprintf(w, "%-44s %-12s %14s %14s %+9.1f%%%s\n",
+				name, unit, formatVal(ov), formatVal(nv), delta, mark)
+		}
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2], bufio.NewWriter(os.Stdout)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	name, s, ok := parseBenchOutput(
+		"BenchmarkSweepColdCS-8   \t      12\t  98231145 ns/op\t       101.2 points/s\t    1024 B/op\t       3 allocs/op")
+	if !ok || name != "BenchmarkSweepColdCS" {
+		t.Fatalf("parse: ok=%v name=%q", ok, name)
+	}
+	want := map[string]float64{"ns/op": 98231145, "points/s": 101.2, "B/op": 1024, "allocs/op": 3}
+	for unit, v := range want {
+		if s[unit] != v {
+			t.Errorf("%s = %g, want %g", unit, s[unit], v)
+		}
+	}
+	for _, bad := range []string{
+		"=== RUN   TestSomething",
+		"BenchmarkBroken-8 not numbers here",
+		"pkg: efficsense/internal/dse",
+	} {
+		if _, _, ok := parseBenchOutput(bad); ok {
+			t.Errorf("parsed non-result line %q", bad)
+		}
+	}
+}
+
+// oldStream's second sample is split across two Output events the way
+// go test -json fragments a slow benchmark's result line (the name
+// flushes before the first iteration finishes), with another package's
+// event interleaved between the fragments.
+const oldStream = `{"Action":"output","Package":"p","Output":"BenchmarkSweep-8   \t1\t100 ns/op\t10 points/s\t5 allocs/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkSweep-8   \t"}
+{"Action":"output","Package":"q","Output":"BenchmarkOther-8   \t1\t9 ns/op\n"}
+{"Action":"output","Package":"p","Output":"1\t120 ns/op\t12 points/s\t5 allocs/op\n"}
+{"Action":"run","Package":"p"}
+not even json
+`
+
+const newStream = `{"Action":"output","Package":"p","Output":"BenchmarkSweep-4   \t1\t50 ns/op\t55 points/s\t0 allocs/op\n"}
+{"Action":"output","Package":"p","Output":"BenchmarkFresh-4   \t1\t7 ns/op\n"}
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRunDiff pins the comparison semantics: sample means, GOMAXPROCS
+// suffixes folded, throughput improvements marked as improvements, and
+// benchmarks without a baseline labelled new rather than diffed.
+func TestRunDiff(t *testing.T) {
+	oldPath := writeTemp(t, "old.json", oldStream)
+	newPath := writeTemp(t, "new.json", newStream)
+
+	var sb strings.Builder
+	if err := run(oldPath, newPath, bufio.NewWriter(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"BenchmarkSweep", "ns/op", "110", "50", // mean(100,120)=110 → 50
+		"points/s", "11", "55", "+400.0% ✓", // throughput up = better
+		"allocs/op", "-100.0% ✓", // allocations down = better
+		"BenchmarkFresh",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "-54.5% ✓") {
+		t.Errorf("ns/op drop should be marked an improvement:\n%s", out)
+	}
+}
+
+// TestRunMissingBaseline: a fresh clone without BENCH files must not
+// fail the (non-gating) target.
+func TestRunMissingBaseline(t *testing.T) {
+	newPath := writeTemp(t, "new.json", newStream)
+	var sb strings.Builder
+	if err := run(filepath.Join(t.TempDir(), "absent.json"), newPath, bufio.NewWriter(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no baseline") {
+		t.Errorf("missing baseline not reported:\n%s", sb.String())
+	}
+}

@@ -108,6 +108,8 @@ func suiteFlags(fs *flag.FlagSet) *experiments.Options {
 	fs.IntVar(&opts.TrainRecords, "train-records", 120, "detector training records")
 	fs.IntVar(&opts.NoiseSteps, "noise-steps", 8, "LNA-noise grid resolution")
 	fs.IntVar(&opts.Workers, "workers", 0, "sweep workers (0 = GOMAXPROCS)")
+	fs.IntVar(&opts.BatchSize, "batch-size", 0,
+		"cache-miss points per batched evaluator call (0 = engine default, 1 = per-point dispatch)")
 	fs.IntVar(&opts.Epochs, "epochs", 150, "detector training epochs")
 	fs.Float64Var(&opts.MinAccuracy, "min-accuracy", 0.98, "application accuracy constraint")
 	return opts

@@ -178,10 +178,23 @@ type (
 	// NewSweep.
 	Sweep = dse.Sweep
 	// SweepOption configures a Sweep at construction (WithWorkers,
-	// WithProgress, WithCache, WithTrace, WithEvaluatorID, WithRetry).
+	// WithBatchSize, WithProgress, WithCache, WithTrace,
+	// WithEvaluatorID, WithRetry).
 	SweepOption = dse.Option
-	// PointEvaluator scores one design point (implemented by *Evaluator).
+	// PointEvaluator scores one design point (implemented by
+	// *Evaluator).
+	//
+	// Deprecated as a construction target: prefer evaluators that also
+	// implement BatchEvaluator (as *Evaluator does) so NewSweep can
+	// dispatch cache misses in work-sharing batches. A bare
+	// PointEvaluator still works and keeps the historical per-point
+	// dispatch.
 	PointEvaluator = dse.PointEvaluator
+	// BatchEvaluator scores several design points in one call — the
+	// batch-first evaluation contract. NewSweep prefers it over
+	// per-point Evaluate whenever the evaluator implements it, and a
+	// *Sweep is itself a BatchEvaluator, so engines compose.
+	BatchEvaluator = dse.BatchEvaluator
 	// SweepCache memoises design-point evaluations across sweeps.
 	SweepCache = dse.Cache
 	// MemoryCache is the unbounded in-memory SweepCache with hit/miss
@@ -210,7 +223,13 @@ type (
 	RetryPolicy = dse.RetryPolicy
 )
 
-// NewSweep builds a validated sweep engine over an evaluator.
+// DefaultBatchSize is the batch size NewSweep uses when WithBatchSize
+// is not given.
+const DefaultBatchSize = dse.DefaultBatchSize
+
+// NewSweep builds a validated sweep engine over an evaluator. When ev
+// also implements BatchEvaluator the engine dispatches cache misses in
+// group-ordered batches (see WithBatchSize).
 func NewSweep(ev PointEvaluator, opts ...SweepOption) (*Sweep, error) {
 	return dse.NewSweep(ev, opts...)
 }
@@ -227,6 +246,7 @@ func NewLRUCache(entries int) *LRUCache { return cache.New(entries) }
 
 // Sweep options (see the dse package for semantics).
 func WithWorkers(n int) SweepOption                     { return dse.WithWorkers(n) }
+func WithBatchSize(n int) SweepOption                   { return dse.WithBatchSize(n) }
 func WithProgress(fn func(done, total int)) SweepOption { return dse.WithProgress(fn) }
 func WithCache(c SweepCache) SweepOption                { return dse.WithCache(c) }
 func WithTrace(w io.Writer) SweepOption                 { return dse.WithTrace(w) }

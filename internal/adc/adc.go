@@ -18,6 +18,7 @@ import (
 type SAR struct {
 	bits    int
 	vfs     float64
+	lsb     float64   // ideal quantisation step, precomputed
 	weights []float64 // actual (mismatched) bit weights, in volts
 	ideal   []float64 // ideal bit weights, in volts
 	compStd float64   // comparator input-referred noise sigma (V)
@@ -57,6 +58,7 @@ func New(cfg Config) *SAR {
 	s := &SAR{
 		bits:    n,
 		vfs:     cfg.VFS,
+		lsb:     cfg.VFS / math.Pow(2, float64(n)),
 		weights: make([]float64, n),
 		ideal:   make([]float64, n),
 		compStd: cfg.ComparatorNoise,
@@ -85,7 +87,7 @@ func (s *SAR) Bits() int { return s.bits }
 func (s *SAR) VFS() float64 { return s.vfs }
 
 // LSB returns the ideal quantisation step.
-func (s *SAR) LSB() float64 { return s.vfs / math.Pow(2, float64(s.bits)) }
+func (s *SAR) LSB() float64 { return s.lsb }
 
 // ConvertCode digitises one voltage and returns the raw output code in
 // [0, 2^N). The successive approximation walks the *actual* (mismatched)
@@ -123,6 +125,23 @@ func (s *SAR) Convert(in []float64) []float64 {
 		out[i] = s.CodeToVoltage(s.ConvertCode(v))
 	}
 	return out
+}
+
+// ConvertInto digitises a waveform into caller-owned storage — Convert
+// without the allocation. dst is grown (reallocating only when capacity is
+// exceeded) to len(in) and fully overwritten; the returned slice aliases
+// it. dst may be the input slice itself (conversion is element-wise). The
+// comparator noise stream is consumed exactly as Convert would, so the two
+// are interchangeable mid-stream.
+func (s *SAR) ConvertInto(dst, in []float64) []float64 {
+	if cap(dst) < len(in) {
+		dst = make([]float64, len(in))
+	}
+	dst = dst[:len(in)]
+	for i, v := range in {
+		dst[i] = s.CodeToVoltage(s.ConvertCode(v))
+	}
+	return dst
 }
 
 // ConvertCodes digitises a waveform, returning raw codes.

@@ -259,7 +259,12 @@ func NewCS(cfg CSConfig) *CSChain {
 	if cfg.ModelLeakage {
 		leak = cfg.Tech.ILeak
 	}
-	phi := cs.GenerateSRBM(cfg.M, cfg.NPhi, cfg.Sparsity, cfg.Seed)
+	// The design-point-independent planning products — sensing matrix,
+	// nominal effective matrix, reconstruction dictionary and its Gram
+	// factorisation — are shared through a geometry-keyed cache, so a sweep
+	// pays for them once per geometry rather than once per point.
+	plan := planForCS(cfg, csample)
+	phi := plan.phi
 	enc := cs.NewEncoder(cs.EncoderConfig{
 		Phi:                 phi,
 		CSample:             csample,
@@ -278,13 +283,7 @@ func NewCS(cfg CSConfig) *CSChain {
 	// busiest row bounds the worst-case measurement swing.
 	alpha := csample / (csample + cfg.CHold)
 	bFac := 1 - alpha
-	maxCount := 0
-	for _, k := range phi.RowCounts() {
-		if k > maxCount {
-			maxCount = k
-		}
-	}
-	dcGain := 1 - math.Pow(bFac, float64(maxCount))
+	dcGain := 1 - math.Pow(bFac, float64(plan.maxCount))
 	if dcGain < 1e-6 {
 		dcGain = 1e-6
 	}
@@ -306,19 +305,9 @@ func NewCS(cfg CSConfig) *CSChain {
 		HD3FullScale: 0.001,
 		ClipLevel:    cfg.Sys.VFS / 2,
 	}
-	var rec reconstructor
-	if cfg.ReconMethod == cs.MethodOMP {
-		rec = cs.NewReconstructor(enc, cfg.MaxAtoms, 1e-4)
-	} else {
-		rec = cs.NewMethodReconstructor(enc.EffectiveMatrix(true), cfg.NPhi, cs.ReconOptions{
-			Method:   cfg.ReconMethod,
-			MaxAtoms: cfg.MaxAtoms,
-			Tol:      1e-4,
-		})
-	}
 	return &CSChain{
 		cfg: cfg, gain: gain, vfsCS: vfsCS, csample: csample,
-		enc: enc, rec: rec, sar: sar, lna: lna,
+		enc: enc, rec: plan.rec, sar: sar, lna: lna,
 	}
 }
 

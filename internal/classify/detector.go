@@ -1,6 +1,8 @@
 package classify
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"sort"
 
@@ -165,6 +167,40 @@ func rmsOf(v []float64) float64 {
 		ss += s * s
 	}
 	return math.Sqrt(ss / float64(len(v)))
+}
+
+// Fingerprint digests the trained parameters — scaler statistics, every
+// network weight and the decision threshold — so two detectors with equal
+// fingerprints classify identically. Unlike a pointer identity, the value
+// is stable across processes and across retrainings that converge to the
+// same weights, which is what lets evaluation caches keyed on it outlive
+// the detector instance.
+func (d *Detector) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	writeS := func(v []float64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(v)))
+		h.Write(buf[:])
+		for _, x := range v {
+			writeF(x)
+		}
+	}
+	if d.scaler != nil {
+		writeS(d.scaler.Mean)
+		writeS(d.scaler.Scale)
+	}
+	if d.net != nil {
+		writeS(d.net.w1)
+		writeS(d.net.b1)
+		writeS(d.net.w2)
+		writeF(d.net.b2)
+	}
+	writeF(d.Threshold)
+	return h.Sum64()
 }
 
 // Probability returns the ictal probability of a waveform.

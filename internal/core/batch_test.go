@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"efficsense/internal/classify"
+	"efficsense/internal/eeg"
+	"efficsense/internal/tech"
+)
+
+func batchTestEvaluator(t testing.TB, det bool) *Evaluator {
+	t.Helper()
+	ds := eeg.Synthesize(eeg.DefaultConfig(7, 2))
+	cfg := Config{Tech: tech.GPDK045(), Sys: tech.DefaultSystem(), Dataset: ds, Seed: 7}
+	if det {
+		train := eeg.Synthesize(eeg.DefaultConfig(8, 4))
+		cfg.Detector = classify.TrainDetector(train, classify.DetectorConfig{
+			Seed: 8, Train: classify.TrainOptions{Epochs: 10},
+		})
+		cfg.WindowSeconds = classify.DefaultWindowSeconds
+	}
+	ev, err := NewEvaluator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func requireIdentical(t *testing.T, label string, got, want Result) {
+	t.Helper()
+	if got.MeanSNRdB != want.MeanSNRdB {
+		t.Fatalf("%s: SNR %v != %v", label, got.MeanSNRdB, want.MeanSNRdB)
+	}
+	if got.TotalPower != want.TotalPower {
+		t.Fatalf("%s: power %v != %v", label, got.TotalPower, want.TotalPower)
+	}
+	if got.AreaCaps != want.AreaCaps {
+		t.Fatalf("%s: area %v != %v", label, got.AreaCaps, want.AreaCaps)
+	}
+	if got.Accuracy != want.Accuracy || got.Confusion != want.Confusion {
+		t.Fatalf("%s: accuracy %v/%+v != %v/%+v",
+			label, got.Accuracy, got.Confusion, want.Accuracy, want.Confusion)
+	}
+	for c, v := range want.Power {
+		if got.Power[c] != v {
+			t.Fatalf("%s: power[%s] %v != %v", label, c, got.Power[c], v)
+		}
+	}
+	if got.Point != want.Point || got.Err != nil || want.Err != nil {
+		t.Fatalf("%s: point/err mismatch", label)
+	}
+}
+
+// goldenPoints is a seeded sweep slice covering every architecture, mixed
+// resolutions and noise floors, and two CS geometries — so grouping,
+// group sharing and the classic fallback are all exercised.
+func goldenPoints() []DesignPoint {
+	return []DesignPoint{
+		{Arch: ArchCS, Bits: 6, LNANoise: 3e-6, M: 96},
+		{Arch: ArchCS, Bits: 8, LNANoise: 3e-6, M: 96},
+		{Arch: ArchBaseline, Bits: 7, LNANoise: 3e-6},
+		{Arch: ArchCS, Bits: 7, LNANoise: 9e-6, M: 96},
+		{Arch: ArchBaseline, Bits: 6, LNANoise: 3e-6},
+		{Arch: ArchCS, Bits: 7, LNANoise: 3e-6, M: 128},
+		{Arch: ArchCSDigital, Bits: 7, LNANoise: 3e-6, M: 96},
+		{Arch: ArchCSActive, Bits: 7, LNANoise: 3e-6, M: 96},
+		{Arch: ArchCS, Bits: 7, LNANoise: 3e-6, M: 96, CHold: 120e-15},
+	}
+}
+
+// TestEvaluateBatchGoldenEquivalence is the golden test of the batch
+// redesign: for a seeded sweep slice, the batch path must reproduce the
+// classic per-point evaluation loop bit for bit — every figure of
+// interest, every power component.
+func TestEvaluateBatchGoldenEquivalence(t *testing.T) {
+	for _, det := range []bool{false, true} {
+		ev := batchTestEvaluator(t, det)
+		pts := goldenPoints()
+		batch := ev.EvaluateBatch(context.Background(), pts)
+		if len(batch) != len(pts) {
+			t.Fatalf("batch returned %d results for %d points", len(batch), len(pts))
+		}
+		for i, p := range pts {
+			requireIdentical(t, p.String(), batch[i], ev.evaluateClassic(p))
+		}
+		// And batches of one (the Evaluate wrapper) agree too.
+		for _, p := range pts[:3] {
+			requireIdentical(t, "single "+p.String(), ev.Evaluate(p), ev.evaluateClassic(p))
+		}
+	}
+}
+
+// TestEvaluateBatchContextCancel pins the degradation contract: a
+// cancelled context yields per-point error rows, never a panic or a
+// half-written result.
+func TestEvaluateBatchContextCancel(t *testing.T) {
+	ev := batchTestEvaluator(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rs := ev.EvaluateBatch(ctx, goldenPoints()[:3])
+	for i, r := range rs {
+		if r.Err == nil {
+			t.Fatalf("result %d: expected context error", i)
+		}
+		if r.TotalPower != 0 {
+			t.Fatalf("result %d: partial figures alongside error", i)
+		}
+	}
+}

@@ -8,9 +8,13 @@
 package core
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
+	"strconv"
+	"sync"
 
 	"efficsense/internal/chain"
 	"efficsense/internal/classify"
@@ -86,9 +90,46 @@ func (d DesignPoint) String() string {
 // a memoisation-cache key. Two points compare equal exactly when their
 // keys compare equal; float axes are keyed on their exact bit patterns so
 // no two distinct sweep values alias.
-func (d DesignPoint) Key() string {
-	return fmt.Sprintf("a%d:n%d:v%016x:m%d:c%016x",
-		d.Arch, d.Bits, math.Float64bits(d.LNANoise), d.M, math.Float64bits(d.CHold))
+func (d DesignPoint) Key() string { return string(d.AppendKey(nil)) }
+
+// AppendKey appends Key's bytes to dst and returns the extended slice,
+// so hot paths — the sweep engine's per-lookup cache keys — can build
+// keys into a reused buffer without fmt or intermediate strings. Key is
+// defined in terms of AppendKey, so the two can never drift.
+func (d DesignPoint) AppendKey(dst []byte) []byte {
+	dst = append(dst, 'a')
+	dst = strconv.AppendInt(dst, int64(d.Arch), 10)
+	dst = append(dst, ':', 'n')
+	dst = strconv.AppendInt(dst, int64(d.Bits), 10)
+	dst = append(dst, ':', 'v')
+	dst = appendHex16(dst, math.Float64bits(d.LNANoise))
+	dst = append(dst, ':', 'm')
+	dst = strconv.AppendInt(dst, int64(d.M), 10)
+	dst = append(dst, ':', 'c')
+	return appendHex16(dst, math.Float64bits(d.CHold))
+}
+
+// appendHex16 appends v as 16 zero-padded lowercase hex digits (%016x).
+func appendHex16(dst []byte, v uint64) []byte {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return append(dst, b[:]...)
+}
+
+// GroupKey returns the point with its ADC resolution cleared: the
+// coordinates that determine everything batch evaluation can share
+// between points. The LNA realisation depends on the noise floor, the CS
+// encoder realisation on (M, C_hold, seed) — never on Bits — so points
+// equal under GroupKey share one amplified (baseline) or encoded (CS)
+// waveform per record, and a batch engine co-locates them in one
+// EvaluateBatch call to pay for that waveform once.
+func (d DesignPoint) GroupKey() DesignPoint {
+	d.Bits = 0
+	return d
 }
 
 // Result carries every figure of interest for one design point — the
@@ -150,6 +191,7 @@ type Evaluator struct {
 	refs        [][]float64  // band-limited references at f_sample
 	labels      []eeg.Class
 	fingerprint string
+	scratch     sync.Pool // per-worker *evalScratch for the batch path
 }
 
 // NewEvaluator precomputes the per-record grid inputs and references.
@@ -181,6 +223,9 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 			Seed:          cfg.Seed,
 		},
 	}
+	e.scratch.New = func() any {
+		return &evalScratch{sess: chain.NewEvalSession(cfg.Seed)}
+	}
 	gridRate := e.common.GridRate()
 	for _, r := range cfg.Dataset.Records {
 		grid := dsp.Resample(r.Samples, r.Rate, gridRate)
@@ -194,23 +239,30 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 
 // fingerprintConfig digests everything Evaluate's output depends on: the
 // technology and system constants, the frame geometry, the seed, the
-// dataset contents and the detector instance. Two evaluators with equal
+// dataset contents and the detector weights. Two evaluators with equal
 // fingerprints produce bit-identical results for any design point, which
-// is what lets sweep caches be shared across evaluator instances. The
-// detector is keyed by instance (its weights are not re-hashed), so the
-// fingerprint is stable within a process but not across processes.
+// is what lets sweep caches be shared across evaluator instances — and,
+// because every input is hashed by value (the exact bit pattern of every
+// dataset sample, the trained detector parameters), the fingerprint is
+// stable across processes and detector rebuilds, never keyed on pointer
+// identity or on a collision-prone aggregate like a sample sum.
 func fingerprintConfig(cfg Config) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v|%+v|%d|%d|%d|%g|%d|det:%p",
+	var det uint64
+	if cfg.Detector != nil {
+		det = cfg.Detector.Fingerprint()
+	}
+	fmt.Fprintf(h, "%+v|%+v|%d|%d|%d|%g|%d|det:%016x",
 		cfg.Tech, cfg.Sys, cfg.NPhi, cfg.Sparsity, cfg.SimOversample,
-		cfg.WindowSeconds, cfg.Seed, cfg.Detector)
+		cfg.WindowSeconds, cfg.Seed, det)
+	var buf [8]byte
 	for _, r := range cfg.Dataset.Records {
-		var sum float64
+		fmt.Fprintf(h, "|r:%d:%d:%016x:",
+			r.Label, len(r.Samples), math.Float64bits(r.Rate))
 		for _, v := range r.Samples {
-			sum += v
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			h.Write(buf[:])
 		}
-		fmt.Fprintf(h, "|r:%d:%d:%016x:%016x",
-			r.Label, len(r.Samples), math.Float64bits(sum), math.Float64bits(r.Rate))
 	}
 	return fmt.Sprintf("core-ev-%016x", h.Sum64())
 }
@@ -239,8 +291,17 @@ func (e *Evaluator) Records() int { return len(e.grids) }
 // OutputRate returns the rate of chain outputs (f_sample).
 func (e *Evaluator) OutputRate() float64 { return e.cfg.Sys.FSample() }
 
-// Evaluate scores one design point over every record.
+// Evaluate scores one design point over every record. It is a batch of
+// one: results are identical to (and produced by) the EvaluateBatch path.
 func (e *Evaluator) Evaluate(p DesignPoint) Result {
+	return e.EvaluateBatch(context.Background(), []DesignPoint{p})[0]
+}
+
+// evaluateClassic is the original per-point evaluation loop. It remains
+// the reference implementation the batch path is pinned against (the
+// golden equivalence tests), and the execution path for the CS variants
+// whose chains have no session form.
+func (e *Evaluator) evaluateClassic(p DesignPoint) Result {
 	common := e.common
 	common.Bits = p.Bits
 	common.LNANoise = p.LNANoise

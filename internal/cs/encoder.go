@@ -87,11 +87,51 @@ func (e *Encoder) Measurements() int { return e.cfg.Phi.M }
 // reset (discharged) at frame start, as in the paper's frame-based
 // operation.
 func (e *Encoder) EncodeFrame(x []float64) []float64 {
-	n := e.cfg.Phi.N
-	if len(x) != n {
-		panic(fmt.Sprintf("cs: EncodeFrame needs %d samples, got %d", n, len(x)))
+	if len(x) != e.cfg.Phi.N {
+		panic(fmt.Sprintf("cs: EncodeFrame needs %d samples, got %d", e.cfg.Phi.N, len(x)))
 	}
 	v := make([]float64, e.cfg.Phi.M)
+	e.encodeFrameInto(v, x)
+	return v
+}
+
+// Encode processes a waveform frame by frame, dropping a trailing partial
+// frame, and returns the concatenated measurements (len = frames·M).
+func (e *Encoder) Encode(x []float64) []float64 {
+	n := e.cfg.Phi.N
+	frames := len(x) / n
+	out := make([]float64, 0, frames*e.cfg.Phi.M)
+	for f := 0; f < frames; f++ {
+		out = append(out, e.EncodeFrame(x[f*n:(f+1)*n])...)
+	}
+	return out
+}
+
+// EncodeInto is Encode against caller-owned storage: dst is grown
+// (reallocating only when capacity is exceeded) to frames·M and fully
+// overwritten; the returned slice aliases it. The per-frame arithmetic and
+// the kT/C noise-stream consumption are exactly EncodeFrame's, so the
+// measurements are bit-identical to Encode on the same encoder state.
+func (e *Encoder) EncodeInto(dst, x []float64) []float64 {
+	n := e.cfg.Phi.N
+	frames := len(x) / n
+	m := e.cfg.Phi.M
+	need := frames * m
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	for f := 0; f < frames; f++ {
+		e.encodeFrameInto(dst[f*m:(f+1)*m], x[f*n:(f+1)*n])
+	}
+	return dst
+}
+
+// encodeFrameInto is EncodeFrame writing into caller storage (length M).
+func (e *Encoder) encodeFrameInto(v, x []float64) {
+	for i := range v {
+		v[i] = 0
+	}
 	kt := 0.0
 	if e.cfg.Temperature > 0 {
 		kt = 1.380649e-23 * e.cfg.Temperature
@@ -100,7 +140,7 @@ func (e *Encoder) EncodeFrame(x []float64) []float64 {
 	if e.cfg.LeakageCurrent > 0 && e.cfg.SamplePeriod > 0 {
 		droop = e.cfg.LeakageCurrent * e.cfg.SamplePeriod
 	}
-	for j := 0; j < n; j++ {
+	for j := range x {
 		if droop > 0 {
 			for i := range v {
 				// dV = I·t/C, pulled toward ground.
@@ -132,19 +172,6 @@ func (e *Encoder) EncodeFrame(x []float64) []float64 {
 			}
 		}
 	}
-	return v
-}
-
-// Encode processes a waveform frame by frame, dropping a trailing partial
-// frame, and returns the concatenated measurements (len = frames·M).
-func (e *Encoder) Encode(x []float64) []float64 {
-	n := e.cfg.Phi.N
-	frames := len(x) / n
-	out := make([]float64, 0, frames*e.cfg.Phi.M)
-	for f := 0; f < frames; f++ {
-		out = append(out, e.EncodeFrame(x[f*n:(f+1)*n])...)
-	}
-	return out
 }
 
 // EffectiveMatrix returns the M×N linear map actually implemented by the
@@ -170,6 +197,37 @@ func (e *Encoder) EffectiveMatrix(nominal bool) [][]float64 {
 			alpha := csk / (csk + chi)
 			// This share scales everything already accumulated in row by
 			// (1-alpha) and adds alpha·x[j].
+			for jj := 0; jj < j; jj++ {
+				a[row][jj] *= 1 - alpha
+			}
+			a[row][j] = alpha
+		}
+	}
+	return a
+}
+
+// NominalEffectiveMatrix returns EffectiveMatrix(true) for the given
+// sensing matrix and design-value capacitors without constructing an
+// encoder (so no mismatch realisation is drawn). It runs the exact same
+// share recurrence, making the result bit-identical to what any encoder
+// built from (phi, csample, chold) reports — which is what lets a
+// geometry-keyed plan cache build the reconstructor dictionary once and
+// share it across every design point of that geometry.
+func NominalEffectiveMatrix(phi *SRBM, csample, chold float64) [][]float64 {
+	if phi == nil {
+		panic("cs: nominal matrix requires a sensing matrix")
+	}
+	if csample <= 0 || chold <= 0 {
+		panic("cs: encoder capacitors must be positive")
+	}
+	m, n := phi.M, phi.N
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		for _, row := range phi.Support[j] {
+			alpha := csample / (csample + chold)
 			for jj := 0; jj < j; jj++ {
 				a[row][jj] *= 1 - alpha
 			}

@@ -1,0 +1,40 @@
+package cs
+
+// Vector kernels for the two streaming loops of the Batch-OMP solver.
+// The AVX paths (kernel_amd64.s) use only per-lane IEEE-754 multiply,
+// subtract and add — no FMA, no reassociation — so every element sees
+// exactly the arithmetic of the generic Go loops and results stay
+// bit-identical across the scalar and vector paths. Lengths not divisible
+// by the vector width fall back to the scalar tail in the wrappers here.
+
+// updatePass4 computes dst[j] = (((in[j]-c0*g0[j]) - c1*g1[j]) -
+// c2*g2[j]) - c3*g3[j] for j in [0, len(dst)). All slices must be at
+// least len(dst) long; dst may alias in.
+func updatePass4(dst, in, g0, g1, g2, g3 []float64, c0, c1, c2, c3 float64) {
+	n := 0
+	if useAVX {
+		if n = len(dst) &^ 7; n > 0 {
+			updatePass4AVX(dst[:n], in[:n], g0[:n], g1[:n], g2[:n], g3[:n], c0, c1, c2, c3)
+		}
+	}
+	in = in[:len(dst)]
+	g0, g1, g2, g3 = g0[:len(dst)], g1[:len(dst)], g2[:len(dst)], g3[:len(dst)]
+	for j := n; j < len(dst); j++ {
+		dst[j] = (((in[j] - c0*g0[j]) - c1*g1[j]) - c2*g2[j]) - c3*g3[j]
+	}
+}
+
+// axpyPair computes p[j] = (p[j] + y0*d0[j]) + y1*d1[j] for j in
+// [0, len(p)). d0 and d1 must be at least len(p) long.
+func axpyPair(p, d0, d1 []float64, y0, y1 float64) {
+	n := 0
+	if useAVX {
+		if n = len(p) &^ 3; n > 0 {
+			axpyPairAVX(p[:n], d0[:n], d1[:n], y0, y1)
+		}
+	}
+	d0, d1 = d0[:len(p)], d1[:len(p)]
+	for j := n; j < len(p); j++ {
+		p[j] = (p[j] + y0*d0[j]) + y1*d1[j]
+	}
+}

@@ -1,0 +1,23 @@
+//go:build amd64 && !purego
+
+package cs
+
+// useAVX gates the assembly kernels: AVX requires both the CPU flag and
+// OS support for saving the YMM state (OSXSAVE + XCR0), checked once at
+// init via CPUID/XGETBV.
+var useAVX = cpuidHasAVX()
+
+// cpuidHasAVX reports whether the CPU and OS support AVX.
+func cpuidHasAVX() bool
+
+// updatePass4AVX is the vector body of updatePass4; len(dst) must be a
+// positive multiple of 8 and every slice exactly that long.
+//
+//go:noescape
+func updatePass4AVX(dst, in, g0, g1, g2, g3 []float64, c0, c1, c2, c3 float64)
+
+// axpyPairAVX is the vector body of axpyPair; len(p) must be a positive
+// multiple of 4 and every slice exactly that long.
+//
+//go:noescape
+func axpyPairAVX(p, d0, d1 []float64, y0, y1 float64)

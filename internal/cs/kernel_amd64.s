@@ -1,0 +1,96 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuidHasAVX() bool
+// AVX needs CPUID.1:ECX bits 27 (OSXSAVE) and 28 (AVX), plus XCR0 bits
+// 1 and 2 (the OS saves XMM and YMM state on context switch).
+TEXT ·cpuidHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	ANDL $0x18000000, CX
+	CMPL CX, $0x18000000
+	JNE  no
+	MOVL $0, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	MOVB $1, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func updatePass4AVX(dst, in, g0, g1, g2, g3 []float64, c0, c1, c2, c3 float64)
+// dst[j] = (((in[j] - c0*g0[j]) - c1*g1[j]) - c2*g2[j]) - c3*g3[j],
+// 8 elements per iteration. VMULPD/VSUBPD are per-lane IEEE-754 double
+// operations in the same order as the scalar loop: bit-identical.
+TEXT ·updatePass4AVX(SB), NOSPLIT, $0-176
+	MOVQ         dst_base+0(FP), DI
+	MOVQ         dst_len+8(FP), CX
+	MOVQ         in_base+24(FP), SI
+	MOVQ         g0_base+48(FP), R8
+	MOVQ         g1_base+72(FP), R9
+	MOVQ         g2_base+96(FP), R10
+	MOVQ         g3_base+120(FP), R11
+	VBROADCASTSD c0+144(FP), Y0
+	VBROADCASTSD c1+152(FP), Y1
+	VBROADCASTSD c2+160(FP), Y2
+	VBROADCASTSD c3+168(FP), Y3
+	XORQ         AX, AX
+	SHRQ         $3, CX
+
+uloop:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMULPD  (R8)(AX*8), Y0, Y6
+	VSUBPD  Y6, Y4, Y4
+	VMULPD  32(R8)(AX*8), Y0, Y7
+	VSUBPD  Y7, Y5, Y5
+	VMULPD  (R9)(AX*8), Y1, Y6
+	VSUBPD  Y6, Y4, Y4
+	VMULPD  32(R9)(AX*8), Y1, Y7
+	VSUBPD  Y7, Y5, Y5
+	VMULPD  (R10)(AX*8), Y2, Y6
+	VSUBPD  Y6, Y4, Y4
+	VMULPD  32(R10)(AX*8), Y2, Y7
+	VSUBPD  Y7, Y5, Y5
+	VMULPD  (R11)(AX*8), Y3, Y6
+	VSUBPD  Y6, Y4, Y4
+	VMULPD  32(R11)(AX*8), Y3, Y7
+	VSUBPD  Y7, Y5, Y5
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	DECQ    CX
+	JNZ     uloop
+	VZEROUPPER
+	RET
+
+// func axpyPairAVX(p, d0, d1 []float64, y0, y1 float64)
+// p[j] = (p[j] + y0*d0[j]) + y1*d1[j], 4 elements per iteration, same
+// per-lane IEEE order as the scalar loop.
+TEXT ·axpyPairAVX(SB), NOSPLIT, $0-88
+	MOVQ         p_base+0(FP), DI
+	MOVQ         p_len+8(FP), CX
+	MOVQ         d0_base+24(FP), R8
+	MOVQ         d1_base+48(FP), R9
+	VBROADCASTSD y0+72(FP), Y0
+	VBROADCASTSD y1+80(FP), Y1
+	XORQ         AX, AX
+	SHRQ         $2, CX
+
+aloop:
+	VMOVUPD (DI)(AX*8), Y2
+	VMULPD  (R8)(AX*8), Y0, Y3
+	VADDPD  Y3, Y2, Y2
+	VMULPD  (R9)(AX*8), Y1, Y3
+	VADDPD  Y3, Y2, Y2
+	VMOVUPD Y2, (DI)(AX*8)
+	ADDQ    $4, AX
+	DECQ    CX
+	JNZ     aloop
+	VZEROUPPER
+	RET

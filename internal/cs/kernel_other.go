@@ -1,0 +1,16 @@
+//go:build !amd64 || purego
+
+package cs
+
+// useAVX is always false without the amd64 assembly kernels; the wrappers
+// in kernel.go then run their scalar loops, which compute the exact same
+// per-element arithmetic.
+const useAVX = false
+
+func updatePass4AVX(dst, in, g0, g1, g2, g3 []float64, c0, c1, c2, c3 float64) {
+	panic("cs: AVX kernel called without AVX support")
+}
+
+func axpyPairAVX(p, d0, d1 []float64, y0, y1 float64) {
+	panic("cs: AVX kernel called without AVX support")
+}

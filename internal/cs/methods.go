@@ -156,7 +156,7 @@ func spectralNormSq(b *BatchOMP) float64 {
 	var lambda float64
 	for iter := 0; iter < 30; iter++ {
 		for i := 0; i < k; i++ {
-			w[i] = dsp.Dot(b.gram[i], v)
+			w[i] = dsp.Dot(b.gram[i*k:(i+1)*k], v)
 		}
 		norm := math.Sqrt(dsp.Energy(w))
 		if norm == 0 {

@@ -93,3 +93,35 @@ func (r *Reconstructor) Reconstruct(y []float64) []float64 {
 	}
 	return out
 }
+
+// ReconScratch holds the per-goroutine working set of the allocation-free
+// reconstruction path: the coefficient vector plus the solver scratch. The
+// zero value is ready to use; it grows to the largest geometry seen.
+type ReconScratch struct {
+	theta []float64
+	omp   Scratch
+}
+
+// ReconstructInto is Reconstruct against caller-owned storage. dst is
+// grown (reallocating only when capacity is exceeded) to frames·N_Φ and
+// fully overwritten; the returned slice aliases it. Every frame is solved
+// through the same Batch-OMP arithmetic as ReconstructFrame, so results
+// are bit-identical to Reconstruct. A single Reconstructor may serve many
+// goroutines concurrently as long as each brings its own ReconScratch.
+func (r *Reconstructor) ReconstructInto(dst, y []float64, sc *ReconScratch) []float64 {
+	frames := len(y) / r.m
+	need := frames * r.n
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	if cap(sc.theta) < r.n {
+		sc.theta = make([]float64, r.n)
+	}
+	theta := sc.theta[:r.n]
+	for f := 0; f < frames; f++ {
+		r.solver.SolveInto(theta, y[f*r.m:(f+1)*r.m], r.maxAtoms, r.tol, &sc.omp)
+		r.dct.InverseInto(dst[f*r.n:(f+1)*r.n], theta)
+	}
+	return dst
+}

@@ -1,0 +1,304 @@
+package dse
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"efficsense/internal/core"
+	"efficsense/internal/fault"
+)
+
+// BatchEvaluator is optionally implemented by evaluators that can score
+// several design points in one call — the batch-first contract of the
+// evaluation redesign. The engine prefers it over per-point Evaluate
+// (the same upgrade pattern as the Flight cache interface): cache-miss
+// points are dispatched to EvaluateBatch in group-ordered chunks, so an
+// evaluator that shares work across points (notably *core.Evaluator,
+// which amplifies and encodes each record once per GroupKey group)
+// actually receives the points that can share it together.
+//
+// EvaluateBatch must return exactly one Result per input point, in input
+// order, with Result.Err set on per-point failures (the degradation
+// contract: an error row, never a lost point), and must be safe for
+// concurrent calls. Results must be identical to evaluating each point
+// alone — batching is a performance contract, not a semantic one.
+type BatchEvaluator interface {
+	EvaluateBatch(ctx context.Context, pts []core.DesignPoint) []core.Result
+}
+
+// DefaultBatchSize is the chunk size the engine dispatches to a
+// BatchEvaluator when WithBatchSize is not given. Large enough to cover
+// several ADC-resolution groups per call (the paper grid has three Bits
+// values per group), small enough to keep the worker pool's progress
+// granularity and cancellation latency reasonable.
+const DefaultBatchSize = 16
+
+// WithBatchSize bounds how many cache-miss points the engine hands to a
+// batch evaluator per EvaluateBatch call. n = 0 selects
+// DefaultBatchSize; n = 1 disables batch dispatch (every point takes the
+// historical per-point path); negative n is a construction error. The
+// option is inert when the evaluator does not implement BatchEvaluator.
+//
+// Batched misses trade singleflight de-duplication for work sharing: a
+// chunk with two or more misses evaluates them in one EvaluateBatch call
+// outside any Flight cache's flight table (results are still Put, so
+// concurrent identical sweeps can at worst duplicate work, never corrupt
+// it). A chunk with a single miss keeps the per-point path and with it
+// the exactly-once flight guarantee.
+func WithBatchSize(n int) Option {
+	return func(s *Sweep) error {
+		if n < 0 {
+			return fmt.Errorf("dse: negative batch size %d", n)
+		}
+		s.batchSize = n
+		return nil
+	}
+}
+
+// BytesCache is optionally implemented by caches that can serve lookups
+// for a key built in a caller-owned byte buffer, sparing the hot warm
+// path the string conversion. GetBytes must behave exactly like
+// Get(string(key)) and must not retain key.
+type BytesCache interface {
+	GetBytes(key []byte) (core.Result, bool)
+}
+
+// keyBuf is a pooled cache-key buffer: the warm path builds
+// "evalID/pointKey" into it and looks the bytes up directly, so a
+// memoised Evaluate allocates nothing.
+type keyBuf struct{ b []byte }
+
+var keyBufPool = sync.Pool{New: func() any { return &keyBuf{b: make([]byte, 0, 160)} }}
+
+// appendKey builds the cache key for p into dst.
+func (s *Sweep) appendKey(dst []byte, p core.DesignPoint) []byte {
+	dst = append(dst, s.evalID...)
+	dst = append(dst, '/')
+	return p.AppendKey(dst)
+}
+
+// cacheGetBytes looks key up, using the cache's byte-key fast path when
+// it has one.
+func (s *Sweep) cacheGetBytes(key []byte) (core.Result, bool) {
+	if bc, ok := s.cache.(BytesCache); ok {
+		return bc.GetBytes(key)
+	}
+	return s.cache.Get(string(key))
+}
+
+// EvaluateBatch scores a batch of points through the engine — cache
+// lookups, batch dispatch to a BatchEvaluator, panic recovery, retries
+// and metrics included — returning one result per point in input order,
+// so a Sweep is itself a BatchEvaluator. Serving layers hand a
+// `{"points": [...]}` request straight to it and get the PR 5
+// degradation shape back: per-point error rows, never a lost batch. A
+// cancelled ctx degrades the not-yet-dispatched points with ctx.Err().
+func (s *Sweep) EvaluateBatch(ctx context.Context, pts []core.DesignPoint) []core.Result {
+	out := make([]core.Result, len(pts))
+	if len(pts) == 0 {
+		return out
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	complete := func(idx int, res core.Result, cached bool, dur time.Duration) {
+		out[idx] = res
+	}
+	if s.batch == nil || s.batchSize == 1 || len(pts) == 1 {
+		for i := range pts {
+			if err := ctx.Err(); err != nil {
+				out[i] = core.Result{Point: pts[i], Err: err}
+				continue
+			}
+			out[i], _, _ = s.evalPoint(ctx, pts[i])
+		}
+		return out
+	}
+	for _, chunk := range chunkByGroup(pts, s.batchSize) {
+		if err := ctx.Err(); err != nil {
+			for _, idx := range chunk {
+				out[idx] = core.Result{Point: pts[idx], Err: err}
+			}
+			continue
+		}
+		s.evalChunk(ctx, pts, chunk, complete)
+	}
+	return out
+}
+
+// chunkByGroup orders point indices so points equal under GroupKey are
+// adjacent (first-seen group order, input order within a group) and
+// slices the ordering into chunks of at most size. Grid enumerations
+// interleave the ADC-resolution axis with the others, so without this
+// reordering a contiguous chunk would almost never contain the points
+// that can share an encoded waveform.
+func chunkByGroup(pts []core.DesignPoint, size int) [][]int {
+	groups := make(map[core.DesignPoint][]int)
+	var order []core.DesignPoint
+	for i, p := range pts {
+		k := p.GroupKey()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	flat := make([]int, 0, len(pts))
+	for _, k := range order {
+		flat = append(flat, groups[k]...)
+	}
+	chunks := make([][]int, 0, (len(flat)+size-1)/size)
+	for off := 0; off < len(flat); off += size {
+		end := off + size
+		if end > len(flat) {
+			end = len(flat)
+		}
+		chunks = append(chunks, flat[off:end])
+	}
+	return chunks
+}
+
+// evalChunk serves one chunk of point indices: cache hits complete
+// immediately, a lone miss takes the per-point path (keeping the
+// singleflight guarantee of Flight caches), and two or more misses go to
+// the batch evaluator in one call. Per-point faults — the dse/evaluate
+// failpoint, error rows out of the batch — degrade (or retry) that point
+// alone; a batch-level fault or panic degrades exactly the points of
+// this batch.
+func (s *Sweep) evalChunk(ctx context.Context, points []core.DesignPoint, idxs []int, complete func(idx int, res core.Result, cached bool, dur time.Duration)) {
+	miss := make([]int, 0, len(idxs))
+	if s.cache != nil {
+		kb := keyBufPool.Get().(*keyBuf)
+		for _, idx := range idxs {
+			kb.b = s.appendKey(kb.b[:0], points[idx])
+			if r, ok := s.cacheGetBytes(kb.b); ok {
+				s.metrics.cacheHits.Add(1)
+				complete(idx, r, true, 0)
+				continue
+			}
+			miss = append(miss, idx)
+		}
+		keyBufPool.Put(kb)
+	} else {
+		miss = append(miss, idxs...)
+	}
+	switch len(miss) {
+	case 0:
+		return
+	case 1:
+		res, cached, dur := s.evalPoint(ctx, points[miss[0]])
+		complete(miss[0], res, cached, dur)
+		return
+	}
+	// The per-point failpoint fires first, exactly as on the per-point
+	// path: an injected fault degrades (or retries) its point alone and
+	// the survivors still batch together.
+	live := miss[:0]
+	for _, idx := range miss {
+		start := time.Now()
+		if err := fault.Fire(fault.PointEvaluate); err != nil {
+			s.metrics.observeEval(time.Since(start))
+			res := s.retryLoop(ctx, points[idx], core.Result{Point: points[idx], Err: err})
+			s.finishMiss(idx, points[idx], res, 0, complete)
+			continue
+		}
+		live = append(live, idx)
+	}
+	if len(live) == 0 {
+		return
+	}
+	pts := make([]core.DesignPoint, len(live))
+	for k, idx := range live {
+		pts[k] = points[idx]
+	}
+	start := time.Now()
+	rs := s.evaluateBatchGuarded(ctx, pts)
+	dur := time.Since(start)
+	s.metrics.observeBatch(len(pts), dur)
+	// Per-point duration metrics see each point's share of the batch.
+	share := dur / time.Duration(len(pts))
+	for k, idx := range live {
+		s.metrics.observeEval(share)
+		res := rs[k]
+		if res.Err != nil {
+			res = s.retryLoop(ctx, points[idx], res)
+		}
+		s.finishMiss(idx, points[idx], res, share, complete)
+	}
+}
+
+// finishMiss caches a freshly evaluated result (sound ones only — the
+// engine never pins errors) and completes its point.
+func (s *Sweep) finishMiss(idx int, p core.DesignPoint, res core.Result, dur time.Duration, complete func(idx int, res core.Result, cached bool, dur time.Duration)) {
+	if s.cache != nil && res.Err == nil {
+		kb := keyBufPool.Get().(*keyBuf)
+		kb.b = s.appendKey(kb.b[:0], p)
+		s.cache.Put(string(kb.b), res)
+		keyBufPool.Put(kb)
+	}
+	complete(idx, res, false, dur)
+}
+
+// evaluateBatchGuarded is one guarded batch evaluator call: the
+// dse/evaluate-batch failpoint fires first, a panic anywhere in the
+// batch is recovered, and a length-breaking evaluator is degraded — in
+// every case into error rows for exactly this batch's points.
+func (s *Sweep) evaluateBatchGuarded(ctx context.Context, pts []core.DesignPoint) (rs []core.Result) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			rs = batchErrorRows(pts, fmt.Errorf("dse: batch evaluation of %d points panicked: %v", len(pts), r))
+		}
+	}()
+	if err := fault.Fire(fault.PointBatch); err != nil {
+		return batchErrorRows(pts, fmt.Errorf("dse: batch of %d points: %w", len(pts), err))
+	}
+	rs = s.batch.EvaluateBatch(ctx, pts)
+	if len(rs) != len(pts) {
+		return batchErrorRows(pts, fmt.Errorf("dse: batch evaluator returned %d results for %d points", len(rs), len(pts)))
+	}
+	return rs
+}
+
+// batchErrorRows degrades every point of a batch into an error row.
+func batchErrorRows(pts []core.DesignPoint, err error) []core.Result {
+	rs := make([]core.Result, len(pts))
+	for i, p := range pts {
+		rs[i] = core.Result{Point: p, Err: err}
+	}
+	return rs
+}
+
+// runBatched is Run's worker pool in batch mode: workers drain
+// group-ordered chunks instead of single indices. Cancellation stops
+// dispatching further chunks; in-flight chunks run to completion (the
+// batch evaluator itself degrades its remaining groups on a cancelled
+// ctx, so the wait is bounded).
+func (s *Sweep) runBatched(ctx context.Context, points []core.DesignPoint, workers int, complete func(idx int, res core.Result, cached bool, dur time.Duration)) {
+	chunks := chunkByGroup(points, s.batchSize)
+	if workers > len(chunks) {
+		workers = len(chunks)
+	}
+	jobs := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idxs := range jobs {
+				s.evalChunk(ctx, points, idxs, complete)
+			}
+		}()
+	}
+dispatch:
+	for _, c := range chunks {
+		select {
+		case jobs <- c:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,325 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"efficsense/internal/core"
+	"efficsense/internal/fault"
+)
+
+func legacyBits(v float64) uint64 { return math.Float64bits(v) }
+
+// fakeBatchEvaluator upgrades fakeEvaluator with the BatchEvaluator
+// contract; rows, when set, overrides the produced results wholesale
+// (wrong-length returns, injected error rows).
+type fakeBatchEvaluator struct {
+	fakeEvaluator
+	batchCalls  atomic.Int64
+	batchPoints atomic.Int64
+	maxBatch    atomic.Int64
+	rows        func(pts []core.DesignPoint) []core.Result
+	panicOnCall bool
+}
+
+func (f *fakeBatchEvaluator) EvaluateBatch(ctx context.Context, pts []core.DesignPoint) []core.Result {
+	f.batchCalls.Add(1)
+	f.batchPoints.Add(int64(len(pts)))
+	for {
+		cur := f.maxBatch.Load()
+		if int64(len(pts)) <= cur || f.maxBatch.CompareAndSwap(cur, int64(len(pts))) {
+			break
+		}
+	}
+	if f.panicOnCall {
+		panic("injected batch panic")
+	}
+	if f.rows != nil {
+		return f.rows(pts)
+	}
+	rs := make([]core.Result, len(pts))
+	for i, p := range pts {
+		rs[i] = f.fakeEvaluator.Evaluate(p)
+	}
+	return rs
+}
+
+// batchPoints builds n points spread over two GroupKey groups (Bits is
+// the only axis that differs within a group).
+func batchTestPoints(n int) []core.DesignPoint {
+	pts := make([]core.DesignPoint, n)
+	for i := range pts {
+		pts[i] = core.DesignPoint{
+			Arch: core.ArchCS, Bits: 6 + i%3, LNANoise: float64(1+i%2) * 1e-6, M: 100,
+		}
+	}
+	return pts
+}
+
+func TestWithBatchSizeValidation(t *testing.T) {
+	if _, err := NewSweep(&fakeBatchEvaluator{}, WithBatchSize(-1)); err == nil {
+		t.Fatal("negative batch size accepted")
+	}
+	s, err := NewSweep(&fakeBatchEvaluator{}, WithBatchSize(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.batchSize != DefaultBatchSize {
+		t.Fatalf("batch size 0 should select the default %d, got %d", DefaultBatchSize, s.batchSize)
+	}
+}
+
+func TestChunkByGroupOrdersAndBounds(t *testing.T) {
+	pts := batchTestPoints(12) // two groups of 6, interleaved in input order
+	chunks := chunkByGroup(pts, 4)
+	var flat []int
+	for _, c := range chunks {
+		if len(c) == 0 || len(c) > 4 {
+			t.Fatalf("chunk size %d outside (0, 4]", len(c))
+		}
+		flat = append(flat, c...)
+	}
+	if len(flat) != len(pts) {
+		t.Fatalf("chunks cover %d of %d points", len(flat), len(pts))
+	}
+	seen := make(map[int]bool)
+	for _, idx := range flat {
+		if seen[idx] {
+			t.Fatalf("index %d dispatched twice", idx)
+		}
+		seen[idx] = true
+	}
+	// Group-equal points must be adjacent in the flattened order.
+	lastGroup := make(map[core.DesignPoint]int)
+	for pos, idx := range flat {
+		k := pts[idx].GroupKey()
+		if last, ok := lastGroup[k]; ok && pos != last+1 {
+			t.Fatalf("group %v split: positions %d and %d", k, last, pos)
+		}
+		lastGroup[k] = pos
+	}
+}
+
+// TestRunPrefersBatchDispatch pins the upgrade contract: a sweep over a
+// BatchEvaluator dispatches misses in group-ordered multi-point calls,
+// the batch metrics see them, and the results match the per-point path.
+func TestRunPrefersBatchDispatch(t *testing.T) {
+	pts := batchTestPoints(12)
+	ev := &fakeBatchEvaluator{}
+	s, err := NewSweep(ev, WithCache(NewMemoryCache()), WithEvaluatorID("batch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.batchCalls.Load() == 0 || ev.maxBatch.Load() < 2 {
+		t.Fatalf("batch evaluator not used in batches: %d calls, max %d points",
+			ev.batchCalls.Load(), ev.maxBatch.Load())
+	}
+	snap := s.Metrics()
+	if snap.Batches != ev.batchCalls.Load() || snap.BatchPoints != ev.batchPoints.Load() {
+		t.Fatalf("batch metrics %d/%d disagree with evaluator %d/%d",
+			snap.Batches, snap.BatchPoints, ev.batchCalls.Load(), ev.batchPoints.Load())
+	}
+	if snap.BatchSizeHist.Count == 0 || snap.BatchLatencyHist.Count == 0 {
+		t.Fatal("batch histograms unobserved")
+	}
+	perPoint, err := NewSweep(&fakeEvaluator{}, WithBatchSize(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := perPoint.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rs {
+		if fmt.Sprintf("%+v", rs[i]) != fmt.Sprintf("%+v", want[i]) {
+			t.Fatalf("point %d: batch %+v != per-point %+v", i, rs[i], want[i])
+		}
+	}
+}
+
+// TestSweepEvaluateBatch exercises the Sweep-as-BatchEvaluator surface
+// the serving layer uses: per-point results in input order, cache
+// participation, and ctx degradation.
+func TestSweepEvaluateBatch(t *testing.T) {
+	pts := batchTestPoints(8)
+	cache := NewMemoryCache()
+	ev := &fakeBatchEvaluator{}
+	s, err := NewSweep(ev, WithCache(cache), WithEvaluatorID("srv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := s.EvaluateBatch(context.Background(), pts)
+	if len(rs) != len(pts) {
+		t.Fatalf("%d results for %d points", len(rs), len(pts))
+	}
+	for i, r := range rs {
+		if r.Err != nil || r.Point != pts[i] {
+			t.Fatalf("row %d: %+v", i, r)
+		}
+	}
+	calls := ev.calls.Load()
+	// A second pass is all warm: no further evaluator calls.
+	s.EvaluateBatch(context.Background(), pts)
+	if got := ev.calls.Load(); got != calls {
+		t.Fatalf("warm batch re-evaluated: %d → %d calls", calls, got)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i, r := range s.EvaluateBatch(cancelled, batchTestPoints(99)[90:]) {
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("row %d of cancelled batch: err %v", i, r.Err)
+		}
+	}
+}
+
+// TestBatchFaultDegradesOnlyItsBatch pins the blast-radius contract of
+// the dse/evaluate-batch failpoint: one injected batch fault degrades
+// exactly the points of that batch into error rows; every other batch
+// completes clean, and the job as a whole still returns len(points)
+// results.
+func TestBatchFaultDegradesOnlyItsBatch(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	if err := fault.Enable(fault.PointBatch, fault.Config{
+		Kind: fault.KindError, Probability: 1, MaxInjections: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pts := batchTestPoints(24)
+	s, err := NewSweep(&fakeBatchEvaluator{}, WithWorkers(1), WithBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var degraded int
+	for _, r := range rs {
+		if r.Err != nil {
+			if !errors.Is(r.Err, fault.ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", r.Err)
+			}
+			degraded++
+		}
+	}
+	if degraded != 4 {
+		t.Fatalf("one injected batch fault degraded %d points, want exactly the batch of 4", degraded)
+	}
+}
+
+// TestBatchFaultRetriedPerPoint: with WithRetry armed, points degraded
+// by a batch-level fault fall back to per-point retries and recover.
+func TestBatchFaultRetriedPerPoint(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	if err := fault.Enable(fault.PointBatch, fault.Config{
+		Kind: fault.KindError, Probability: 1, MaxInjections: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSweep(&fakeBatchEvaluator{}, WithWorkers(1), WithBatchSize(4),
+		WithRetry(RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Run(context.Background(), batchTestPoints(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Err != nil {
+			t.Fatalf("point %s not recovered by per-point retry: %v", r.Point, r.Err)
+		}
+	}
+	if s.Metrics().Retries == 0 {
+		t.Fatal("no retries recorded for the degraded batch")
+	}
+}
+
+// TestBatchPanicDegradesBatch: a panic inside EvaluateBatch degrades
+// that batch's points and is counted, instead of killing the worker.
+func TestBatchPanicDegradesBatch(t *testing.T) {
+	ev := &fakeBatchEvaluator{panicOnCall: true}
+	s, err := NewSweep(ev, WithWorkers(1), WithBatchSize(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := batchTestPoints(8)
+	rs, err := s.Run(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Err == nil {
+			t.Fatalf("point %s survived a batch panic", r.Point)
+		}
+	}
+	if s.Metrics().Panics == 0 {
+		t.Fatal("batch panic not counted")
+	}
+}
+
+// TestBatchLengthMismatchDegrades: an evaluator that breaks the
+// one-result-per-point contract degrades the batch, never misaligns it.
+func TestBatchLengthMismatchDegrades(t *testing.T) {
+	ev := &fakeBatchEvaluator{rows: func(pts []core.DesignPoint) []core.Result {
+		return make([]core.Result, len(pts)-1)
+	}}
+	s, err := NewSweep(ev, WithWorkers(1), WithBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := s.Run(context.Background(), batchTestPoints(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs {
+		if r.Err == nil {
+			t.Fatal("length-breaking batch evaluator not degraded")
+		}
+	}
+}
+
+// TestEvaluateWarmZeroAllocs pins the allocation-lean hot path: a warm
+// memoised Evaluate (key build, byte-key cache hit, metrics) must not
+// allocate.
+func TestEvaluateWarmZeroAllocs(t *testing.T) {
+	s, err := NewSweep(&fakeEvaluator{}, WithCache(NewMemoryCache()), WithEvaluatorID("alloc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.DesignPoint{Arch: core.ArchCS, Bits: 8, LNANoise: 2e-6, M: 100, CHold: 80e-15}
+	s.Evaluate(p) // prime
+	avg := testing.AllocsPerRun(1000, func() {
+		if r := s.Evaluate(p); r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	})
+	if avg > 0.1 {
+		t.Fatalf("warm Evaluate allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestAppendKeyMatchesLegacyFormat pins the zero-alloc key builder to
+// the historical fmt.Sprintf cache-key format: existing persisted or
+// shared caches keep hitting across the upgrade.
+func TestAppendKeyMatchesLegacyFormat(t *testing.T) {
+	for _, p := range append(batchTestPoints(6), core.DesignPoint{}) {
+		legacy := fmt.Sprintf("a%d:n%d:v%016x:m%d:c%016x",
+			p.Arch, p.Bits, legacyBits(p.LNANoise), p.M, legacyBits(p.CHold))
+		if got := string(p.AppendKey(nil)); got != legacy {
+			t.Fatalf("AppendKey %q != legacy key %q", got, legacy)
+		}
+		if p.Key() != legacy {
+			t.Fatalf("Key %q != legacy key %q", p.Key(), legacy)
+		}
+	}
+}

@@ -61,6 +61,22 @@ func (c *MemoryCache) Get(key string) (core.Result, bool) {
 	return r, ok
 }
 
+// GetBytes implements BytesCache: a Get for a key built in a reused
+// byte buffer. The map lookup converts the bytes in place (the compiler
+// elides the allocation for a direct m[string(b)] expression), which is
+// what keeps the engine's warm path allocation-free.
+func (c *MemoryCache) GetBytes(key []byte) (core.Result, bool) {
+	c.mu.RLock()
+	r, ok := c.m[string(key)]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return r, ok
+}
+
 // Put implements Cache.
 func (c *MemoryCache) Put(key string, r core.Result) {
 	c.mu.Lock()

@@ -85,14 +85,16 @@ type Event struct {
 // progress window (Total/Done/ETA); per-run hooks observe only their own
 // run.
 type Sweep struct {
-	ev       PointEvaluator
-	evalID   string
-	workers  int
-	progress func(done, total int)
-	hook     func(Event)
-	cache    Cache
-	retry    *retrier
-	metrics  Metrics
+	ev        PointEvaluator
+	batch     BatchEvaluator // non-nil when ev implements it
+	batchSize int
+	evalID    string
+	workers   int
+	progress  func(done, total int)
+	hook      func(Event)
+	cache     Cache
+	retry     *retrier
+	metrics   Metrics
 
 	traceMu sync.Mutex
 	trace   io.Writer
@@ -199,6 +201,12 @@ func NewSweep(ev PointEvaluator, opts ...Option) (*Sweep, error) {
 			s.evalID = fmt.Sprintf("anon-ev-%d", anonEvalID.Add(1))
 		}
 	}
+	// The batch-first upgrade: an evaluator that can score several points
+	// in one call gets cache misses dispatched in group-ordered chunks.
+	s.batch, _ = ev.(BatchEvaluator)
+	if s.batchSize == 0 {
+		s.batchSize = DefaultBatchSize
+	}
 	s.metrics.initHistogram()
 	return s, nil
 }
@@ -206,10 +214,13 @@ func NewSweep(ev PointEvaluator, opts ...Option) (*Sweep, error) {
 // Metrics returns a snapshot of the engine's counters (see Snapshot).
 func (s *Sweep) Metrics() Snapshot { return s.metrics.Snapshot() }
 
-// Evaluate scores one point through the engine — cache lookup, panic
-// recovery and metrics included — so a Sweep is itself a PointEvaluator.
-// Single-point paths (local refinement, variant studies, the CLI's
-// `point` subcommand) share the sweep cache this way.
+// Evaluate scores one point through the engine, so a Sweep is itself a
+// PointEvaluator. It is a batch of one: the same cache lookup, panic
+// recovery, retry and metrics path EvaluateBatch runs per miss, without
+// the batch's slice allocations — which is what keeps a memoised
+// (steady-state) Evaluate at zero allocations. Single-point paths (local
+// refinement, variant studies, the CLI's `point` subcommand) share the
+// sweep cache this way.
 func (s *Sweep) Evaluate(p core.DesignPoint) core.Result {
 	res, _, _ := s.evalPoint(context.Background(), p)
 	return res
@@ -258,40 +269,63 @@ func (s *Sweep) RunWithHook(ctx context.Context, points []core.DesignPoint, hook
 		workers = len(points)
 	}
 	var (
-		wg        sync.WaitGroup
 		mu        sync.Mutex // guards results, completed, done, progress
 		completed = make([]bool, len(points))
 		done      int
 	)
+	complete := func(idx int, res core.Result, cached bool, dur time.Duration) {
+		mu.Lock()
+		results[idx] = res
+		completed[idx] = true
+		done++
+		d := done
+		s.metrics.done.Store(int64(d))
+		ev := Event{
+			Index: idx, Point: points[idx], Result: res,
+			Cached: cached, Duration: dur,
+			Done: d, Total: len(points),
+		}
+		if s.progress != nil {
+			s.progress(d, len(points))
+		}
+		if s.hook != nil {
+			s.hook(ev)
+		}
+		if hook != nil {
+			hook(ev)
+		}
+		mu.Unlock()
+		s.writeTrace(ev)
+	}
+	if s.batch != nil && s.batchSize > 1 && len(points) > 1 {
+		s.runBatched(ctx, points, workers, complete)
+	} else {
+		s.runPerPoint(ctx, points, workers, complete)
+	}
+	if err := ctx.Err(); err != nil {
+		partial := make([]core.Result, 0, len(points))
+		for i, ok := range completed {
+			if ok {
+				partial = append(partial, results[i])
+			}
+		}
+		return partial, err
+	}
+	return results, nil
+}
+
+// runPerPoint is Run's historical worker pool: workers drain single
+// point indices and every point goes through evalPoint.
+func (s *Sweep) runPerPoint(ctx context.Context, points []core.DesignPoint, workers int, complete func(idx int, res core.Result, cached bool, dur time.Duration)) {
 	jobs := make(chan int)
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
 				res, cached, dur := s.evalPoint(ctx, points[idx])
-				mu.Lock()
-				results[idx] = res
-				completed[idx] = true
-				done++
-				d := done
-				s.metrics.done.Store(int64(d))
-				ev := Event{
-					Index: idx, Point: points[idx], Result: res,
-					Cached: cached, Duration: dur,
-					Done: d, Total: len(points),
-				}
-				if s.progress != nil {
-					s.progress(d, len(points))
-				}
-				if s.hook != nil {
-					s.hook(ev)
-				}
-				if hook != nil {
-					hook(ev)
-				}
-				mu.Unlock()
-				s.writeTrace(ev)
+				complete(idx, res, cached, dur)
 			}
 		}()
 	}
@@ -305,16 +339,6 @@ dispatch:
 	}
 	close(jobs)
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		partial := make([]core.Result, 0, len(points))
-		for i, ok := range completed {
-			if ok {
-				partial = append(partial, results[i])
-			}
-		}
-		return partial, err
-	}
-	return results, nil
 }
 
 // evalPoint serves one point from the cache or the evaluator, recovering
@@ -324,8 +348,8 @@ dispatch:
 // only bounds retry backoff (see WithRetry); an in-flight evaluation
 // always runs to its end.
 func (s *Sweep) evalPoint(ctx context.Context, p core.DesignPoint) (res core.Result, cached bool, dur time.Duration) {
-	key := s.evalID + "/" + p.Key()
 	if fl, ok := s.cache.(Flight); ok {
+		key := s.evalID + "/" + p.Key()
 		var evalDur time.Duration
 		res, hit, shared := s.flightDo(fl, key, p, func() core.Result {
 			start := time.Now()
@@ -344,18 +368,29 @@ func (s *Sweep) evalPoint(ctx context.Context, p core.DesignPoint) (res core.Res
 		return res, false, evalDur
 	}
 	if s.cache != nil {
-		if r, ok := s.cache.Get(key); ok {
+		// The key lives in a pooled buffer and warm hits are served off
+		// the raw bytes, so the steady state — a memoised point — costs
+		// zero allocations.
+		kb := keyBufPool.Get().(*keyBuf)
+		kb.b = s.appendKey(kb.b[:0], p)
+		if r, ok := s.cacheGetBytes(kb.b); ok {
+			keyBufPool.Put(kb)
 			s.metrics.cacheHits.Add(1)
 			return r, true, 0
 		}
+		key := string(kb.b)
+		keyBufPool.Put(kb)
+		start := time.Now()
+		res = s.evaluate(ctx, p)
+		dur = time.Since(start)
+		if res.Err == nil {
+			s.cache.Put(key, res)
+		}
+		return res, false, dur
 	}
 	start := time.Now()
 	res = s.evaluate(ctx, p)
-	dur = time.Since(start)
-	if s.cache != nil && res.Err == nil {
-		s.cache.Put(key, res)
-	}
-	return res, false, dur
+	return res, false, time.Since(start)
 }
 
 // flightDo guards the cache's singleflight path with the same no-panic

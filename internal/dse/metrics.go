@@ -25,17 +25,42 @@ type Metrics struct {
 	maxNanos  atomic.Int64
 	startNano atomic.Int64
 
+	batches     atomic.Int64
+	batchPoints atomic.Int64
+
 	// evalHist distributes per-point evaluation durations over fixed
 	// buckets (obs.EvalBuckets), feeding the Snapshot quantiles and the
 	// serving layer's Prometheus histogram. Set once by initHistogram
 	// before any worker runs; nil (zero-value Metrics) disables it.
 	evalHist *obs.Histogram
+	// batchSizeHist and batchHist describe batch dispatch: how many
+	// points each EvaluateBatch call carried, and how long it took.
+	batchSizeHist *obs.Histogram
+	batchHist     *obs.Histogram
 }
 
-// initHistogram attaches the eval-duration histogram. NewSweep calls it
-// exactly once at construction, before any worker can observe.
+// BatchSizeBuckets are the batch-size histogram bounds (points per
+// EvaluateBatch call): powers of two up to well past DefaultBatchSize.
+var BatchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
+// initHistogram attaches the eval-duration and batch histograms. NewSweep
+// calls it exactly once at construction, before any worker can observe.
 func (m *Metrics) initHistogram() {
 	m.evalHist = obs.NewHistogram(obs.EvalBuckets)
+	m.batchSizeHist = obs.NewHistogram(BatchSizeBuckets)
+	m.batchHist = obs.NewHistogram(obs.EvalBuckets)
+}
+
+// observeBatch records one batched evaluator call of n points.
+func (m *Metrics) observeBatch(n int, d time.Duration) {
+	m.batches.Add(1)
+	m.batchPoints.Add(int64(n))
+	if m.batchSizeHist != nil {
+		m.batchSizeHist.Observe(float64(n))
+	}
+	if m.batchHist != nil {
+		m.batchHist.Observe(d.Seconds())
+	}
 }
 
 // beginRun resets the per-run progress window.
@@ -86,6 +111,10 @@ type Snapshot struct {
 	// Retries counts re-attempted evaluations under WithRetry (each
 	// counted attempt is also in Evaluated); cumulative across Runs.
 	Retries int64
+	// Batches counts batched evaluator calls (BatchEvaluator dispatch)
+	// and BatchPoints the cache-miss points they carried; cumulative
+	// across Runs. Zero on per-point engines.
+	Batches, BatchPoints int64
 	// Elapsed is the wall-clock time since the current Run started.
 	Elapsed time.Duration
 	// MeanEval, MinEval, MaxEval summarise per-point evaluation time
@@ -100,6 +129,11 @@ type Snapshot struct {
 	// across Runs; the serving layer merges these across engines into
 	// the efficsense_eval_duration_seconds exposition.
 	EvalHist obs.Snapshot
+	// BatchSizeHist and BatchLatencyHist are the batch-dispatch
+	// histograms (points per batched call; seconds per batched call),
+	// feeding the serving layer's efficsense_batch_size_points and
+	// efficsense_batch_duration_seconds expositions.
+	BatchSizeHist, BatchLatencyHist obs.Snapshot
 	// Throughput is completed points per second in the current Run.
 	Throughput float64
 	// ETA estimates the time to finish the current Run at the observed
@@ -111,15 +145,17 @@ type Snapshot struct {
 // does not pause the workers.
 func (m *Metrics) Snapshot() Snapshot {
 	s := Snapshot{
-		Total:     int(m.total.Load()),
-		Done:      int(m.done.Load()),
-		Evaluated: m.evaluated.Load(),
-		CacheHits: m.cacheHits.Load(),
-		Deduped:   m.deduped.Load(),
-		Panics:    m.panics.Load(),
-		Retries:   m.retries.Load(),
-		MinEval:   time.Duration(m.minNanos.Load()),
-		MaxEval:   time.Duration(m.maxNanos.Load()),
+		Total:       int(m.total.Load()),
+		Done:        int(m.done.Load()),
+		Evaluated:   m.evaluated.Load(),
+		CacheHits:   m.cacheHits.Load(),
+		Deduped:     m.deduped.Load(),
+		Panics:      m.panics.Load(),
+		Retries:     m.retries.Load(),
+		Batches:     m.batches.Load(),
+		BatchPoints: m.batchPoints.Load(),
+		MinEval:     time.Duration(m.minNanos.Load()),
+		MaxEval:     time.Duration(m.maxNanos.Load()),
 	}
 	if s.Evaluated > 0 {
 		s.MeanEval = time.Duration(m.evalNanos.Load() / s.Evaluated)
@@ -129,6 +165,12 @@ func (m *Metrics) Snapshot() Snapshot {
 		s.P50Eval = time.Duration(s.EvalHist.Quantile(0.50) * float64(time.Second))
 		s.P90Eval = time.Duration(s.EvalHist.Quantile(0.90) * float64(time.Second))
 		s.P99Eval = time.Duration(s.EvalHist.Quantile(0.99) * float64(time.Second))
+	}
+	if m.batchSizeHist != nil {
+		s.BatchSizeHist = m.batchSizeHist.Snapshot()
+	}
+	if m.batchHist != nil {
+		s.BatchLatencyHist = m.batchHist.Snapshot()
 	}
 	if start := m.startNano.Load(); start > 0 {
 		s.Elapsed = time.Since(time.Unix(0, start))

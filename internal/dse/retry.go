@@ -110,7 +110,17 @@ func (r *retrier) backoff(n int) time.Duration {
 // observed by the duration metrics; ctx bounds the backoff sleeps so a
 // cancelled run stops retrying promptly (the last failed result stands).
 func (s *Sweep) evaluate(ctx context.Context, p core.DesignPoint) core.Result {
-	res := s.attempt(p)
+	return s.retryLoop(ctx, p, s.attempt(p))
+}
+
+// retryLoop applies the armed retry policy to a first attempt's result:
+// while the result is a retryable failure and attempts remain, back off
+// and re-attempt per point. The batch path reuses it directly — a point
+// whose batch degraded it (an error row, an injected batch fault, a
+// panic) gets the same per-point recovery as the per-point path, so
+// batching never weakens the retry contract. A nil policy or a sound
+// result returns res unchanged.
+func (s *Sweep) retryLoop(ctx context.Context, p core.DesignPoint, res core.Result) core.Result {
 	if s.retry == nil || res.Err == nil {
 		return res
 	}

@@ -161,6 +161,15 @@ func (p *OnePole) Step(x float64) float64 {
 // Reset clears the state.
 func (p *OnePole) Reset() { p.y = 0 }
 
+// ApplyInPlace filters v in place from zero state — the allocation-free
+// form of Apply (identical arithmetic).
+func (p *OnePole) ApplyInPlace(v []float64) {
+	p.Reset()
+	for i, x := range v {
+		v[i] = p.Step(x)
+	}
+}
+
 // Apply filters v into a new slice from zero state.
 func (p *OnePole) Apply(v []float64) []float64 {
 	p.Reset()

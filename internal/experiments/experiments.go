@@ -35,6 +35,10 @@ type Options struct {
 	NoiseSteps int
 	// Workers bounds sweep parallelism (0 → GOMAXPROCS).
 	Workers int
+	// BatchSize bounds how many cache-miss points the engine hands to
+	// the evaluator per batched call (see dse.WithBatchSize): 0 selects
+	// dse.DefaultBatchSize, 1 disables batch dispatch entirely.
+	BatchSize int
 	// Epochs for detector training (default 150).
 	Epochs int
 	// MinAccuracy is the application constraint (paper: 0.98).
@@ -157,6 +161,7 @@ func (s *Suite) init() {
 		}
 		sweepOpts := []dse.Option{
 			dse.WithWorkers(max(s.opts.Workers, 0)),
+			dse.WithBatchSize(max(s.opts.BatchSize, 0)),
 			dse.WithProgress(s.opts.Progress),
 			dse.WithCache(s.cache),
 			dse.WithTrace(s.opts.Trace),

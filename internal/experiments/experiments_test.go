@@ -40,7 +40,9 @@ func TestSharedCacheInjection(t *testing.T) {
 	}
 	cache := dse.NewMemoryCache()
 	opts := Options{Seed: 5, Records: 1, TrainRecords: 4, NoiseSteps: 1, Epochs: 1, Cache: cache}
-	a, b := NewSuite(opts), NewSuite(opts)
+	optsB := opts
+	optsB.Seed = 6
+	a, b := NewSuite(opts), NewSuite(optsB)
 	if a.Cache() != cache || b.Cache() != cache {
 		t.Fatal("injected cache not adopted by the suites")
 	}
@@ -50,11 +52,21 @@ func TestSharedCacheInjection(t *testing.T) {
 	if n == 0 {
 		t.Fatal("evaluation did not reach the shared cache")
 	}
-	// A second suite has its own evaluator fingerprint, so the shared
-	// store grows instead of cross-contaminating.
+	// A suite with different options computes a different function — its
+	// evaluator fingerprint differs, so the shared store grows instead of
+	// cross-contaminating.
 	b.Engine().Evaluate(p)
 	if cache.Len() <= n {
 		t.Fatalf("distinct evaluators collided in the shared cache (len %d)", cache.Len())
+	}
+	// A rebuilt suite with identical options computes the identical
+	// function: the value-hashed fingerprint matches and it reuses the
+	// first suite's entries instead of re-evaluating.
+	m := cache.Len()
+	c := NewSuite(opts)
+	c.Engine().Evaluate(p)
+	if cache.Len() != m {
+		t.Fatalf("identical evaluators did not share cache entries (len %d → %d)", m, cache.Len())
 	}
 }
 

@@ -45,6 +45,12 @@ const (
 	// engine (cache hits never reach it). A panic here is recovered by
 	// the engine's per-point recovery; an error degrades the point.
 	PointEvaluate = "dse/evaluate"
+	// PointBatch fires once per batched evaluator call, after the
+	// per-point failpoint has filtered the batch and before the batch
+	// evaluator runs. An error (or panic) degrades every point of that
+	// batch into error-carrying results — and only that batch: the
+	// engine's other batches, and the job above them, continue.
+	PointBatch = "dse/evaluate-batch"
 	// PointFlight fires inside the bounded cache's singleflight, in the
 	// computing goroutine, before the evaluation closure runs. A panic
 	// exercises the waiter-release path.

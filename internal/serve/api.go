@@ -170,11 +170,32 @@ func (sp *SpaceSpec) space(opts experiments.Options) (dse.Space, error) {
 	return s, s.Validate()
 }
 
-// EvaluateRequest is the POST /v1/evaluate body.
+// EvaluateRequest is the POST /v1/evaluate body. Exactly one of Point
+// and Points must be set: a single-object body ({"point": ...}) returns
+// one ResultJSON, a batch body ({"points": [...]}) returns an
+// EvaluateBatchResponse with one row per input point. Batches flow
+// through the engines' batch dispatch, so points that can share
+// amplification and encoding work actually do.
 type EvaluateRequest struct {
 	Options   *OptionsSpec `json:"options,omitempty"`
-	Point     PointSpec    `json:"point"`
+	Point     PointSpec    `json:"point,omitempty"`
+	Points    []PointSpec  `json:"points,omitempty"`
 	TimeoutMS int          `json:"timeout_ms,omitempty"`
+}
+
+// EvaluateBatchResponse is the POST /v1/evaluate response for a batch
+// request: one row per input point, in input order. Failures degrade
+// per point — an error row with Err set, never a lost point or a failed
+// batch — and Partial flags their presence, the same degradation shape
+// sweep outcomes use.
+type EvaluateBatchResponse struct {
+	// Partial is true when at least one row is an error row.
+	Partial bool `json:"partial"`
+	// Count is the number of rows; Errors the degraded ones.
+	Count  int `json:"count"`
+	Errors int `json:"errors"`
+	// Results holds one row per input point, in input order.
+	Results []ResultJSON `json:"results"`
 }
 
 // SweepRequest is the POST /v1/sweeps body.

@@ -1,0 +1,235 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"efficsense/internal/cache"
+	"efficsense/internal/core"
+	"efficsense/internal/dse"
+	"efficsense/internal/experiments"
+)
+
+// slowBatchEval upgrades slowEval with the batch contract, so the serve
+// tests exercise the engines' batch dispatch end to end.
+type slowBatchEval struct {
+	slowEval
+	batches     atomic.Int64
+	batchPoints atomic.Int64
+}
+
+func (e *slowBatchEval) EvaluateBatch(ctx context.Context, pts []core.DesignPoint) []core.Result {
+	e.batches.Add(1)
+	e.batchPoints.Add(int64(len(pts)))
+	out := make([]core.Result, len(pts))
+	for i, p := range pts {
+		out[i] = e.Evaluate(p)
+	}
+	return out
+}
+
+// newBatchTestServer is newTestServer over a batch-capable evaluator,
+// with extra engine options chosen by the test.
+func newBatchTestServer(t *testing.T, cfg ManagerConfig, extra ...dse.Option) (*httptest.Server, *Manager, *slowBatchEval) {
+	t.Helper()
+	eval := &slowBatchEval{}
+	opts := append([]dse.Option{
+		dse.WithCache(cache.New(128)), dse.WithWorkers(2), dse.WithEvaluatorID("test-eval"),
+	}, extra...)
+	eng, err := dse.NewSweep(eval, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engines = func(o experiments.Options) (Engine, error) { return eng, nil }
+	mgr, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mgr, nil))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+		ts.Close()
+	})
+	return ts, mgr, eval
+}
+
+func decodeBatch(t *testing.T, resp *http.Response) EvaluateBatchResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch evaluate status %d: %s", resp.StatusCode, raw)
+	}
+	var br EvaluateBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	return br
+}
+
+// batchBody is 6 points in two ADC-resolution groups (bits vary within
+// a shared noise floor), so the engine's group-ordered chunking has
+// something to share.
+const batchBody = `{"points":[
+	{"arch":"baseline","bits":4,"lna_noise":1e-6},
+	{"arch":"baseline","bits":5,"lna_noise":1e-6},
+	{"arch":"baseline","bits":6,"lna_noise":1e-6},
+	{"arch":"baseline","bits":4,"lna_noise":2e-6},
+	{"arch":"baseline","bits":5,"lna_noise":2e-6},
+	{"arch":"baseline","bits":6,"lna_noise":2e-6}]}`
+
+// TestEvaluateBatchEndToEnd covers the batch arm of POST /v1/evaluate:
+// rows come back in input order through the engine's batch dispatch, a
+// repeat is served warm, the single-object body keeps working on the
+// same endpoint, and the batch counters and histograms surface in
+// /metrics.
+func TestEvaluateBatchEndToEnd(t *testing.T) {
+	ts, _, eval := newBatchTestServer(t, ManagerConfig{})
+
+	br := decodeBatch(t, postJSON(t, ts.URL+"/v1/evaluate", batchBody))
+	if br.Count != 6 || br.Partial || br.Errors != 0 || len(br.Results) != 6 {
+		t.Fatalf("batch response: %+v", br)
+	}
+	wantBits := []int{4, 5, 6, 4, 5, 6}
+	for i, row := range br.Results {
+		if row.Point.Bits != wantBits[i] {
+			t.Fatalf("row %d out of input order: %+v", i, row.Point)
+		}
+		if row.Err != "" || row.Cached {
+			t.Fatalf("cold row %d: %+v", i, row)
+		}
+		if row.SNRdB != 3*float64(row.Point.Bits) {
+			t.Fatalf("row %d figures wrong: %+v", i, row)
+		}
+	}
+	if eval.batches.Load() == 0 {
+		t.Fatal("batch request bypassed the batch evaluator")
+	}
+	if got := eval.calls.Load(); got != 6 {
+		t.Fatalf("evaluations %d, want 6", got)
+	}
+
+	// The identical batch again: every row warm, no new evaluator calls.
+	calls, batches := eval.calls.Load(), eval.batches.Load()
+	br2 := decodeBatch(t, postJSON(t, ts.URL+"/v1/evaluate", batchBody))
+	for i, row := range br2.Results {
+		if !row.Cached {
+			t.Fatalf("warm row %d not cached: %+v", i, row)
+		}
+	}
+	if eval.calls.Load() != calls || eval.batches.Load() != batches {
+		t.Fatalf("warm batch re-evaluated: %d calls %d batches", eval.calls.Load(), eval.batches.Load())
+	}
+
+	// The single-object body still works on the same endpoint.
+	resp := postJSON(t, ts.URL+"/v1/evaluate", `{"point":{"arch":"baseline","bits":4,"lna_noise":1e-6}}`)
+	var rj ResultJSON
+	if err := json.NewDecoder(resp.Body).Decode(&rj); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if rj.SNRdB != 12 || !rj.Cached {
+		t.Fatalf("single-object evaluation: %+v", rj)
+	}
+
+	metrics := fetchMetrics(t, ts.URL)
+	if got := metricValue(t, metrics, "efficsense_engine_batches_total"); got != float64(eval.batches.Load()) {
+		t.Errorf("exposed batches %g, want %d", got, eval.batches.Load())
+	}
+	if got := metricValue(t, metrics, "efficsense_engine_batch_points_total"); got != float64(eval.batchPoints.Load()) {
+		t.Errorf("exposed batch points %g, want %d", got, eval.batchPoints.Load())
+	}
+	if got := metricValue(t, metrics, "efficsense_batch_size_points_count"); got != float64(eval.batches.Load()) {
+		t.Errorf("batch-size histogram count %g, want %d", got, eval.batches.Load())
+	}
+	if got := metricValue(t, metrics, "efficsense_batch_duration_seconds_count"); got != float64(eval.batches.Load()) {
+		t.Errorf("batch-duration histogram count %g, want %d", got, eval.batches.Load())
+	}
+}
+
+// TestEvaluateBatchHistogramsExistCold pins the zero-layout fallback:
+// the batch histograms exist in /metrics from the first scrape, before
+// any engine has resolved.
+func TestEvaluateBatchHistogramsExistCold(t *testing.T) {
+	ts, _, _ := newBatchTestServer(t, ManagerConfig{})
+	metrics := fetchMetrics(t, ts.URL)
+	for _, name := range []string{
+		"efficsense_batch_size_points_count 0",
+		"efficsense_batch_duration_seconds_count 0",
+		"efficsense_engine_batches_total 0",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Errorf("/metrics missing cold series %q", name)
+		}
+	}
+}
+
+// TestEvaluateBatchValidation walks the batch arm's 400 edges.
+func TestEvaluateBatchValidation(t *testing.T) {
+	ts, _, _ := newBatchTestServer(t, ManagerConfig{MaxSweepPoints: 3})
+	cases := []struct {
+		name, body, wantIn string
+	}{
+		{"both point and points",
+			`{"point":{"arch":"baseline","bits":4,"lna_noise":1e-6},"points":[{"arch":"baseline","bits":4,"lna_noise":1e-6}]}`,
+			"not both"},
+		{"empty points", `{"points":[]}`, "empty"},
+		{"invalid row", `{"points":[{"arch":"baseline","bits":4,"lna_noise":1e-6},{"arch":"warp","bits":4,"lna_noise":1e-6}]}`,
+			"points[1]"},
+		{"negative timeout", `{"points":[{"arch":"baseline","bits":4,"lna_noise":1e-6}],"timeout_ms":-1}`,
+			"timeout_ms"},
+		{"oversize batch", `{"points":[
+			{"arch":"baseline","bits":4,"lna_noise":1e-6},
+			{"arch":"baseline","bits":5,"lna_noise":1e-6},
+			{"arch":"baseline","bits":6,"lna_noise":1e-6},
+			{"arch":"baseline","bits":7,"lna_noise":1e-6}]}`,
+			"exceeds the limit"},
+	}
+	for _, c := range cases {
+		resp := postJSON(t, ts.URL+"/v1/evaluate", c.body)
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", c.name, resp.StatusCode, raw)
+			continue
+		}
+		if !strings.Contains(string(raw), c.wantIn) {
+			t.Errorf("%s: error %s does not mention %q", c.name, raw, c.wantIn)
+		}
+	}
+}
+
+// TestEvaluateBatchDeadlineDegradesRows: a deadline that fires mid-batch
+// yields HTTP 200 with error rows for the unfinished points — the batch
+// shape degrades, it does not turn into the single-point 504. The
+// timing pins the deadline inside the second evaluation (one worker,
+// 80 ms per point, 100 ms budget), so the points the engine never
+// dispatched must come back as deadline rows.
+func TestEvaluateBatchDeadlineDegradesRows(t *testing.T) {
+	ts, _, eval := newBatchTestServer(t, ManagerConfig{}, dse.WithWorkers(1), dse.WithBatchSize(1))
+	eval.delay = 80 * time.Millisecond
+
+	body := `{"points":[
+		{"arch":"baseline","bits":4,"lna_noise":1e-6},
+		{"arch":"baseline","bits":5,"lna_noise":1e-6},
+		{"arch":"baseline","bits":6,"lna_noise":1e-6},
+		{"arch":"baseline","bits":7,"lna_noise":1e-6}],"timeout_ms":100}`
+	br := decodeBatch(t, postJSON(t, ts.URL+"/v1/evaluate", body))
+	if !br.Partial || br.Errors == 0 || br.Errors >= br.Count {
+		t.Fatalf("deadline batch should degrade some rows and keep others: %+v", br)
+	}
+	for _, row := range br.Results {
+		if row.Err != "" && !strings.Contains(row.Err, "deadline") {
+			t.Fatalf("degraded row carries the wrong error: %q", row.Err)
+		}
+	}
+}

@@ -385,6 +385,96 @@ func TestChaosSSEResumeDeliversExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestChaosBatchFaultDegradesOnlyItsBatch arms the batch failpoint with
+// a single injection and drives a sweep through a batch-dispatching
+// engine: exactly the points of the faulted batch must degrade into
+// error rows — the job completes with partial: true, every other batch
+// is untouched, and the daemon keeps serving.
+func TestChaosBatchFaultDegradesOnlyItsBatch(t *testing.T) {
+	armFault(t, fault.PointBatch, fault.Config{
+		Kind: fault.KindError, Probability: 1, MaxInjections: 1, Seed: 11,
+	})
+	// One worker and a batch size of 4: the 24-point space (8 noise
+	// groups × 3 bits) flattens into exactly 6 full chunks, so the one
+	// injected fault costs exactly 4 points.
+	ts, mgr, eval := newBatchTestServer(t, ManagerConfig{},
+		dse.WithWorkers(1), dse.WithBatchSize(4))
+
+	st := decodeStatus(t, postJSON(t, ts.URL+"/v1/sweeps",
+		`{"space":{"architectures":["baseline"],"bits":[4,5,6],"noise_steps":8}}`))
+	final := waitTerminal(t, ts.URL, st.ID)
+	if final.State != string(StateCompleted) {
+		t.Fatalf("state %s, want completed: %s", final.State, final.Error)
+	}
+	if !final.Result.Partial || final.Result.Points != 24 || final.Result.Errors != 4 {
+		t.Fatalf("one faulted batch should cost exactly its 4 points: %+v", final.Result)
+	}
+	// The faulted batch never reached the evaluator; the other 5 did.
+	// The engine counters record all 6 dispatched batches — the faulted
+	// one included, just as Evaluated counts failpoint-degraded points.
+	if got := eval.batchPoints.Load(); got != 20 {
+		t.Fatalf("evaluator saw %d batched points, want 20", got)
+	}
+	if c := mgr.Counters(); c.EngineBatches != 6 || c.EngineBatchPoints != 24 {
+		t.Fatalf("batch counters: %d batches, %d points", c.EngineBatches, c.EngineBatchPoints)
+	}
+
+	// Degraded rows are never cached, so a rerun after disarming heals
+	// exactly the faulted batch.
+	fault.Reset()
+	st2 := decodeStatus(t, postJSON(t, ts.URL+"/v1/sweeps",
+		`{"space":{"architectures":["baseline"],"bits":[4,5,6],"noise_steps":8}}`))
+	final2 := waitTerminal(t, ts.URL, st2.ID)
+	if final2.State != string(StateCompleted) || final2.Result.Partial || final2.Result.Errors != 0 {
+		t.Fatalf("healed rerun: %+v", final2.Result)
+	}
+	if got := eval.calls.Load(); got != 24 {
+		t.Fatalf("healed rerun should evaluate only the faulted 4: %d calls, want 24", got)
+	}
+}
+
+// TestChaosBatchEvaluateDegradesRowsNotRequest is the wire-level batch
+// degradation test: with the batch failpoint armed, POST /v1/evaluate
+// {"points": [...]} returns 200 with partial: true and per-point error
+// rows — never a failed request — and the very next batch (budget
+// exhausted) runs clean.
+func TestChaosBatchEvaluateDegradesRowsNotRequest(t *testing.T) {
+	armFault(t, fault.PointBatch, fault.Config{
+		Kind: fault.KindError, Probability: 1, MaxInjections: 1, Seed: 4,
+	})
+	ts, _, eval := newBatchTestServer(t, ManagerConfig{})
+
+	// Four points of one ADC-resolution group: a single chunk, a single
+	// EvaluateBatch call, so the injection degrades all four rows.
+	body := `{"points":[
+		{"arch":"baseline","bits":4,"lna_noise":1e-6},
+		{"arch":"baseline","bits":5,"lna_noise":1e-6},
+		{"arch":"baseline","bits":6,"lna_noise":1e-6},
+		{"arch":"baseline","bits":7,"lna_noise":1e-6}]}`
+	br := decodeBatch(t, postJSON(t, ts.URL+"/v1/evaluate", body))
+	if !br.Partial || br.Errors != 4 || br.Count != 4 {
+		t.Fatalf("faulted batch response: %+v", br)
+	}
+	for i, row := range br.Results {
+		if !strings.Contains(row.Err, "injected fault") {
+			t.Fatalf("row %d should carry the injected fault: %+v", i, row)
+		}
+	}
+	if eval.calls.Load() != 0 {
+		t.Fatal("faulted batch should never reach the evaluator")
+	}
+
+	// The budget is spent: the same batch now evaluates clean, proving
+	// the degraded rows were not cached.
+	br2 := decodeBatch(t, postJSON(t, ts.URL+"/v1/evaluate", body))
+	if br2.Partial || br2.Errors != 0 {
+		t.Fatalf("post-budget batch: %+v", br2)
+	}
+	if eval.calls.Load() != 4 {
+		t.Fatalf("post-budget batch evaluated %d points, want 4", eval.calls.Load())
+	}
+}
+
 // TestChaosNoGoroutineLeaks runs a full chaos scenario — evaluation
 // faults, severed SSE streams, a resumed client — then tears the stack
 // down and requires the goroutine count to return to its baseline:

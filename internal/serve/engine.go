@@ -65,9 +65,11 @@ func (se *SuiteEngines) Cache() *cache.LRU { return se.cache }
 
 // optionsKey canonicalises an option set: two option sets that build
 // equivalent evaluators map to the same key. Sinks (Progress, Trace),
-// the cache pointer and the retry policy are deliberately excluded —
-// retry is a server-wide default (not settable over the wire), so it
-// never splits otherwise-identical suites.
+// the cache pointer, the batch size and the retry policy are
+// deliberately excluded — they change how points are dispatched, never
+// what a point evaluates to, and retry/batch size are server-wide
+// defaults (not settable over the wire), so they never split
+// otherwise-identical suites.
 func optionsKey(o experiments.Options) string {
 	return fmt.Sprintf("s%d|r%d|t%d|n%d|w%d|e%d|a%g|win%g",
 		o.Seed, o.Records, o.TrainRecords, o.NoiseSteps, o.Workers,

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"efficsense/internal/core"
 	"efficsense/internal/experiments"
 	"efficsense/internal/obs"
 )
@@ -189,17 +190,15 @@ func decodeBody(r *http.Request, v interface{}) error {
 	return nil
 }
 
-// handleEvaluate scores one design point synchronously, bounded by the
-// request deadline (timeout_ms, capped by the server's EvalTimeout).
+// handleEvaluate scores design points synchronously, bounded by the
+// request deadline (timeout_ms, capped by the server's EvalTimeout). A
+// single-object body ({"point": ...}) returns one ResultJSON; a batch
+// body ({"points": [...]}) flows through the engines' batch dispatch
+// and returns an EvaluateBatchResponse with per-point rows.
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req EvaluateRequest
 	if err := decodeBody(r, &req); err != nil {
 		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
-		return
-	}
-	dp, err := req.Point.DesignPoint()
-	if err != nil {
-		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "point: %v", err)
 		return
 	}
 	if req.TimeoutMS < 0 {
@@ -208,6 +207,15 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if req.Points != nil {
+		s.evaluateBatch(w, r, req, timeout)
+		return
+	}
+	dp, err := req.Point.DesignPoint()
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "point: %v", err)
+		return
+	}
 	result, cached, err := s.mgr.Evaluate(r.Context(), req.Options, dp, timeout)
 	switch {
 	case err == nil:
@@ -227,6 +235,58 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	rj := resultJSON(result)
 	rj.Cached = cached
 	writeJSON(w, http.StatusOK, rj)
+}
+
+// evaluateBatch is handleEvaluate's batch arm. Spec validation is
+// all-or-nothing (a malformed point is the caller's bug: 400 naming the
+// index); evaluation failures degrade per point into error rows with
+// partial: true, the same shape sweep outcomes use.
+func (s *Server) evaluateBatch(w http.ResponseWriter, r *http.Request, req EvaluateRequest, timeout time.Duration) {
+	if req.Point != (PointSpec{}) {
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest,
+			"provide either point or points, not both")
+		return
+	}
+	if len(req.Points) == 0 {
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "points must not be empty")
+		return
+	}
+	pts := make([]core.DesignPoint, len(req.Points))
+	for i, ps := range req.Points {
+		dp, err := ps.DesignPoint()
+		if err != nil {
+			s.error(w, r, http.StatusBadRequest, CodeBadRequest, "points[%d]: %v", i, err)
+			return
+		}
+		pts[i] = dp
+	}
+	rs, cached, err := s.mgr.EvaluateBatch(r.Context(), req.Options, pts, timeout)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrBadRequest):
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		s.error(w, r, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
+		return
+	case errors.Is(err, context.Canceled):
+		// Client went away; nothing useful to write.
+		return
+	default:
+		s.error(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
+		return
+	}
+	resp := EvaluateBatchResponse{Count: len(rs), Results: make([]ResultJSON, len(rs))}
+	for i, res := range rs {
+		rj := resultJSON(res)
+		rj.Cached = cached[i]
+		resp.Results[i] = rj
+		if res.Err != nil {
+			resp.Errors++
+			resp.Partial = true
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleSubmit accepts an asynchronous sweep: 202 + Location on success,

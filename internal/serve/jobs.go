@@ -627,6 +627,63 @@ func (m *Manager) Evaluate(ctx context.Context, spec *OptionsSpec, p core.Design
 	return rs[0], cached, nil
 }
 
+// EvaluateBatch scores a batch of design points synchronously through
+// the shared engine layer, returning one result per point in input
+// order plus a parallel cached-flags slice. Like the sweep path it
+// degrades rather than fails: a point that errors (injected fault,
+// evaluator panic, deadline expiry mid-batch) comes back as an error
+// row with Result.Err set, never as a lost point, and the call itself
+// only errors when no rows can be produced at all (draining, engine
+// resolution failure, client disconnect).
+func (m *Manager) EvaluateBatch(ctx context.Context, spec *OptionsSpec, pts []core.DesignPoint, timeout time.Duration) ([]core.Result, []bool, error) {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return nil, nil, ErrShuttingDown
+	}
+	if max := m.cfg.MaxSweepPoints; len(pts) > max {
+		return nil, nil, fmt.Errorf("%w: batch of %d points exceeds the limit %d", ErrBadRequest, len(pts), max)
+	}
+	m.evaluations.Add(int64(len(pts)))
+	opts := spec.apply(m.cfg.Defaults)
+	engine, err := m.cfg.Engines(opts)
+	if err != nil {
+		return nil, nil, fmt.Errorf("engine: %w", err)
+	}
+	m.registerEngine(engine)
+	if timeout <= 0 || timeout > m.cfg.EvalTimeout {
+		timeout = m.cfg.EvalTimeout
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	out := make([]core.Result, len(pts))
+	cached := make([]bool, len(pts))
+	completed := make([]bool, len(pts))
+	rs, err := engine.RunWithHook(ctx, pts, func(ev dse.Event) {
+		if ev.Index >= 0 && ev.Index < len(out) {
+			out[ev.Index] = ev.Result
+			cached[ev.Index] = ev.Cached
+			completed[ev.Index] = true
+		}
+	})
+	switch {
+	case err == nil:
+		return rs, cached, nil
+	case errors.Is(err, context.DeadlineExceeded):
+		// The deadline fired mid-batch: the points that finished keep
+		// their results, the rest become error rows.
+		for i := range out {
+			if !completed[i] {
+				out[i] = core.Result{Point: pts[i], Err: err}
+			}
+		}
+		return out, cached, nil
+	default:
+		return nil, nil, err
+	}
+}
+
 func (m *Manager) registerEngine(e Engine) {
 	m.mu.Lock()
 	m.engines[e] = struct{}{}
@@ -646,10 +703,20 @@ type Counters struct {
 	EnginePanics         int64
 	EngineRetries        int64
 	EngineMeanEval       time.Duration
+	// EngineBatches counts batched evaluator calls across every engine,
+	// and EngineBatchPoints the cache-miss points they carried.
+	EngineBatches     int64
+	EngineBatchPoints int64
 	// EvalHist is the eval-duration histogram merged across every engine
 	// the manager has resolved — the efficsense_eval_duration_seconds
 	// exposition.
-	EvalHist               obs.Snapshot
+	EvalHist obs.Snapshot
+	// BatchSizeHist (points per batched call) and BatchLatencyHist
+	// (seconds per batched call) are the batch-dispatch histograms merged
+	// across every engine — the efficsense_batch_size_points and
+	// efficsense_batch_duration_seconds expositions.
+	BatchSizeHist          obs.Snapshot
+	BatchLatencyHist       obs.Snapshot
 	CacheEntries           int
 	CacheCapacity          int // 0 = unbounded
 	CacheHits, CacheMisses int64
@@ -693,7 +760,11 @@ func (m *Manager) Counters() Counters {
 		c.EngineDeduped += s.Deduped
 		c.EnginePanics += s.Panics
 		c.EngineRetries += s.Retries
+		c.EngineBatches += s.Batches
+		c.EngineBatchPoints += s.BatchPoints
 		c.EvalHist.Merge(s.EvalHist)
+		c.BatchSizeHist.Merge(s.BatchSizeHist)
+		c.BatchLatencyHist.Merge(s.BatchLatencyHist)
 		if s.Evaluated > 0 {
 			meanSum += time.Duration(int64(s.MeanEval) * s.Evaluated)
 			meanN += s.Evaluated

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"time"
 
+	"efficsense/internal/dse"
 	"efficsense/internal/fault"
 	"efficsense/internal/obs"
 )
@@ -61,7 +62,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("efficsense_jobs_failed_total", "Sweep jobs that failed.", c.Failed)
 	gauge("efficsense_jobs_running", "Sweep jobs currently pending or running.", c.Running)
 	gauge("efficsense_jobs_tracked", "Jobs retained for status queries (TTL-bounded).", c.Tracked)
-	counter("efficsense_evaluate_requests_total", "Synchronous single-point evaluations.", c.Evaluations)
+	counter("efficsense_evaluate_requests_total", "Design points requested through synchronous evaluation (single and batch).", c.Evaluations)
 	gauge("efficsense_sse_streams_active", "Open SSE event streams.", s.sseActive.Load())
 
 	counter("efficsense_engine_evaluations_total", "Design points scored by the evaluators (cache misses).", c.EngineEvaluated)
@@ -70,6 +71,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("efficsense_engine_panics_total", "Evaluator panics recovered into error results.", c.EnginePanics)
 	counter("efficsense_engine_retries_total", "Evaluations re-attempted under the engines' retry policy.", c.EngineRetries)
 	gauge("efficsense_engine_mean_eval_seconds", "Mean wall-clock seconds per real evaluation.", c.EngineMeanEval.Seconds())
+	counter("efficsense_engine_batches_total", "Batched evaluator calls dispatched by the engines.", c.EngineBatches)
+	counter("efficsense_engine_batch_points_total", "Cache-miss design points carried by batched evaluator calls.", c.EngineBatchPoints)
+
+	fmt.Fprintf(w, "# HELP efficsense_batch_size_points Design points per batched evaluator call.\n")
+	fmt.Fprintf(w, "# TYPE efficsense_batch_size_points histogram\n")
+	batchSize := c.BatchSizeHist
+	if len(batchSize.Counts) == 0 {
+		batchSize = obs.NewHistogram(dse.BatchSizeBuckets).Snapshot()
+	}
+	batchSize.WritePrometheus(w, "efficsense_batch_size_points", "")
+
+	fmt.Fprintf(w, "# HELP efficsense_batch_duration_seconds Wall-clock duration of batched evaluator calls.\n")
+	fmt.Fprintf(w, "# TYPE efficsense_batch_duration_seconds histogram\n")
+	batchDur := c.BatchLatencyHist
+	if len(batchDur.Counts) == 0 {
+		batchDur = obs.NewHistogram(obs.EvalBuckets).Snapshot()
+	}
+	batchDur.WritePrometheus(w, "efficsense_batch_duration_seconds", "")
 
 	// Fault-injection accounting, rendered only while chaos is armed
 	// (efficsensed -chaos or a test schedule): reconciling these against

@@ -61,6 +61,17 @@ func (s *Source) Normal(mean, sigma float64) float64 {
 	return mean + sigma*s.rng.NormFloat64()
 }
 
+// FillUnitNormal fills dst with raw standard-normal draws, one per
+// element. Because Normal(0, sigma) is computed as 0 + sigma·NormFloat64,
+// a caller holding a bank of unit draws u can reproduce any Normal(0, s)
+// stream as s·u[i] — the trick the evaluation session uses to pay for a
+// noise stream once and replay it at every noise level of a batch.
+func (s *Source) FillUnitNormal(dst []float64) {
+	for i := range dst {
+		dst[i] = s.rng.NormFloat64()
+	}
+}
+
 // FillNormal fills dst with independent N(mean, sigma²) samples.
 func (s *Source) FillNormal(dst []float64, mean, sigma float64) {
 	for i := range dst {
