@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench benchdiff chaos verify fmt
+.PHONY: build test race bench benchdiff chaos search-accept verify fmt
 
 build:
 	$(GO) build ./...
@@ -11,26 +11,27 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench writes a machine-readable baseline (BENCH_PR6.json, ignored by
+# bench writes a machine-readable baseline (BENCH_PR7.json, ignored by
 # git) for the hot paths: the obs histogram, the sweep engine, the HTTP
 # serving stack, and the headline cold-sweep throughput benchmark
 # (BenchmarkSweepColdCS, points/s). -count=6 gives benchstat enough
 # samples to call a regression; the target is informational, not a gate.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count=6 -json \
-		./internal/obs ./internal/dse ./internal/serve > BENCH_PR6.json
+		./internal/obs ./internal/dse ./internal/serve > BENCH_PR7.json
 	$(GO) test -run '^$$' -bench 'SweepColdCS' -benchmem -count=6 -json \
-		. >> BENCH_PR6.json
-	@echo "wrote BENCH_PR6.json"
+		. >> BENCH_PR7.json
+	@echo "wrote BENCH_PR7.json"
 
-# benchdiff prints a per-benchmark delta table between the previous
-# release's baseline and the one `make bench` just wrote — points/s,
-# ns/op and allocs/op side by side. Informational only: it never fails
-# the build (a missing baseline is reported and skipped), it exists so
-# the batch-dispatch throughput claim stays visible release over
-# release.
+# benchdiff prints a per-benchmark delta table between the release
+# baselines and the capture `make bench` just wrote — points/s, ns/op
+# and allocs/op side by side, each diffed against the best historical
+# mean so an old regression cannot hide a further slide. Informational
+# only: it never fails the build (a missing baseline is reported and
+# skipped), it exists so the batch-dispatch throughput claim stays
+# visible release over release.
 benchdiff:
-	$(GO) run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json
+	$(GO) run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
 
 # chaos runs the fault-injection acceptance suites — seeded schedules
 # through the failpoint registry, the engine's retry path, the cache's
@@ -41,12 +42,23 @@ chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Retry|Inject' \
 		./internal/fault ./internal/cache ./internal/dse ./internal/serve
 
+# search-accept is the adaptive-search acceptance gate: the budgeted
+# search must recover >= 95 % of the exhaustive Pareto front while
+# spending <= 10 % of its evaluations, deterministically. The
+# search-vs-exhaustive comparison table lands in SEARCH_ACCEPT.txt
+# (ignored by git; CI uploads it as a build artifact).
+search-accept:
+	SEARCH_ACCEPT_OUT=$(CURDIR)/SEARCH_ACCEPT.txt \
+		$(GO) test -count=1 -run 'TestSearchAcceptance' ./internal/search
+	@echo "wrote SEARCH_ACCEPT.txt"
+
 # verify is the tier-1 gate: formatting, vet, build, the full test
 # suite under the race detector with shuffled execution order (hidden
-# inter-test dependencies fail loudly), and a short fuzz smoke over the
-# streaming report emitters.
+# inter-test dependencies fail loudly), and short fuzz smokes over the
+# streaming report emitters and the search query parser.
 verify: fmt
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run '^$$' -fuzz FuzzNDJSONRow -fuzztime 10s ./internal/report
+	$(GO) test -run '^$$' -fuzz FuzzParseGoal -fuzztime 10s ./internal/search

@@ -1,14 +1,19 @@
-// Command benchdiff compares two `go test -json -bench` capture files
-// (the BENCH_PR*.json baselines written by `make bench`) and prints a
+// Command benchdiff compares `go test -json -bench` capture files (the
+// BENCH_PR*.json baselines written by `make bench`) and prints a
 // per-benchmark, per-unit delta table. It is informational by design:
-// the exit status is zero whenever both files parse, regardless of how
-// the numbers moved — regressions are for humans (or benchstat on the
-// archived CI artifacts) to judge, not for the build to gate on.
+// the exit status is zero whenever the new capture parses, regardless
+// of how the numbers moved — regressions are for humans (or benchstat
+// on the archived CI artifacts) to judge, not for the build to gate on.
 //
 // Usage:
 //
-//	go run ./cmd/benchdiff OLD.json NEW.json
+//	go run ./cmd/benchdiff OLD.json [OLD2.json ...] NEW.json
 //
+// The last file is the fresh capture; every earlier file is a baseline.
+// With several baselines the diff runs against the best historical mean
+// per benchmark and unit (highest for throughput units, lowest for
+// ns/op, B/op, allocs/op), so a number that regressed two releases ago
+// cannot hide a further slide by only comparing to the regressed run.
 // A missing or empty baseline is reported and skipped (exit 0), so the
 // target works on fresh clones that have never run `make bench`.
 package main
@@ -144,20 +149,54 @@ func formatVal(v float64) string {
 	}
 }
 
-func run(oldPath, newPath string, w *bufio.Writer) error {
+// baseline is one parsed historical capture.
+type baseline struct {
+	path string
+	runs map[string][]sample
+}
+
+// bestMean returns the best mean a unit attains for a benchmark across
+// the baselines — the highest for throughput units, the lowest for
+// everything else — and the path of the capture that set it.
+func bestMean(bases []baseline, name, unit string) (float64, string, bool) {
+	var best float64
+	var from string
+	found := false
+	for _, b := range bases {
+		v, ok := mean(b.runs[name], unit)
+		if !ok {
+			continue
+		}
+		better := !found || (v > best) == higherIsBetter(unit)
+		if better {
+			best, from, found = v, b.path, true
+		}
+	}
+	return best, from, found
+}
+
+func run(oldPaths []string, newPath string, w *bufio.Writer) error {
 	defer w.Flush()
-	oldRuns, err := parseFile(oldPath)
-	if err != nil {
-		fmt.Fprintf(w, "benchdiff: no baseline %s (%v) — nothing to compare\n", oldPath, err)
-		return nil
+	var bases []baseline
+	for _, p := range oldPaths {
+		runs, err := parseFile(p)
+		if err != nil {
+			fmt.Fprintf(w, "benchdiff: no baseline %s (%v) — skipped\n", p, err)
+			continue
+		}
+		if len(runs) == 0 {
+			fmt.Fprintf(w, "benchdiff: baseline %s holds no benchmark samples — skipped\n", p)
+			continue
+		}
+		bases = append(bases, baseline{path: p, runs: runs})
 	}
 	newRuns, err := parseFile(newPath)
 	if err != nil {
 		return fmt.Errorf("reading %s: %w", newPath, err)
 	}
-	if len(oldRuns) == 0 || len(newRuns) == 0 {
-		fmt.Fprintf(w, "benchdiff: no benchmark samples to compare (%s: %d, %s: %d)\n",
-			oldPath, len(oldRuns), newPath, len(newRuns))
+	if len(bases) == 0 || len(newRuns) == 0 {
+		fmt.Fprintf(w, "benchdiff: no benchmark samples to compare (%d usable baselines, %s: %d)\n",
+			len(bases), newPath, len(newRuns))
 		return nil
 	}
 
@@ -167,10 +206,14 @@ func run(oldPath, newPath string, w *bufio.Writer) error {
 	}
 	sort.Strings(names)
 
-	fmt.Fprintf(w, "benchdiff %s → %s (mean over samples; informational, never gates)\n\n", oldPath, newPath)
-	fmt.Fprintf(w, "%-44s %-12s %14s %14s %10s\n", "benchmark", "unit", "old", "new", "delta")
+	baseNames := make([]string, len(bases))
+	for i, b := range bases {
+		baseNames[i] = b.path
+	}
+	fmt.Fprintf(w, "benchdiff best(%s) → %s (mean over samples; informational, never gates)\n\n",
+		strings.Join(baseNames, ", "), newPath)
+	fmt.Fprintf(w, "%-44s %-12s %14s %14s %10s\n", "benchmark", "unit", "best", "new", "delta")
 	for _, name := range names {
-		olds, haveOld := oldRuns[name]
 		news := newRuns[name]
 
 		units := make(map[string]bool)
@@ -187,12 +230,8 @@ func run(oldPath, newPath string, w *bufio.Writer) error {
 
 		for _, unit := range sorted {
 			nv, _ := mean(news, unit)
-			if !haveOld {
-				fmt.Fprintf(w, "%-44s %-12s %14s %14s %10s\n", name, unit, "-", formatVal(nv), "new")
-				continue
-			}
-			ov, haveUnit := mean(olds, unit)
-			if !haveUnit || ov == 0 {
+			ov, from, haveOld := bestMean(bases, name, unit)
+			if !haveOld || ov == 0 {
 				fmt.Fprintf(w, "%-44s %-12s %14s %14s %10s\n", name, unit, "-", formatVal(nv), "new")
 				continue
 			}
@@ -205,19 +244,24 @@ func run(oldPath, newPath string, w *bufio.Writer) error {
 					mark = " ✗"
 				}
 			}
-			fmt.Fprintf(w, "%-44s %-12s %14s %14s %+9.1f%%%s\n",
-				name, unit, formatVal(ov), formatVal(nv), delta, mark)
+			src := ""
+			if len(bases) > 1 {
+				src = "  (" + from + ")"
+			}
+			fmt.Fprintf(w, "%-44s %-12s %14s %14s %+9.1f%%%s%s\n",
+				name, unit, formatVal(ov), formatVal(nv), delta, mark, src)
 		}
 	}
 	return nil
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+	if len(os.Args) < 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json [OLD2.json ...] NEW.json")
 		os.Exit(2)
 	}
-	if err := run(os.Args[1], os.Args[2], bufio.NewWriter(os.Stdout)); err != nil {
+	paths := os.Args[1:]
+	if err := run(paths[:len(paths)-1], paths[len(paths)-1], bufio.NewWriter(os.Stdout)); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}

@@ -64,7 +64,7 @@ func TestRunDiff(t *testing.T) {
 	newPath := writeTemp(t, "new.json", newStream)
 
 	var sb strings.Builder
-	if err := run(oldPath, newPath, bufio.NewWriter(&sb)); err != nil {
+	if err := run([]string{oldPath}, newPath, bufio.NewWriter(&sb)); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -89,10 +89,53 @@ func TestRunDiff(t *testing.T) {
 func TestRunMissingBaseline(t *testing.T) {
 	newPath := writeTemp(t, "new.json", newStream)
 	var sb strings.Builder
-	if err := run(filepath.Join(t.TempDir(), "absent.json"), newPath, bufio.NewWriter(&sb)); err != nil {
+	if err := run([]string{filepath.Join(t.TempDir(), "absent.json")}, newPath, bufio.NewWriter(&sb)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "no baseline") {
 		t.Errorf("missing baseline not reported:\n%s", sb.String())
+	}
+}
+
+// TestRunMultiBaselineBestOf pins the best-of semantics: with several
+// baselines the diff runs against the best historical mean per unit —
+// the lowest ns/op, the highest points/s — wherever each came from, and
+// the winning capture is named. A baseline that regressed later must
+// not become the comparison floor.
+func TestRunMultiBaselineBestOf(t *testing.T) {
+	// Baseline A: fast ns/op (100) but weak throughput (10 points/s).
+	a := writeTemp(t, "a.json",
+		`{"Action":"output","Package":"p","Output":"BenchmarkSweep-8   \t1\t100 ns/op\t10 points/s\n"}`+"\n")
+	// Baseline B: slower ns/op (200) but stronger throughput (40 points/s).
+	b := writeTemp(t, "b.json",
+		`{"Action":"output","Package":"p","Output":"BenchmarkSweep-8   \t1\t200 ns/op\t40 points/s\n"}`+"\n")
+	// New: 150 ns/op (worse than A's 100), 20 points/s (worse than B's 40).
+	n := writeTemp(t, "n.json",
+		`{"Action":"output","Package":"p","Output":"BenchmarkSweep-8   \t1\t150 ns/op\t20 points/s\n"}`+"\n")
+
+	var sb strings.Builder
+	if err := run([]string{a, b}, n, bufio.NewWriter(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	// ns/op: best is A's 100 → +50% regression.
+	if !strings.Contains(out, "+50.0% ✗") {
+		t.Errorf("ns/op best-of diff wrong:\n%s", out)
+	}
+	// points/s: best is B's 40 → -50% regression, attributed to b.json.
+	if !strings.Contains(out, "-50.0% ✗") {
+		t.Errorf("points/s best-of diff wrong:\n%s", out)
+	}
+	if !strings.Contains(out, a) || !strings.Contains(out, b) {
+		t.Errorf("winning baselines not attributed:\n%s", out)
+	}
+
+	// One absent baseline is skipped without losing the other.
+	sb.Reset()
+	if err := run([]string{filepath.Join(t.TempDir(), "gone.json"), a}, n, bufio.NewWriter(&sb)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "skipped") || !strings.Contains(sb.String(), "+50.0% ✗") {
+		t.Errorf("partial baseline set mishandled:\n%s", sb.String())
 	}
 }

@@ -18,6 +18,7 @@
 //	fig9     accuracy vs capacitor area
 //	fig10    area-constrained Pareto fronts
 //	sweep    dump the raw design-space sweep as CSV
+//	search   budget-capped goal query ("max-snr@power<=5e-6") over the space
 //	all      run every figure in sequence
 //
 // Common flags (suite subcommands): -records, -seed, -workers,
@@ -25,6 +26,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -38,6 +40,7 @@ import (
 	"efficsense/internal/eeg"
 	"efficsense/internal/experiments"
 	"efficsense/internal/report"
+	"efficsense/internal/search"
 	"efficsense/internal/tech"
 	"efficsense/internal/units"
 )
@@ -60,6 +63,8 @@ func main() {
 		err = cmdFig4(args)
 	case "fig7a", "fig7b", "fig8", "fig9", "fig10", "sweep", "all":
 		err = cmdSuite(cmd, args)
+	case "search":
+		err = cmdSearch(args)
 	case "variants":
 		err = cmdVariants(args)
 	case "refine":
@@ -90,6 +95,7 @@ func usage() {
   efficsense fig9     [suite flags]
   efficsense fig10    [-caps 500,2000,8000,32000] [suite flags]
   efficsense sweep    -csv F [suite flags]
+  efficsense search   -q QUERY [-budget N] [-probe-records N] [-csv F] [suite flags]
   efficsense variants [-bits N] [-noise V] [-m M] [suite flags]
   efficsense refine   -arch A -bits N [-m M] [-min-accuracy A] [suite flags]
   efficsense all      [suite flags]
@@ -272,6 +278,88 @@ func cmdPoint(args []string) error {
 	fmt.Println(dse.Describe(r))
 	experiments.RenderBreakdown(os.Stdout, "power breakdown", r.Power)
 	return nil
+}
+
+// cmdSearch answers one goal-directed query over the Table III lattice
+// under a hard evaluation budget, instead of sweeping it exhaustively.
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	opts := suiteFlags(fs)
+	query := fs.String("q", "",
+		`goal query: goal *( "@" constraint ), e.g. "max-snr@power<=5e-6" or "min-power@accuracy>=0.98@area<=500"`)
+	budget := fs.Int("budget", 0, "evaluation budget (0 = a tenth of the space)")
+	probeRecords := fs.Int("probe-records", 0,
+		"record count of a cheap probe fidelity for early pruning (0 = every probe at full fidelity)")
+	csv := fs.String("csv", "", "write the discovered front as CSV to this path")
+	progress := fs.Bool("progress", false, "per-round progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *query == "" {
+		return fmt.Errorf(`search requires -q (e.g. -q "max-snr@power<=5e-6")`)
+	}
+	spec, err := search.ParseQuery(*query)
+	if err != nil {
+		return err
+	}
+	spec.Seed = opts.Seed
+	space := dse.PaperSpace(opts.NoiseSteps)
+	size := space.Size()
+	spec.MaxEvaluations = *budget
+	if spec.MaxEvaluations <= 0 {
+		spec.MaxEvaluations = max(size/10, 1)
+	}
+
+	suite := experiments.NewSuite(*opts)
+	var fids []search.Fidelity
+	if *probeRecords > 0 && *probeRecords != suite.Options().Records {
+		po := *opts
+		po.Records = *probeRecords
+		fids = append(fids, search.Fidelity{Name: "probe", Eval: experiments.NewSuite(po).Engine()})
+	}
+	fids = append(fids, search.Fidelity{Name: "full", Eval: suite.Engine()})
+
+	cfg := search.Config{Space: space, Spec: spec, Fidelities: fids}
+	if *progress {
+		cfg.OnProgress = func(p search.Progress) {
+			fmt.Fprintf(os.Stderr, "\rsearch %d/%d @%s  front %d  hv %.3g   ",
+				p.Evaluations, p.Budget, p.RungName, p.FrontSize, p.Hypervolume)
+		}
+	}
+	out, err := search.Run(context.Background(), cfg)
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("search %s: %d evaluations of a %d-point space (budget %d, %.1f%% of exhaustive)\n",
+		spec.Query(), out.Evaluations, size, out.Budget, 100*float64(out.Evaluations)/float64(size))
+	if out.Partial {
+		reason := "budget exhausted before convergence"
+		if out.Errors > 0 {
+			reason = fmt.Sprintf("%d degraded rows", out.Errors)
+		}
+		fmt.Printf("  PARTIAL: %s; the front is a lower bound\n", reason)
+	}
+	fmt.Printf("  front: %d designs (hypervolume %.4g)\n", len(out.Front), out.Hypervolume)
+	t := report.NewTable("design", "snr", "accuracy", "power", "area")
+	for _, r := range out.Front {
+		t.AddRow(r.Point.String(), fmt.Sprintf("%.1f dB", r.MeanSNRdB),
+			fmt.Sprintf("%.3f", r.Accuracy), units.Format(r.TotalPower, "W"),
+			fmt.Sprintf("%.0f", r.AreaCaps))
+	}
+	t.Render(os.Stdout)
+	if out.HaveBest {
+		fmt.Printf("\nanswer: %s\n", dse.Describe(out.Best))
+		experiments.RenderBreakdown(os.Stdout, "power breakdown", out.Best.Power)
+	} else {
+		fmt.Println("\nno design in the explored region satisfies the constraints")
+	}
+	return writeCSV(*csv, func(f *os.File) error {
+		return experiments.CSVResults(f, out.Front)
+	})
 }
 
 func cmdVariants(args []string) error {

@@ -173,3 +173,43 @@ func TestCmdSuiteBadCapsFlag(t *testing.T) {
 		t.Fatal("malformed -caps should error")
 	}
 }
+
+func TestCmdSearchRequiresQuery(t *testing.T) {
+	if err := cmdSearch(nil); err == nil || !strings.Contains(err.Error(), "-q") {
+		t.Fatalf("search without -q should point at the flag, got %v", err)
+	}
+}
+
+func TestCmdSearchRejectsBadQuery(t *testing.T) {
+	if err := cmdSearch([]string{"-q", "best-snr"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown goal") {
+		t.Fatalf("malformed query should fail parsing, got %v", err)
+	}
+}
+
+// TestCmdSearchEndToEnd runs a tiny but real search — the full
+// synthesize/train/evaluate pipeline at minimal record counts — and
+// checks the rendered front, the answer line and the CSV sink.
+func TestCmdSearchEndToEnd(t *testing.T) {
+	csvPath := filepath.Join(t.TempDir(), "front.csv")
+	out, err := captureStdout(t, func() error {
+		return cmdSearch([]string{"-q", "max-snr", "-budget", "24",
+			"-records", "2", "-train-records", "24", "-epochs", "20",
+			"-noise-steps", "4", "-csv", csvPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"search max-snr:", "front:", "answer:", "power breakdown"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("search output missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines < 2 {
+		t.Fatalf("front CSV has %d lines:\n%s", lines, data)
+	}
+}

@@ -1,8 +1,9 @@
 // Command efficsensed serves the EffiCSense pathfinding framework over
 // HTTP: synchronous design-point evaluation, asynchronous design-space
-// sweeps with SSE progress streams, Pareto fronts and optima on demand,
-// and Prometheus metrics — the paper's framework as a long-running
-// service instead of a one-shot CLI.
+// sweeps with SSE progress streams, goal-directed budget-capped
+// searches (/v1/search), Pareto fronts and optima on demand, and
+// Prometheus metrics — the paper's framework as a long-running service
+// instead of a one-shot CLI.
 //
 // Usage:
 //
@@ -95,6 +96,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.manager.MaxConcurrentJobs, "max-jobs", 2, "concurrent sweep job slots before 429")
 	fs.DurationVar(&cfg.manager.JobTTL, "job-ttl", 15*time.Minute, "how long finished jobs stay queryable")
 	fs.IntVar(&cfg.manager.MaxSweepPoints, "max-points", 100000, "largest accepted sweep")
+	fs.IntVar(&cfg.manager.MaxSearchEvaluations, "max-search-evals", 20000,
+		"largest evaluation budget a /v1/search job may request")
 	fs.DurationVar(&cfg.manager.EvalTimeout, "eval-timeout", 2*time.Minute, "cap on synchronous evaluation deadlines")
 	fs.IntVar(&cfg.cacheEntries, "cache-entries", serve.DefaultCacheEntries,
 		"bound on the shared evaluation cache (LRU eviction beyond it)")
@@ -135,6 +138,7 @@ func (cfg *config) validate() error {
 		{cfg.manager.MaxConcurrentJobs > 0, fmt.Sprintf("-max-jobs must be positive, got %d", cfg.manager.MaxConcurrentJobs)},
 		{cfg.manager.JobTTL > 0, fmt.Sprintf("-job-ttl must be positive, got %s", cfg.manager.JobTTL)},
 		{cfg.manager.MaxSweepPoints > 0, fmt.Sprintf("-max-points must be positive, got %d", cfg.manager.MaxSweepPoints)},
+		{cfg.manager.MaxSearchEvaluations > 0, fmt.Sprintf("-max-search-evals must be positive, got %d", cfg.manager.MaxSearchEvaluations)},
 		{cfg.manager.EvalTimeout > 0, fmt.Sprintf("-eval-timeout must be positive, got %s", cfg.manager.EvalTimeout)},
 		{cfg.cacheEntries > 0, fmt.Sprintf("-cache-entries must be positive, got %d", cfg.cacheEntries)},
 		{cfg.defaults.Workers >= 0, fmt.Sprintf("-workers must be non-negative, got %d", cfg.defaults.Workers)},

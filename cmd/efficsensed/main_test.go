@@ -25,6 +25,9 @@ func TestParseFlagsDefaultsAndOverrides(t *testing.T) {
 	if cfg.manager.MaxConcurrentJobs != 2 || cfg.manager.JobTTL != 15*time.Minute {
 		t.Fatalf("manager defaults: %+v", cfg.manager)
 	}
+	if cfg.manager.MaxSearchEvaluations != 20000 {
+		t.Fatalf("search budget default: got %d, want 20000", cfg.manager.MaxSearchEvaluations)
+	}
 	if cfg.cacheEntries != serve.DefaultCacheEntries {
 		t.Fatalf("cache default: got %d, want %d", cfg.cacheEntries, serve.DefaultCacheEntries)
 	}
@@ -84,6 +87,8 @@ func TestParseFlagsRejectsDegenerateValues(t *testing.T) {
 		{"negative drain", []string{"-drain", "-5s"}, "-drain"},
 		{"zero drain", []string{"-drain", "0s"}, "-drain"},
 		{"zero max-points", []string{"-max-points", "0"}, "-max-points"},
+		{"zero max-search-evals", []string{"-max-search-evals", "0"}, "-max-search-evals"},
+		{"negative max-search-evals", []string{"-max-search-evals", "-5"}, "-max-search-evals"},
 		{"zero cache-entries", []string{"-cache-entries", "0"}, "-cache-entries"},
 		{"negative cache-entries", []string{"-cache-entries", "-8"}, "-cache-entries"},
 		{"negative workers", []string{"-workers", "-1"}, "-workers"},

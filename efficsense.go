@@ -20,6 +20,7 @@
 package efficsense
 
 import (
+	"context"
 	"io"
 
 	"efficsense/internal/cache"
@@ -32,6 +33,7 @@ import (
 	"efficsense/internal/experiments"
 	"efficsense/internal/obs"
 	"efficsense/internal/power"
+	"efficsense/internal/search"
 	"efficsense/internal/tech"
 )
 
@@ -272,6 +274,57 @@ var (
 	// QualityAccuracy is the Fig 7b goal function.
 	QualityAccuracy = dse.QualityAccuracy
 )
+
+// Goal-directed search (budget-constrained adaptive exploration; see
+// DESIGN.md §12). A *Sweep satisfies SearchEvaluator directly, so the
+// search engine inherits caching, batching, retries and fault
+// injection unchanged.
+type (
+	// SearchGoal selects the objective (SearchMaxQuality paired with a
+	// Spec.Metric of "accuracy" or "snr", or SearchMinPower).
+	SearchGoal = search.Goal
+	// SearchSpec is a parsed, validated query: a goal plus power /
+	// quality / area constraints, an evaluation budget and a seed.
+	SearchSpec = search.Spec
+	// SearchEvaluator is the batch contract the engine drives.
+	SearchEvaluator = search.Evaluator
+	// SearchFidelity is one rung of the fidelity schedule.
+	SearchFidelity = search.Fidelity
+	// SearchStrategy proposes batches and observes their results.
+	SearchStrategy = search.Strategy
+	// SearchConfig assembles a Run.
+	SearchConfig = search.Config
+	// SearchProgress is the per-batch callback payload.
+	SearchProgress = search.Progress
+	// SearchOutcome carries the discovered front, the best feasible
+	// design, budget accounting and the partial flag.
+	SearchOutcome = search.Outcome
+	// SearchFront is the incremental Pareto front with hypervolume.
+	SearchFront = search.Front
+	// HalvingStrategy is the built-in successive-halving strategy.
+	HalvingStrategy = search.Halving
+)
+
+// Search goal values.
+const (
+	SearchMaxQuality = search.MaxQuality
+	SearchMinPower   = search.MinPower
+)
+
+// ParseSearchQuery parses the `goal *( "@" constraint )` grammar, e.g.
+// "max-accuracy@power<=3e-6@area<=500".
+func ParseSearchQuery(s string) (SearchSpec, error) { return search.ParseQuery(s) }
+
+// NewHalvingStrategy builds the successive-halving strategy over a
+// space for a spec; rungs is the number of fidelity rungs in play.
+func NewHalvingStrategy(space Space, spec SearchSpec, rungs int) *HalvingStrategy {
+	return search.NewHalving(space, spec, rungs)
+}
+
+// RunSearch executes a budget-constrained adaptive search.
+func RunSearch(ctx context.Context, cfg SearchConfig) (SearchOutcome, error) {
+	return search.Run(ctx, cfg)
+}
 
 // Power modelling (paper Table II).
 type (

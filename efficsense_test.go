@@ -1,6 +1,7 @@
 package efficsense_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -79,6 +80,58 @@ func TestFacadeChains(t *testing.T) {
 	csOut := efficsense.NewCSChain(efficsense.CSChainConfig{Common: cfg, M: 96, NPhi: 192}).Run(in, 512)
 	if len(csOut.Samples) == 0 {
 		t.Fatal("CS chain produced nothing")
+	}
+}
+
+// facadeSearchEval is a closed-form evaluator for exercising the search
+// surface through the facade without the full pipeline cost.
+type facadeSearchEval struct{ points int }
+
+func (e *facadeSearchEval) EvaluateBatch(_ context.Context, pts []efficsense.DesignPoint) []efficsense.Result {
+	rs := make([]efficsense.Result, len(pts))
+	for i, p := range pts {
+		e.points++
+		rs[i] = efficsense.Result{
+			Point:      p,
+			MeanSNRdB:  3 * float64(p.Bits),
+			Accuracy:   0.9,
+			TotalPower: p.LNANoise * 1e3 * float64(p.Bits),
+			AreaCaps:   64 * float64(p.Bits),
+		}
+	}
+	return rs
+}
+
+func TestFacadeSearch(t *testing.T) {
+	spec, err := efficsense.ParseSearchQuery("max-snr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.MaxEvaluations = 40
+	space := efficsense.PaperSpace(4)
+	ev := &facadeSearchEval{}
+	out, err := efficsense.RunSearch(context.Background(), efficsense.SearchConfig{
+		Space:      space,
+		Spec:       spec,
+		Fidelities: []efficsense.SearchFidelity{{Name: "full", Eval: ev}},
+		Strategy:   efficsense.NewHalvingStrategy(space, spec, 1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Partial || out.Errors != 0 {
+		t.Fatalf("partial=%v errors=%d", out.Partial, out.Errors)
+	}
+	if !out.HaveBest || out.Best.MeanSNRdB != 24 { // 8-bit designs dominate SNR
+		t.Fatalf("best = %+v (have=%v)", out.Best, out.HaveBest)
+	}
+	if out.Evaluations != ev.points || out.Evaluations > spec.MaxEvaluations {
+		t.Fatalf("evaluations %d (dispatched %d, budget %d)",
+			out.Evaluations, ev.points, spec.MaxEvaluations)
+	}
+	if len(out.Front) == 0 || out.Evaluations >= space.Size() {
+		t.Fatalf("front %d points at %d/%d evaluations",
+			len(out.Front), out.Evaluations, space.Size())
 	}
 }
 

@@ -246,6 +246,11 @@ func Optimum(results []core.Result, q Quality, minQuality float64) (core.Result,
 // pathfinding flow runs once the architecture is chosen. ok is false if
 // even vn = lo misses the constraint. Pass a *Sweep as ev to serve the
 // bisection from the sweep's memoisation cache.
+//
+// Degenerate intervals (lo <= 0, hi < lo, or a NaN endpoint) cannot
+// bracket a geometric bisection; they collapse to a single evaluation at
+// lo so callers still get the floor's verdict instead of NaN midpoints.
+// A failed evaluation (error row) never satisfies the quality floor.
 func BisectNoiseFloor(ev PointEvaluator, p core.DesignPoint, q Quality, minQuality, lo, hi float64, iters int) (core.Result, bool) {
 	if iters <= 0 {
 		iters = 6
@@ -255,14 +260,18 @@ func BisectNoiseFloor(ev PointEvaluator, p core.DesignPoint, q Quality, minQuali
 		pt.LNANoise = vn
 		return ev.Evaluate(pt)
 	}
+	meets := func(r core.Result) bool { return r.Err == nil && q(r) >= minQuality }
 	best := eval(lo)
-	if q(best) < minQuality {
+	if !meets(best) {
 		return best, false
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo <= 0 || hi < lo {
+		return best, true
 	}
 	for i := 0; i < iters; i++ {
 		mid := math.Sqrt(lo * hi) // geometric midpoint: vn spans decades
 		r := eval(mid)
-		if q(r) >= minQuality {
+		if meets(r) {
 			best = r
 			lo = mid
 		} else {

@@ -2,6 +2,7 @@ package dse
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -326,5 +327,98 @@ func TestBisectNoiseFloor(t *testing.T) {
 	// An impossible constraint reports ok=false.
 	if _, ok := BisectNoiseFloor(ev, p, QualityAccuracy, 1.1, 1e-6, 20e-6, 3); ok {
 		t.Fatal("impossible constraint accepted")
+	}
+}
+
+// thresholdEval is an analytic refinement target: quality 1 below the
+// vn threshold and 0 above it, power 1/vn, every call recorded.
+type thresholdEval struct {
+	threshold float64
+	errAt     func(vn float64) bool
+	calls     []float64
+}
+
+func (e *thresholdEval) Evaluate(p core.DesignPoint) core.Result {
+	e.calls = append(e.calls, p.LNANoise)
+	if e.errAt != nil && e.errAt(p.LNANoise) {
+		return core.Result{Point: p, Err: errors.New("injected")}
+	}
+	r := core.Result{Point: p, TotalPower: 1 / p.LNANoise}
+	if p.LNANoise <= e.threshold {
+		r.Accuracy = 1
+	}
+	return r
+}
+
+// TestBisectNoiseFloorEdgeCases pins the refinement contract on the
+// boundaries: degenerate intervals collapse to one evaluation at lo,
+// iters <= 0 selects the default depth, an unreachable floor reports
+// ok=false after a single probe, and error rows never satisfy the floor.
+func TestBisectNoiseFloorEdgeCases(t *testing.T) {
+	p := core.DesignPoint{Arch: core.ArchBaseline, Bits: 8}
+	cases := []struct {
+		name      string
+		threshold float64
+		errAt     func(float64) bool
+		minQ      float64
+		lo, hi    float64
+		iters     int
+		wantOK    bool
+		wantCalls int
+		wantVnMin float64 // accepted vn must be in [wantVnMin, threshold]
+	}{
+		{name: "default iters", threshold: 5e-6, minQ: 0.5,
+			lo: 1e-6, hi: 20e-6, iters: 0, wantOK: true, wantCalls: 7, wantVnMin: 4e-6},
+		{name: "explicit iters", threshold: 5e-6, minQ: 0.5,
+			lo: 1e-6, hi: 20e-6, iters: 10, wantOK: true, wantCalls: 11, wantVnMin: 4.9e-6},
+		{name: "non-bracketing interval", threshold: 5e-6, minQ: 0.5,
+			lo: 20e-6, hi: 1e-6, iters: 4, wantOK: false, wantCalls: 1},
+		{name: "inverted but feasible at lo", threshold: 5e-6, minQ: 0.5,
+			lo: 2e-6, hi: 1e-6, iters: 4, wantOK: true, wantCalls: 1, wantVnMin: 2e-6},
+		{name: "nonpositive lo", threshold: 5e-6, minQ: 0.5,
+			lo: 0, hi: 20e-6, iters: 4, wantOK: true, wantCalls: 1, wantVnMin: 0},
+		{name: "nan bound", threshold: 5e-6, minQ: 0.5,
+			lo: 1e-6, hi: math.NaN(), iters: 4, wantOK: true, wantCalls: 1, wantVnMin: 1e-6},
+		{name: "floor unreachable", threshold: 5e-7, minQ: 0.5,
+			lo: 1e-6, hi: 20e-6, iters: 4, wantOK: false, wantCalls: 1},
+		{name: "floor met everywhere", threshold: 1, minQ: 0.5,
+			lo: 1e-6, hi: 20e-6, iters: 8, wantOK: true, wantCalls: 9, wantVnMin: 19e-6},
+		{name: "point interval", threshold: 5e-6, minQ: 0.5,
+			lo: 2e-6, hi: 2e-6, iters: 4, wantOK: true, wantCalls: 5, wantVnMin: 2e-6},
+		{name: "error row at lo", threshold: 5e-6, minQ: 0,
+			errAt: func(vn float64) bool { return vn == 1e-6 },
+			lo:    1e-6, hi: 20e-6, iters: 4, wantOK: false, wantCalls: 1},
+		{name: "error rows shrink from above", threshold: 5e-6, minQ: 0.5,
+			errAt: func(vn float64) bool { return vn > 5e-6 },
+			lo:    1e-6, hi: 20e-6, iters: 6, wantOK: true, wantCalls: 7, wantVnMin: 3e-6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ev := &thresholdEval{threshold: c.threshold, errAt: c.errAt}
+			best, ok := BisectNoiseFloor(ev, p, QualityAccuracy, c.minQ, c.lo, c.hi, c.iters)
+			if ok != c.wantOK {
+				t.Fatalf("ok = %v, want %v (best %+v)", ok, c.wantOK, best)
+			}
+			if len(ev.calls) != c.wantCalls {
+				t.Fatalf("evaluations %d (%v), want %d", len(ev.calls), ev.calls, c.wantCalls)
+			}
+			for _, vn := range ev.calls {
+				if vn > max(c.lo, c.hi) || math.IsNaN(vn) && !math.IsNaN(c.lo) && !math.IsNaN(c.hi) {
+					t.Fatalf("evaluated vn=%g outside the given interval (%v)", vn, ev.calls)
+				}
+			}
+			if !ok {
+				return
+			}
+			if best.Err != nil {
+				t.Fatalf("accepted an error row: %v", best.Err)
+			}
+			if best.Accuracy < c.minQ {
+				t.Fatalf("accepted design misses the floor: %+v", best)
+			}
+			if vn := best.Point.LNANoise; vn < c.wantVnMin || vn > c.threshold && c.threshold >= c.lo {
+				t.Fatalf("accepted vn=%g, want within [%g, %g]", vn, c.wantVnMin, c.threshold)
+			}
+		})
 	}
 }

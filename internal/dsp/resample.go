@@ -20,7 +20,11 @@ func Resample(v []float64, srcRate, dstRate float64) []float64 {
 		src = fir.Apply(v)
 	}
 	ratio := srcRate / dstRate
-	outLen := int(math.Floor(float64(len(v)-1)/ratio)) + 1
+	// Multiply before dividing: (n-1)/ratio loses a sample when the
+	// exact span is an integer but src/dst is not representable (e.g.
+	// 225 samples at 150→136 Hz spans exactly 204 steps, yet
+	// 225/(150/136) rounds to 203.999…).
+	outLen := int(math.Floor(float64(len(v)-1)*dstRate/srcRate)) + 1
 	out := make([]float64, outLen)
 	const halfTaps = 16
 	for i := range out {

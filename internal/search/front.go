@@ -1,0 +1,101 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"efficsense/internal/core"
+	"efficsense/internal/dse"
+)
+
+// Front is an incremental non-dominated set under (minimise power,
+// maximise quality) — the online counterpart of dse.ParetoFront. The
+// invariant after every Add: results are sorted by strictly ascending
+// power AND strictly ascending quality, so membership and domination
+// checks are binary searches and an insertion evicts exactly the
+// contiguous run of points the newcomer dominates.
+type Front struct {
+	q  dse.Quality
+	rs []core.Result
+}
+
+// NewFront builds an empty front over the given quality metric.
+func NewFront(q dse.Quality) *Front { return &Front{q: q} }
+
+// Add offers a result to the front. It returns true when the result
+// enters (possibly evicting dominated members), false when it is
+// dominated by or duplicates an existing member. Error rows never
+// enter.
+func (f *Front) Add(r core.Result) bool {
+	if r.Err != nil {
+		return false
+	}
+	v := f.q(r)
+	if math.IsNaN(v) || math.IsNaN(r.TotalPower) {
+		return false // NaN compares false everywhere and would corrupt the ordering invariant
+	}
+	// First member with power >= r's.
+	i := sort.Search(len(f.rs), func(k int) bool { return f.rs[k].TotalPower >= r.TotalPower })
+	// Dominated (or tied on both axes) by something at or below r's
+	// power? Members left of i all have strictly lower power; the
+	// nearest one has the highest quality among them, so one check
+	// suffices. A member exactly at r's power dominates unless r's
+	// quality is strictly higher.
+	if i > 0 && f.q(f.rs[i-1]) >= v {
+		return false
+	}
+	if i < len(f.rs) && f.rs[i].TotalPower == r.TotalPower && f.q(f.rs[i]) >= v {
+		return false
+	}
+	// r enters: evict the run of members at >= power with <= quality.
+	j := i
+	for j < len(f.rs) && f.q(f.rs[j]) <= v {
+		j++
+	}
+	f.rs = append(f.rs[:i], append([]core.Result{r}, f.rs[j:]...)...)
+	return true
+}
+
+// Size returns the number of front members.
+func (f *Front) Size() int { return len(f.rs) }
+
+// Results returns a copy of the front, ascending power.
+func (f *Front) Results() []core.Result {
+	out := make([]core.Result, len(f.rs))
+	copy(out, f.rs)
+	return out
+}
+
+// QualityAt returns the best quality attained at or below the given
+// power, and whether any member qualifies — the front read as a step
+// function, used by the halving strategy's near-front test.
+func (f *Front) QualityAt(power float64) (float64, bool) {
+	i := sort.Search(len(f.rs), func(k int) bool { return f.rs[k].TotalPower > power })
+	if i == 0 {
+		return 0, false
+	}
+	return f.q(f.rs[i-1]), true
+}
+
+// Hypervolume returns the area of the quality×power region dominated by
+// the front relative to a reference corner (refPower, refQuality): the
+// sum over members of (refPower - power) × (quality gain over the
+// previous member), counting only the part inside the reference box.
+// Larger is better; the figure is a progress metric comparable within a
+// run (against a fixed reference), not across metrics.
+func (f *Front) Hypervolume(refPower, refQuality float64) float64 {
+	hv := 0.0
+	prevQ := refQuality
+	for _, r := range f.rs {
+		if r.TotalPower >= refPower {
+			break // members at or beyond the corner dominate zero area inside it
+		}
+		q := f.q(r)
+		if q <= prevQ {
+			continue
+		}
+		hv += (refPower - r.TotalPower) * (q - prevQ)
+		prevQ = q
+	}
+	return hv
+}

@@ -1,0 +1,54 @@
+package search
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseGoal throws arbitrary strings at the query parser and checks
+// its contracts: never panic, never return a spec that fails validation
+// once a budget is attached, and render accepted specs canonically so
+// that Query() round-trips to the identical spec.
+func FuzzParseGoal(f *testing.F) {
+	seeds := []string{
+		"max-accuracy@power<=3e-6",
+		"min-power@accuracy>=0.98",
+		"max-snr@power<=5e-6@area<=2000",
+		"min-power@snr>=20@area<=500",
+		"max-accuracy",
+		"",
+		"min-power",
+		"max-accuracy@power>=1",
+		"max-accuracy@power<=1e309",
+		"max-accuracy@@",
+		"max-accuracy@power<=-0",
+		"min-power@accuracy>=0.9@snr>=10",
+		"max-accuracy@area<=1e-300",
+		"max-snr@power<=0x1p-3",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseQuery(s)
+		if err != nil {
+			if !strings.HasPrefix(err.Error(), "search: ") {
+				t.Fatalf("ParseQuery(%q) error without package prefix: %v", s, err)
+			}
+			return
+		}
+		spec.MaxEvaluations = 1
+		if verr := spec.Validate(); verr != nil {
+			t.Fatalf("ParseQuery(%q) accepted a spec Validate rejects: %v (%+v)", s, verr, spec)
+		}
+		canon := spec.Query()
+		back, err := ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not reparse: %v", canon, s, err)
+		}
+		back.MaxEvaluations = 1
+		if back != spec {
+			t.Fatalf("round trip of %q: %+v != %+v (via %q)", s, back, spec, canon)
+		}
+	})
+}

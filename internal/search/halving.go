@@ -1,0 +1,465 @@
+package search
+
+import (
+	"math"
+	"sort"
+
+	"efficsense/internal/core"
+	"efficsense/internal/dse"
+)
+
+// nearFrontFrac is the slack of the "promising" test: a result survives
+// pruning (and keeps its intervals active) when its quality is within
+// this fraction of the observed quality range of the front's value at
+// its power. Zero would prune anything not exactly on the interim
+// front — too aggressive while the front is still a rough sketch from a
+// handful of probes; a large value stops pruning anything.
+const nearFrontFrac = 0.05
+
+// Halving is the bundled adaptive strategy: successive halving over the
+// design-space grid with front-guided local refinement.
+//
+// The grid is decomposed into groups — one per (architecture, bits, M,
+// C_hold) combination, each a 1-D curve along the continuous LNA-noise
+// axis, the same decomposition the engine's batch dispatch groups by.
+// The search then runs in phases:
+//
+//  1. Probe: every group evaluates a handful of quantile indices of its
+//     noise axis (ends plus midpoints) at the cheapest fidelity rung.
+//  2. Prune: groups none of whose probes land near the interim Pareto
+//     front are discarded — the "early discard of dominated regions".
+//     Survivors are promoted to the next fidelity rung and re-probed,
+//     until the final (authoritative) rung is reached.
+//  3. Fill: on the surviving groups, intervals of the noise axis that
+//     could still improve the full-fidelity front are recursively
+//     bisected (widest first). This generalises dse.BisectNoiseFloor —
+//     the same midpoint refinement of the noise axis, but driven by
+//     front membership across every surviving curve at once instead of
+//     a single quality threshold on a single point.
+//
+// The strategy is fully deterministic: group order follows the space's
+// axis order, probe indices are fixed quantiles, and the fill queue is
+// ordered by (width, group, index). It holds no map-ordered state and
+// never consults the clock or a random source.
+type Halving struct {
+	spec  Spec
+	q     dse.Quality
+	rungs int
+	noise []float64 // ascending, deduplicated
+
+	groups []*hGroup
+
+	phase int // phasing → probing rungs → filling → done
+	rung  int
+
+	// pending is the queue of not-yet-proposed evaluations;
+	// outstanding the slice handed out by the last Propose.
+	pending     []hRef
+	outstanding []hRef
+
+	// rungSound collects the current probe rung's sound results for the
+	// prune step once the rung's probes are all observed.
+	rungSound   []core.Result
+	rungPending int // proposals of the current rung not yet observed
+
+	// front mirrors the driver's full-fidelity front (area cap applied)
+	// for activity tests; qLo/qHi track the observed quality extremes
+	// that scale the near-front slack.
+	front    *Front
+	qLo, qHi float64
+
+	intervals []hInterval
+	splitting []hInterval // intervals whose midpoints are in flight
+}
+
+const (
+	phaseProbe = iota
+	phaseFill
+	phaseDone
+)
+
+// hRef addresses one evaluation: group index × noise index.
+type hRef struct{ g, idx int }
+
+// hInterval is a fill-phase candidate: noise indices (lo, hi) of one
+// group, both endpoints evaluated, hi > lo+1.
+type hInterval struct{ g, lo, hi int }
+
+// hGroup is one 1-D curve of the grid.
+type hGroup struct {
+	base  core.DesignPoint // LNANoise left unset
+	alive bool
+	// got holds the final-rung result per noise index (nil = not
+	// evaluated; error rows are recorded so an index is never retried).
+	got []*core.Result
+}
+
+// NewHalving builds the strategy for a space, spec and fidelity count
+// (rungs >= 1; the last rung is the authoritative one).
+func NewHalving(space dse.Space, spec Spec, rungs int) *Halving {
+	if rungs < 1 {
+		rungs = 1
+	}
+	q, err := spec.Quality()
+	if err != nil {
+		q = dse.QualityAccuracy
+	}
+	noise := append([]float64(nil), space.LNANoise...)
+	sort.Float64s(noise)
+	uniq := noise[:0]
+	for i, v := range noise {
+		if i == 0 || v != noise[i-1] {
+			uniq = append(uniq, v)
+		}
+	}
+	noise = uniq
+
+	h := &Halving{
+		spec: spec, q: q, rungs: rungs, noise: noise,
+		front: NewFront(q),
+		qLo:   math.Inf(1), qHi: math.Inf(-1),
+	}
+	// Group enumeration mirrors Space.Points: architectures outermost,
+	// then bits; CS-only axes (M, CHold) expand non-baseline groups.
+	for _, arch := range space.Architectures {
+		for _, bits := range space.Bits {
+			if arch == core.ArchBaseline {
+				h.addGroup(core.DesignPoint{Arch: arch, Bits: bits})
+				continue
+			}
+			ms := space.M
+			if len(ms) == 0 {
+				ms = []int{150}
+			}
+			chs := space.CHold
+			if len(chs) == 0 {
+				chs = []float64{0}
+			}
+			for _, m := range ms {
+				for _, ch := range chs {
+					h.addGroup(core.DesignPoint{Arch: arch, Bits: bits, M: m, CHold: ch})
+				}
+			}
+		}
+	}
+	h.queueProbes()
+	return h
+}
+
+func (h *Halving) addGroup(base core.DesignPoint) {
+	h.groups = append(h.groups, &hGroup{
+		base: base, alive: true, got: make([]*core.Result, len(h.noise)),
+	})
+}
+
+// probeIndices are the quantile indices one probe rung evaluates: the
+// interval ends plus the midpoint (a tiny axis is probed exhaustively).
+func (h *Halving) probeIndices() []int {
+	n := len(h.noise)
+	if n <= 3 {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx
+	}
+	return []int{0, (n - 1) / 2, n - 1}
+}
+
+// queueProbes schedules the current rung's probes for every alive group.
+func (h *Halving) queueProbes() {
+	idx := h.probeIndices()
+	for g, grp := range h.groups {
+		if !grp.alive {
+			continue
+		}
+		for _, i := range idx {
+			// At the final rung, skip indices already carrying a
+			// final-fidelity result (re-probing after promotion from a
+			// cheaper rung is what pays for the fidelity upgrade;
+			// within a rung nothing repeats).
+			if h.rung == h.rungs-1 && grp.got[i] != nil {
+				continue
+			}
+			h.pending = append(h.pending, hRef{g: g, idx: i})
+		}
+	}
+	h.rungPending = len(h.pending)
+	h.rungSound = h.rungSound[:0]
+}
+
+func (h *Halving) point(ref hRef) core.DesignPoint {
+	p := h.groups[ref.g].base
+	p.LNANoise = h.noise[ref.idx]
+	return p
+}
+
+// Propose implements Strategy.
+func (h *Halving) Propose(n int) ([]core.DesignPoint, int) {
+	if n <= 0 {
+		return nil, h.fidelity()
+	}
+	if len(h.pending) == 0 {
+		h.advance()
+	}
+	if h.phase == phaseDone || len(h.pending) == 0 {
+		return nil, h.fidelity()
+	}
+	take := min(n, len(h.pending))
+	h.outstanding = append(h.outstanding[:0], h.pending[:take]...)
+	h.pending = h.pending[take:]
+	pts := make([]core.DesignPoint, take)
+	for i, ref := range h.outstanding {
+		pts[i] = h.point(ref)
+	}
+	return pts, h.fidelity()
+}
+
+// fidelity is the rung current proposals run at: the probe rung while
+// probing, the final rung once filling.
+func (h *Halving) fidelity() int {
+	if h.phase == phaseProbe {
+		return h.rung
+	}
+	return h.rungs - 1
+}
+
+// Observe implements Strategy. rs carries one result per proposed point
+// in proposal order; a clipped batch (the driver ran out of budget)
+// simply observes fewer rows and the unobserved tail is requeued.
+func (h *Halving) Observe(rung int, rs []core.Result) {
+	seen := min(len(rs), len(h.outstanding))
+	if tail := h.outstanding[seen:]; len(tail) > 0 {
+		h.pending = append(append([]hRef{}, tail...), h.pending...)
+	}
+	final := rung == h.rungs-1
+	for i := 0; i < seen; i++ {
+		ref, r := h.outstanding[i], rs[i]
+		if h.phase == phaseProbe {
+			h.rungPending--
+		}
+		if final {
+			rc := r
+			h.groups[ref.g].got[ref.idx] = &rc
+		}
+		if r.Err != nil {
+			continue
+		}
+		if h.phase == phaseProbe {
+			h.rungSound = append(h.rungSound, r)
+		}
+		if final {
+			if v := h.q(r); v < h.qLo || v > h.qHi {
+				h.qLo, h.qHi = math.Min(h.qLo, v), math.Max(h.qHi, v)
+			}
+			if h.spec.MaxAreaCaps <= 0 || r.AreaCaps <= h.spec.MaxAreaCaps {
+				h.front.Add(r)
+			}
+		}
+	}
+	h.outstanding = h.outstanding[:0]
+	if h.phase == phaseFill {
+		// Midpoints observed: split their parents around the new point.
+		for _, iv := range h.splitting {
+			mid := (iv.lo + iv.hi) / 2
+			if mid-iv.lo > 1 {
+				h.intervals = append(h.intervals, hInterval{g: iv.g, lo: iv.lo, hi: mid})
+			}
+			if iv.hi-mid > 1 {
+				h.intervals = append(h.intervals, hInterval{g: iv.g, lo: mid, hi: iv.hi})
+			}
+		}
+		h.splitting = h.splitting[:0]
+	}
+}
+
+// advance moves the phase machine until proposals exist or the search
+// has converged.
+func (h *Halving) advance() {
+	for len(h.pending) == 0 && h.phase != phaseDone {
+		switch h.phase {
+		case phaseProbe:
+			if h.rungPending > 0 {
+				return // clipped mid-rung: the driver is out of budget
+			}
+			h.prune()
+			if h.rung < h.rungs-1 {
+				h.rung++
+				h.queueProbes()
+				continue
+			}
+			h.phase = phaseFill
+			h.seedIntervals()
+		case phaseFill:
+			h.scheduleSplits()
+			if len(h.pending) == 0 && len(h.splitting) == 0 {
+				h.phase = phaseDone
+			}
+			return
+		}
+	}
+}
+
+// prune discards every group none of whose current-rung probes landed
+// near the rung's interim front. A rung with no sound results at all
+// prunes nothing — degraded probes must not silently erase the space.
+func (h *Halving) prune() {
+	if len(h.rungSound) == 0 {
+		return
+	}
+	rungFront := NewFront(h.q)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, r := range h.rungSound {
+		if h.spec.MaxAreaCaps > 0 && r.AreaCaps > h.spec.MaxAreaCaps {
+			continue
+		}
+		rungFront.Add(r)
+		lo, hi = math.Min(lo, h.q(r)), math.Max(hi, h.q(r))
+	}
+	if rungFront.Size() == 0 {
+		return // every sound probe was area-capped out; keep probing
+	}
+	eps := nearFrontFrac * (hi - lo)
+	idx := h.probeIndices()
+	for _, grp := range h.groups {
+		if !grp.alive {
+			continue
+		}
+		promising := false
+		for _, i := range idx {
+			r := h.probeResult(grp, i)
+			if r == nil || r.Err != nil {
+				continue
+			}
+			if h.promising(rungFront, *r, eps) {
+				promising = true
+				break
+			}
+		}
+		grp.alive = promising
+	}
+}
+
+// probeResult looks one probe up in the rung's sound results; for the
+// final rung the per-group storage answers directly.
+func (h *Halving) probeResult(grp *hGroup, idx int) *core.Result {
+	if h.rung == h.rungs-1 {
+		return grp.got[idx]
+	}
+	p := grp.base
+	p.LNANoise = h.noise[idx]
+	key := p.Key()
+	for i := range h.rungSound {
+		if h.rungSound[i].Point.Key() == key {
+			return &h.rungSound[i]
+		}
+	}
+	return nil
+}
+
+// promising is the near-front test: the result's quality is within eps
+// of the best quality the front attains at or below its power.
+func (h *Halving) promising(f *Front, r core.Result, eps float64) bool {
+	if h.spec.MaxAreaCaps > 0 && r.AreaCaps > h.spec.MaxAreaCaps {
+		return false
+	}
+	best, ok := f.QualityAt(r.TotalPower)
+	return !ok || h.q(r) >= best-eps
+}
+
+// seedIntervals builds the initial fill queue: every gap between
+// consecutively evaluated noise indices of a surviving group.
+func (h *Halving) seedIntervals() {
+	for g, grp := range h.groups {
+		if !grp.alive {
+			continue
+		}
+		prev := -1
+		for i, r := range grp.got {
+			if r == nil {
+				continue
+			}
+			if prev >= 0 && i-prev > 1 {
+				h.intervals = append(h.intervals, hInterval{g: g, lo: prev, hi: i})
+			}
+			prev = i
+		}
+	}
+}
+
+// scheduleSplits moves every currently active interval into flight,
+// widest first, proposing its midpoint. Inactive intervals (regions the
+// front already dominates) are dropped — not worth the budget.
+func (h *Halving) scheduleSplits() {
+	keep := h.intervals[:0]
+	var active []hInterval
+	for _, iv := range h.intervals {
+		if h.intervalActive(iv) {
+			active = append(active, iv)
+		}
+	}
+	h.intervals = keep[:0]
+	sort.SliceStable(active, func(i, j int) bool {
+		wi, wj := active[i].hi-active[i].lo, active[j].hi-active[j].lo
+		if wi != wj {
+			return wi > wj
+		}
+		if active[i].g != active[j].g {
+			return active[i].g < active[j].g
+		}
+		return active[i].lo < active[j].lo
+	})
+	for _, iv := range active {
+		mid := (iv.lo + iv.hi) / 2
+		if h.groups[iv.g].got[mid] != nil {
+			// Midpoint already known (seeded by a probe): split in place
+			// without spending an evaluation.
+			if mid-iv.lo > 1 {
+				h.intervals = append(h.intervals, hInterval{g: iv.g, lo: iv.lo, hi: mid})
+			}
+			if iv.hi-mid > 1 {
+				h.intervals = append(h.intervals, hInterval{g: iv.g, lo: mid, hi: iv.hi})
+			}
+			continue
+		}
+		h.pending = append(h.pending, hRef{g: iv.g, idx: mid})
+		h.splitting = append(h.splitting, iv)
+	}
+	// In-place splits may have re-filled the queue without proposing
+	// anything; loop until proposals exist or the queue drains.
+	if len(h.pending) == 0 && len(h.splitting) == 0 && len(h.intervals) > 0 {
+		h.scheduleSplits()
+	}
+}
+
+// intervalActive: an interval stays worth bisecting while an interior
+// point could still enter the front — the front's quality at the
+// interval's cheapest end is strictly below the best quality either
+// endpoint attains. Unlike the probe-rung prune this test has no eps
+// slack: the front here is authoritative (full fidelity), so a region
+// it already matches point-for-point is settled. In particular a flat
+// quantised-quality run (a saturated accuracy plateau) stops bisecting
+// as soon as a cheaper point with the same quality is on the front.
+// An endpoint that degraded (error row) counts as unknown and keeps the
+// interval alive through its partner only.
+func (h *Halving) intervalActive(iv hInterval) bool {
+	pMin, qMax := math.Inf(1), math.Inf(-1)
+	known := false
+	for _, idx := range [2]int{iv.lo, iv.hi} {
+		r := h.groups[iv.g].got[idx]
+		if r == nil || r.Err != nil {
+			continue
+		}
+		if h.spec.MaxAreaCaps > 0 && r.AreaCaps > h.spec.MaxAreaCaps {
+			continue
+		}
+		known = true
+		pMin = math.Min(pMin, r.TotalPower)
+		qMax = math.Max(qMax, h.q(*r))
+	}
+	if !known {
+		return false
+	}
+	best, ok := h.front.QualityAt(pMin)
+	return !ok || best < qMax
+}

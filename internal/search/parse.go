@@ -1,0 +1,134 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseQuery parses the compact goal/constraint grammar shared by the
+// CLI's search mode and the HTTP API's "query" field:
+//
+//	query      := goal *( "@" constraint )
+//	goal       := "max-accuracy" | "max-snr" | "min-power"
+//	constraint := "power<=" number      (only with max-* goals)
+//	            | "accuracy>=" number   (required by min-power)
+//	            | "snr>=" number        (required by min-power)
+//	            | "area<=" number       (any goal)
+//
+// Examples:
+//
+//	max-accuracy@power<=3e-6
+//	min-power@accuracy>=0.98
+//	max-snr@power<=5e-6@area<=2000
+//
+// Budget and seed are not part of the grammar — they arrive through
+// their own flags and request fields — so the returned Spec has
+// MaxEvaluations zero and needs it set before Validate passes.
+func ParseQuery(s string) (Spec, error) {
+	var spec Spec
+	parts := strings.Split(strings.TrimSpace(s), "@")
+	switch parts[0] {
+	case "max-accuracy":
+		spec.Goal, spec.Metric = MaxQuality, "accuracy"
+	case "max-snr":
+		spec.Goal, spec.Metric = MaxQuality, "snr"
+	case "min-power":
+		spec.Goal = MinPower
+	case "":
+		return spec, fmt.Errorf("search: empty query (want e.g. max-accuracy@power<=3e-6)")
+	default:
+		return spec, fmt.Errorf("search: unknown goal %q (want max-accuracy, max-snr or min-power)", parts[0])
+	}
+	for _, c := range parts[1:] {
+		name, op, val, err := splitConstraint(c)
+		if err != nil {
+			return spec, err
+		}
+		switch name {
+		case "power":
+			if spec.Goal != MaxQuality {
+				return spec, fmt.Errorf("search: constraint %q: a power ceiling only bounds max-* goals", c)
+			}
+			if op != "<=" {
+				return spec, fmt.Errorf("search: constraint %q: power takes <= (a ceiling)", c)
+			}
+			if spec.MaxPower != 0 {
+				return spec, fmt.Errorf("search: duplicate power constraint %q", c)
+			}
+			if val <= 0 {
+				return spec, fmt.Errorf("search: constraint %q: the power ceiling must be positive", c)
+			}
+			spec.MaxPower = val
+		case "accuracy", "snr":
+			if spec.Goal != MinPower {
+				return spec, fmt.Errorf("search: constraint %q: a quality floor only bounds min-power", c)
+			}
+			if op != ">=" {
+				return spec, fmt.Errorf("search: constraint %q: %s takes >= (a floor)", c, name)
+			}
+			if spec.Metric != "" {
+				return spec, fmt.Errorf("search: duplicate quality constraint %q", c)
+			}
+			if val <= 0 {
+				return spec, fmt.Errorf("search: constraint %q: the quality floor must be positive", c)
+			}
+			spec.Metric, spec.MinQuality = name, val
+		case "area":
+			if op != "<=" {
+				return spec, fmt.Errorf("search: constraint %q: area takes <= (a cap)", c)
+			}
+			if spec.MaxAreaCaps != 0 {
+				return spec, fmt.Errorf("search: duplicate area constraint %q", c)
+			}
+			if val <= 0 {
+				return spec, fmt.Errorf("search: constraint %q: the area cap must be positive", c)
+			}
+			spec.MaxAreaCaps = val
+		default:
+			return spec, fmt.Errorf("search: unknown constraint %q (want power<=, accuracy>=, snr>= or area<=)", c)
+		}
+	}
+	if spec.Goal == MinPower && spec.Metric == "" {
+		return spec, fmt.Errorf("search: min-power needs a quality floor (accuracy>=Q or snr>=Q)")
+	}
+	return spec, nil
+}
+
+// splitConstraint parses one "name<op>value" token.
+func splitConstraint(c string) (name, op string, val float64, err error) {
+	i := strings.IndexAny(c, "<>")
+	if i < 0 || i+2 > len(c) || c[i+1] != '=' {
+		return "", "", 0, fmt.Errorf("search: constraint %q is not name<=value or name>=value", c)
+	}
+	name, op = c[:i], c[i:i+2]
+	val, err = strconv.ParseFloat(c[i+2:], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("search: constraint %q: bad number %q", c, c[i+2:])
+	}
+	if math.IsNaN(val) || math.IsInf(val, 0) {
+		return "", "", 0, fmt.Errorf("search: constraint %q: value must be finite", c)
+	}
+	return name, op, val, nil
+}
+
+// Query renders the spec back into the grammar ParseQuery accepts — the
+// canonical form used in outcomes, logs and round-trip tests.
+func (s Spec) Query() string {
+	var b strings.Builder
+	switch s.Goal {
+	case MinPower:
+		b.WriteString("min-power")
+		fmt.Fprintf(&b, "@%s>=%g", s.Metric, s.MinQuality)
+	default:
+		b.WriteString("max-" + s.Metric)
+		if s.MaxPower > 0 {
+			fmt.Fprintf(&b, "@power<=%g", s.MaxPower)
+		}
+	}
+	if s.MaxAreaCaps > 0 {
+		fmt.Fprintf(&b, "@area<=%g", s.MaxAreaCaps)
+	}
+	return b.String()
+}

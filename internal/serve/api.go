@@ -1,8 +1,9 @@
 // Package serve exposes the EffiCSense pathfinding framework over HTTP:
 // the efficsensed daemon wires a Server (handlers.go) around a job
 // Manager (jobs.go) that owns the sweep engines, the shared memoisation
-// cache and the asynchronous sweep jobs. Everything is stdlib net/http;
-// the paper's "framework other designers query" becomes five endpoints:
+// cache and the asynchronous sweep and search jobs. Everything is
+// stdlib net/http; the paper's "framework other designers query"
+// becomes a small set of endpoints:
 //
 //	POST   /v1/evaluate            synchronous single-point evaluation
 //	POST   /v1/sweeps              submit an async design-space sweep
@@ -11,6 +12,11 @@
 //	GET    /v1/sweeps/{id}/events  SSE stream of engine progress events
 //	GET    /v1/sweeps/{id}/results NDJSON stream of the result cloud
 //	DELETE /v1/sweeps/{id}         cancel the job (partial results kept)
+//	POST   /v1/search              submit an async goal-directed search
+//	GET    /v1/search/{id}         search status, front, best design
+//	GET    /v1/search/{id}/events  SSE stream of front-update events
+//	GET    /v1/search/{id}/results NDJSON stream of the discovered front
+//	DELETE /v1/search/{id}         cancel the search (partial front kept)
 //	GET    /healthz, GET /metrics  liveness and Prometheus exposition
 //
 // Every response carries an X-Request-ID header (echoing the caller's,
@@ -21,12 +27,15 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
+	"efficsense/internal/search"
 )
 
 // PointSpec is the wire form of a core.DesignPoint.
@@ -204,6 +213,84 @@ type SweepRequest struct {
 	Space   *SpaceSpec   `json:"space,omitempty"`
 }
 
+// SearchRequest is the POST /v1/search body. The goal arrives either as
+// the compact query grammar ("max-accuracy@power<=3e-6") or as the
+// structured fields — never both; the structured path composes into the
+// same grammar so one parser validates everything. max_evaluations
+// defaults to a tenth of the space (the search's headline ratio),
+// capped by the server's MaxSearchEvaluations. probe_records, when
+// positive, adds a cheap probe fidelity: early probes evaluate that
+// many records per point, and only survivors reach the full engine.
+type SearchRequest struct {
+	// Query is the goal grammar: goal *( "@" constraint ), e.g.
+	// "max-accuracy@power<=3e-6@area<=500" or "min-power@accuracy>=0.98".
+	Query string `json:"query,omitempty"`
+	// Goal is the structured alternative: "max-accuracy", "max-snr" or
+	// "min-power". Metric names a min-power floor's quality function
+	// (default "accuracy"); max goals name theirs in the goal itself.
+	Goal       string  `json:"goal,omitempty"`
+	Metric     string  `json:"metric,omitempty"`
+	MaxPowerW  float64 `json:"max_power_w,omitempty"`
+	MinQuality float64 `json:"min_quality,omitempty"`
+	// MaxAreaCaps, when positive, is the Fig 10 capacitor-area cap.
+	MaxAreaCaps float64 `json:"max_area_caps,omitempty"`
+	// MaxEvaluations is the hard budget; 0 picks a tenth of the space.
+	MaxEvaluations int   `json:"max_evaluations,omitempty"`
+	Seed           int64 `json:"seed,omitempty"`
+	// ProbeRecords, when positive, evaluates early probes at this
+	// record count before promoting survivors to full fidelity.
+	ProbeRecords int          `json:"probe_records,omitempty"`
+	Options      *OptionsSpec `json:"options,omitempty"`
+	Space        *SpaceSpec   `json:"space,omitempty"`
+}
+
+// spec parses the request's goal into a search.Spec. The query string
+// wins; the structured fields compose into the same grammar so both
+// paths share one validator. Budget and seed are attached by
+// SubmitSearch, not here.
+func (r SearchRequest) spec() (search.Spec, error) {
+	structured := r.Goal != "" || r.Metric != "" || r.MaxPowerW != 0 ||
+		r.MinQuality != 0 || r.MaxAreaCaps != 0
+	if r.Query != "" {
+		if structured {
+			return search.Spec{}, errors.New("query and the structured goal fields are mutually exclusive")
+		}
+		return search.ParseQuery(r.Query)
+	}
+	if r.Goal == "min-power" {
+		if r.MaxPowerW != 0 {
+			return search.Spec{}, errors.New("max_power_w only bounds max goals; min-power takes min_quality")
+		}
+	} else {
+		if r.Metric != "" {
+			return search.Spec{}, errors.New(`metric applies to min-power only; max goals name their metric ("max-accuracy", "max-snr")`)
+		}
+		if r.MinQuality != 0 {
+			return search.Spec{}, errors.New("min_quality only bounds min-power queries")
+		}
+	}
+	return search.ParseQuery(r.composeQuery())
+}
+
+// composeQuery renders the structured fields in the query grammar.
+func (r SearchRequest) composeQuery() string {
+	var b strings.Builder
+	b.WriteString(r.Goal)
+	if r.Goal == "min-power" {
+		metric := r.Metric
+		if metric == "" {
+			metric = "accuracy"
+		}
+		fmt.Fprintf(&b, "@%s>=%g", metric, r.MinQuality)
+	} else if r.MaxPowerW != 0 {
+		fmt.Fprintf(&b, "@power<=%g", r.MaxPowerW)
+	}
+	if r.MaxAreaCaps != 0 {
+		fmt.Fprintf(&b, "@area<=%g", r.MaxAreaCaps)
+	}
+	return b.String()
+}
+
 // ResultJSON is the wire form of a core.Result.
 type ResultJSON struct {
 	Point    PointSpec          `json:"point"`
@@ -304,6 +391,49 @@ func outcomeOf(rs []core.Result, total int, partial bool, minAccuracy float64) *
 	return out
 }
 
+// SearchOutcome is the result payload of a search job, embedded in its
+// status response and summarised in the terminal SSE event.
+type SearchOutcome struct {
+	// Query is the canonical form of the goal the job ran.
+	Query string `json:"query"`
+	// Partial marks a front that is a lower bound, not the converged
+	// answer: the run was cancelled, failed, exhausted its budget with
+	// proposals pending, or degraded rows along the way.
+	Partial bool `json:"partial"`
+	// Evaluations counts every dispatched point at any fidelity rung;
+	// Evaluations + BudgetRemaining == Budget always.
+	Evaluations     int `json:"evaluations"`
+	Budget          int `json:"budget"`
+	BudgetRemaining int `json:"budget_remaining"`
+	Errors          int `json:"errors"`
+	// Hypervolume is the front's dominated area against the run's
+	// observed extremes — a progress figure, comparable within a run.
+	Hypervolume float64 `json:"hypervolume"`
+	// Best answers the query: the feasible front design with the best
+	// goal value (nil when nothing feasible was found). Front is the
+	// discovered Pareto front, ascending power.
+	Best  *ResultJSON  `json:"best,omitempty"`
+	Front []ResultJSON `json:"front"`
+}
+
+func searchOutcomeOf(spec search.Spec, out search.Outcome, partial bool) *SearchOutcome {
+	so := &SearchOutcome{
+		Query:           spec.Query(),
+		Partial:         partial,
+		Evaluations:     out.Evaluations,
+		Budget:          out.Budget,
+		BudgetRemaining: out.Budget - out.Evaluations,
+		Errors:          out.Errors,
+		Hypervolume:     out.Hypervolume,
+		Front:           resultsJSON(out.Front),
+	}
+	if out.HaveBest {
+		rj := resultJSON(out.Best)
+		so.Best = &rj
+	}
+	return so
+}
+
 // EngineMetricsJSON is the wire form of a dse.Snapshot. The eval
 // quantiles come from the engine's fixed-bucket duration histogram, so
 // a slow sweep's tail is visible right on its status response instead
@@ -350,6 +480,7 @@ type ProgressJSON struct {
 // line it produced — back to the call that created it.
 type JobStatus struct {
 	ID              string             `json:"id"`
+	Kind            string             `json:"kind"`
 	State           string             `json:"state"`
 	RequestID       string             `json:"request_id,omitempty"`
 	CancelRequested bool               `json:"cancel_requested,omitempty"`
@@ -360,6 +491,7 @@ type JobStatus struct {
 	Metrics         *EngineMetricsJSON `json:"metrics,omitempty"`
 	Error           string             `json:"error,omitempty"`
 	Result          *SweepOutcome      `json:"result,omitempty"`
+	Search          *SearchOutcome     `json:"search,omitempty"`
 	StatusURL       string             `json:"status_url"`
 	EventsURL       string             `json:"events_url"`
 	ResultsURL      string             `json:"results_url"`
@@ -369,6 +501,7 @@ type JobStatus struct {
 // job (and the request that submitted it) without scraping /metrics.
 type JobSummary struct {
 	ID        string       `json:"id"`
+	Kind      string       `json:"kind"`
 	State     string       `json:"state"`
 	RequestID string       `json:"request_id,omitempty"`
 	CreatedAt time.Time    `json:"created_at"`

@@ -555,3 +555,70 @@ func TestChaosNoGoroutineLeaks(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 }
+
+// TestChaosSearchBatchFaultDegradesBudgetExactly drives a search job
+// through a batch-dispatching engine with one injected batch fault: the
+// job must still complete — partial, with exactly the faulted chunk
+// counted as errors, a sound subset front, and the evaluation budget
+// accounted to the point. A healed resubmission then converges clean on
+// the full front, riding the cache for the rows that survived.
+func TestChaosSearchBatchFaultDegradesBudgetExactly(t *testing.T) {
+	armFault(t, fault.PointBatch, fault.Config{
+		Kind: fault.KindError, Probability: 1, MaxInjections: 1, Seed: 11,
+	})
+	// One worker and a batch size of 4: the strategy's opening proposal
+	// (2 groups × 3 noise quantiles = 6 probes) dispatches as chunks of
+	// 4 and 2, so the single injection degrades exactly 4 points.
+	ts, mgr, _ := newBatchTestServer(t, ManagerConfig{},
+		dse.WithWorkers(1), dse.WithBatchSize(4))
+	body := `{"query":"max-snr","max_evaluations":16,
+		"space":{"architectures":["baseline"],"bits":[4,6],"noise_steps":8}}`
+
+	st := decodeStatus(t, postJSON(t, ts.URL+"/v1/search", body))
+	final := waitTerminal(t, ts.URL, st.ID)
+	if final.State != string(StateCompleted) {
+		t.Fatalf("state %s, want completed: %s", final.State, final.Error)
+	}
+	so := final.Search
+	if so == nil || !so.Partial || so.Errors != 4 {
+		t.Fatalf("faulted search outcome: %+v", so)
+	}
+	if so.Evaluations+so.BudgetRemaining != so.Budget || so.Budget != 16 {
+		t.Fatalf("budget accounting under chaos: %+v", so)
+	}
+	if c := mgr.Counters(); c.SearchEvaluations != int64(so.Evaluations) {
+		t.Fatalf("counter evaluations %d, status says %d", c.SearchEvaluations, so.Evaluations)
+	}
+	// The front is a sound subset: no error rows, every member on the
+	// evaluator's closed form.
+	if len(so.Front) == 0 {
+		t.Fatalf("degraded search kept no front at all: %+v", so)
+	}
+	for i, row := range so.Front {
+		if row.Err != "" || row.SNRdB != 3*float64(row.Point.Bits) {
+			t.Fatalf("front row %d unsound: %+v", i, row)
+		}
+	}
+	rResp, err := http.Get(ts.URL + final.ResultsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(rResp.Body)
+	rResp.Body.Close()
+	if strings.Contains(string(raw), `"err"`) {
+		t.Fatalf("results NDJSON leaked error rows:\n%s", raw)
+	}
+
+	// Healed rerun: budget spent, cache warm for the sound rows — the
+	// same query now converges clean on the full two-point front.
+	fault.Reset()
+	st2 := decodeStatus(t, postJSON(t, ts.URL+"/v1/search", body))
+	final2 := waitTerminal(t, ts.URL, st2.ID)
+	if final2.State != string(StateCompleted) || final2.Search == nil {
+		t.Fatalf("healed search: %+v", final2)
+	}
+	so2 := final2.Search
+	if so2.Partial || so2.Errors != 0 || len(so2.Front) != 2 {
+		t.Fatalf("healed search outcome: %+v", so2)
+	}
+}

@@ -58,6 +58,11 @@ func NewServer(mgr *Manager, logger *slog.Logger) *Server {
 	s.route("GET /v1/sweeps/{id}/events", s.handleEvents)
 	s.route("GET /v1/sweeps/{id}/results", s.handleResults)
 	s.route("DELETE /v1/sweeps/{id}", s.handleCancel)
+	s.route("POST /v1/search", s.handleSearchSubmit)
+	s.route("GET /v1/search/{id}", s.handleStatus)
+	s.route("GET /v1/search/{id}/events", s.handleEvents)
+	s.route("GET /v1/search/{id}/results", s.handleResults)
+	s.route("DELETE /v1/search/{id}", s.handleCancel)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	return s
@@ -289,6 +294,29 @@ func (s *Server) evaluateBatch(w http.ResponseWriter, r *http.Request, req Evalu
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// submitError maps Submit/SubmitSearch sentinel errors onto the wire,
+// reporting whether an error response was written.
+func (s *Server) submitError(w http.ResponseWriter, r *http.Request, err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrBadRequest):
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+	case errors.Is(err, ErrSaturated):
+		retry := int(s.mgr.RetryAfter().Round(time.Second) / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
+		s.error(w, r, http.StatusTooManyRequests, CodeSaturated, "%v (retry after ~%ds)", err, retry)
+	case errors.Is(err, ErrShuttingDown):
+		s.error(w, r, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
+	default:
+		s.error(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
+	}
+	return true
+}
+
 // handleSubmit accepts an asynchronous sweep: 202 + Location on success,
 // 429 + Retry-After when every slot is busy.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -298,24 +326,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	job, err := s.mgr.Submit(r.Context(), req)
-	switch {
-	case err == nil:
-	case errors.Is(err, ErrBadRequest):
-		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+	if s.submitError(w, r, err) {
 		return
-	case errors.Is(err, ErrSaturated):
-		retry := int(s.mgr.RetryAfter().Round(time.Second) / time.Second)
-		if retry < 1 {
-			retry = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprint(retry))
-		s.error(w, r, http.StatusTooManyRequests, CodeSaturated, "%v (retry after ~%ds)", err, retry)
+	}
+	st := job.Status()
+	w.Header().Set("Location", st.StatusURL)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+// handleSearchSubmit accepts an asynchronous goal-directed search: the
+// same 202/429/503 contract as sweeps, with the job under /v1/search.
+func (s *Server) handleSearchSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SearchRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "decoding request: %v", err)
 		return
-	case errors.Is(err, ErrShuttingDown):
-		s.error(w, r, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
-		return
-	default:
-		s.error(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
+	}
+	job, err := s.mgr.SubmitSearch(r.Context(), req)
+	if s.submitError(w, r, err) {
 		return
 	}
 	st := job.Status()

@@ -17,6 +17,7 @@ import (
 	"efficsense/internal/fault"
 	"efficsense/internal/obs"
 	"efficsense/internal/report"
+	"efficsense/internal/search"
 )
 
 // JobState is the lifecycle of an asynchronous sweep job.
@@ -76,6 +77,11 @@ type ManagerConfig struct {
 	JobTTL time.Duration
 	// MaxSweepPoints rejects spaces bigger than this (default 100000).
 	MaxSweepPoints int
+	// MaxSearchEvaluations caps a search job's evaluation budget
+	// (default 20000): requests asking for more are rejected, and a
+	// request without a budget defaults to a tenth of its space,
+	// clamped to this.
+	MaxSearchEvaluations int
 	// EvalTimeout caps the synchronous /v1/evaluate deadline (default 2m).
 	EvalTimeout time.Duration
 	// Log receives structured job lifecycle records (accepted, started,
@@ -94,6 +100,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.MaxSweepPoints <= 0 {
 		c.MaxSweepPoints = 100000
+	}
+	if c.MaxSearchEvaluations <= 0 {
+		c.MaxSearchEvaluations = 20000
 	}
 	if c.EvalTimeout <= 0 {
 		c.EvalTimeout = 2 * time.Minute
@@ -119,6 +128,14 @@ type Manager struct {
 	submitted, rejected  atomic.Int64
 	completed, cancelled atomic.Int64
 	failed, evaluations  atomic.Int64
+
+	// Search-job accounting: lifecycle counters, the total evaluation
+	// spend of every search driver, and two live gauges tracking the
+	// most recent search round (front size, unspent budget).
+	searchSubmitted, searchCompleted atomic.Int64
+	searchCancelled, searchFailed    atomic.Int64
+	searchEvaluations                atomic.Int64
+	searchFrontSize, searchBudget    atomic.Int64
 }
 
 // NewManager builds a Manager; cfg.Engines must be set.
@@ -164,19 +181,33 @@ func pointEventRow(ev dse.Event) []interface{} {
 	return append(row, errStr)
 }
 
-// Job is one asynchronous sweep.
+// Job kinds: the discriminator picks the URL prefix, the run loop and
+// the outcome shape. Immutable after submission.
+const (
+	jobKindSweep  = "sweep"
+	jobKindSearch = "search"
+)
+
+// Job is one asynchronous job: an exhaustive sweep or a goal-directed
+// search, by kind.
 type Job struct {
 	ID string
 	// requestID is the X-Request-ID of the submitting request, immutable
 	// after Submit: status responses and every lifecycle log line carry
 	// it, so "which call started this sweep" is always answerable.
 	requestID string
+	kind      string
 
 	opts   experiments.Options
 	space  dse.Space
 	points []core.DesignPoint
-	ctx    context.Context
-	cancel context.CancelFunc
+	// spec is the parsed query of a search job; probeOpts, when set, are
+	// the reduced-fidelity engine options of its probe rung (nil = every
+	// evaluation runs at full fidelity). Immutable after SubmitSearch.
+	spec      search.Spec
+	probeOpts *experiments.Options
+	ctx       context.Context
+	cancel    context.CancelFunc
 
 	mu              sync.Mutex
 	cond            *sync.Cond
@@ -189,6 +220,7 @@ type Job struct {
 	events          []JobEvent
 	results         []core.Result
 	outcome         *SweepOutcome
+	searchOut       *SearchOutcome
 	err             error
 	engine          Engine
 }
@@ -196,6 +228,7 @@ type Job struct {
 func (m *Manager) newJob(opts experiments.Options, space dse.Space, points []core.DesignPoint) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
+		kind: jobKindSweep,
 		opts: opts, space: space, points: points,
 		ctx: ctx, cancel: cancel,
 		state: StatePending, created: time.Now(), total: len(points),
@@ -490,8 +523,13 @@ func (j *Job) Results() []core.Result {
 func (j *Job) Status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	base := "/v1/sweeps/"
+	if j.kind == jobKindSearch {
+		base = "/v1/search/"
+	}
 	st := JobStatus{
 		ID:              j.ID,
+		Kind:            j.kind,
 		State:           string(j.state),
 		RequestID:       j.requestID,
 		CancelRequested: j.cancelRequested && !j.state.Terminal(),
@@ -499,9 +537,10 @@ func (j *Job) Status() JobStatus {
 		Progress:        ProgressJSON{Done: j.done, Total: j.total},
 		Error:           "",
 		Result:          j.outcome,
-		StatusURL:       "/v1/sweeps/" + j.ID,
-		EventsURL:       "/v1/sweeps/" + j.ID + "/events",
-		ResultsURL:      "/v1/sweeps/" + j.ID + "/results",
+		Search:          j.searchOut,
+		StatusURL:       base + j.ID,
+		EventsURL:       base + j.ID + "/events",
+		ResultsURL:      base + j.ID + "/results",
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -524,13 +563,18 @@ func (j *Job) Status() JobStatus {
 func (j *Job) Summary() JobSummary {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	base := "/v1/sweeps/"
+	if j.kind == jobKindSearch {
+		base = "/v1/search/"
+	}
 	return JobSummary{
 		ID:        j.ID,
+		Kind:      j.kind,
 		State:     string(j.state),
 		RequestID: j.requestID,
 		CreatedAt: j.created,
 		Progress:  ProgressJSON{Done: j.done, Total: j.total},
-		StatusURL: "/v1/sweeps/" + j.ID,
+		StatusURL: base + j.ID,
 	}
 }
 
@@ -697,12 +741,20 @@ type Counters struct {
 	Completed, Cancelled int64
 	Failed, Evaluations  int64
 	Running, Tracked     int
-	EngineEvaluated      int64
-	EngineCacheHits      int64
-	EngineDeduped        int64
-	EnginePanics         int64
-	EngineRetries        int64
-	EngineMeanEval       time.Duration
+	// Search-job accounting: lifecycle counters, the design points
+	// dispatched by search drivers (any fidelity rung), and two gauges
+	// tracking the most recent search round.
+	SearchSubmitted, SearchCompleted int64
+	SearchCancelled, SearchFailed    int64
+	SearchEvaluations                int64
+	SearchFrontSize                  int64
+	SearchBudgetRemaining            int64
+	EngineEvaluated                  int64
+	EngineCacheHits                  int64
+	EngineDeduped                    int64
+	EnginePanics                     int64
+	EngineRetries                    int64
+	EngineMeanEval                   time.Duration
 	// EngineBatches counts batched evaluator calls across every engine,
 	// and EngineBatchPoints the cache-miss points they carried.
 	EngineBatches     int64
@@ -728,12 +780,19 @@ type Counters struct {
 // Counters aggregates the manager's counters and every engine's metrics.
 func (m *Manager) Counters() Counters {
 	c := Counters{
-		Submitted:   m.submitted.Load(),
-		Rejected:    m.rejected.Load(),
-		Completed:   m.completed.Load(),
-		Cancelled:   m.cancelled.Load(),
-		Failed:      m.failed.Load(),
-		Evaluations: m.evaluations.Load(),
+		Submitted:             m.submitted.Load(),
+		Rejected:              m.rejected.Load(),
+		Completed:             m.completed.Load(),
+		Cancelled:             m.cancelled.Load(),
+		Failed:                m.failed.Load(),
+		Evaluations:           m.evaluations.Load(),
+		SearchSubmitted:       m.searchSubmitted.Load(),
+		SearchCompleted:       m.searchCompleted.Load(),
+		SearchCancelled:       m.searchCancelled.Load(),
+		SearchFailed:          m.searchFailed.Load(),
+		SearchEvaluations:     m.searchEvaluations.Load(),
+		SearchFrontSize:       m.searchFrontSize.Load(),
+		SearchBudgetRemaining: m.searchBudget.Load(),
 	}
 	m.mu.Lock()
 	c.Tracked = len(m.jobs)

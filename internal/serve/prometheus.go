@@ -56,14 +56,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	evalHist.WritePrometheus(w, "efficsense_eval_duration_seconds", "")
 
 	counter("efficsense_jobs_submitted_total", "Sweep jobs accepted.", c.Submitted)
-	counter("efficsense_jobs_rejected_total", "Sweep submissions rejected for saturation.", c.Rejected)
+	counter("efficsense_jobs_rejected_total", "Job submissions rejected for saturation (sweeps and searches).", c.Rejected)
 	counter("efficsense_jobs_completed_total", "Sweep jobs that ran to completion.", c.Completed)
 	counter("efficsense_jobs_cancelled_total", "Sweep jobs cancelled by clients.", c.Cancelled)
 	counter("efficsense_jobs_failed_total", "Sweep jobs that failed.", c.Failed)
-	gauge("efficsense_jobs_running", "Sweep jobs currently pending or running.", c.Running)
+	gauge("efficsense_jobs_running", "Jobs currently pending or running (sweeps and searches).", c.Running)
 	gauge("efficsense_jobs_tracked", "Jobs retained for status queries (TTL-bounded).", c.Tracked)
 	counter("efficsense_evaluate_requests_total", "Design points requested through synchronous evaluation (single and batch).", c.Evaluations)
 	gauge("efficsense_sse_streams_active", "Open SSE event streams.", s.sseActive.Load())
+
+	counter("efficsense_search_jobs_submitted_total", "Goal-directed search jobs accepted.", c.SearchSubmitted)
+	counter("efficsense_search_jobs_completed_total", "Search jobs that ran to completion.", c.SearchCompleted)
+	counter("efficsense_search_jobs_cancelled_total", "Search jobs cancelled by clients.", c.SearchCancelled)
+	counter("efficsense_search_jobs_failed_total", "Search jobs that failed.", c.SearchFailed)
+	counter("efficsense_search_evaluations_total", "Design points dispatched by search drivers, at any fidelity rung.", c.SearchEvaluations)
+	gauge("efficsense_search_front_size", "Pareto-front size after the most recent search round.", c.SearchFrontSize)
+	gauge("efficsense_search_budget_remaining", "Unspent evaluation budget after the most recent search round.", c.SearchBudgetRemaining)
 
 	counter("efficsense_engine_evaluations_total", "Design points scored by the evaluators (cache misses).", c.EngineEvaluated)
 	counter("efficsense_engine_cache_hits_total", "Design points served from the memoisation cache.", c.EngineCacheHits)

@@ -1,0 +1,284 @@
+package serve
+
+// Search jobs: the asynchronous POST /v1/search pipeline. A search job
+// shares everything structural with a sweep job — the slot semaphore,
+// the event buffer and SSE replay, TTL eviction, cancellation, drain —
+// but runs the internal/search driver instead of an exhaustive sweep:
+// a budget-bounded propose/observe loop that streams "front" events as
+// the Pareto front grows and finishes with a budget-accounted outcome.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"efficsense/internal/core"
+	"efficsense/internal/dse"
+	"efficsense/internal/fault"
+	"efficsense/internal/obs"
+	"efficsense/internal/report"
+	"efficsense/internal/search"
+)
+
+// searchEventHeaders are the keys of "front" event payloads: the budget
+// window, the fidelity rung the round ran at, and the front's size and
+// hypervolume after it.
+var searchEventHeaders = []string{
+	"evaluations", "budget", "rung", "rung_name", "front_size", "hypervolume", "improved",
+}
+
+// SubmitSearch validates a goal-directed search request, claims a job
+// slot and starts the driver. Like Submit it never queues: saturation is
+// ErrSaturated, and the job outlives the submitting request's context.
+func (m *Manager) SubmitSearch(ctx context.Context, req SearchRequest) (*Job, error) {
+	opts := req.Options.apply(m.cfg.Defaults)
+	spec, err := req.spec()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	space, err := req.Space.space(opts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: space: %v", ErrBadRequest, err)
+	}
+	size := space.Size()
+	if size > m.cfg.MaxSweepPoints {
+		return nil, fmt.Errorf("%w: space enumerates %d points, limit %d",
+			ErrBadRequest, size, m.cfg.MaxSweepPoints)
+	}
+	if req.ProbeRecords < 0 {
+		return nil, fmt.Errorf("%w: probe_records must be non-negative, got %d",
+			ErrBadRequest, req.ProbeRecords)
+	}
+	spec.Seed = req.Seed
+	spec.MaxEvaluations = req.MaxEvaluations
+	if spec.MaxEvaluations <= 0 {
+		// The search's reason to exist: a tenth of the exhaustive count.
+		spec.MaxEvaluations = min(max(size/10, 1), m.cfg.MaxSearchEvaluations)
+	}
+	if spec.MaxEvaluations > m.cfg.MaxSearchEvaluations {
+		return nil, fmt.Errorf("%w: max_evaluations %d exceeds the limit %d",
+			ErrBadRequest, spec.MaxEvaluations, m.cfg.MaxSearchEvaluations)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	select {
+	case m.slots <- struct{}{}:
+	default:
+		m.mu.Unlock()
+		m.rejected.Add(1)
+		return nil, ErrSaturated
+	}
+	m.seq++
+	job := m.newJob(opts, space, nil)
+	job.kind = jobKindSearch
+	job.ID = fmt.Sprintf("search-%d", m.seq)
+	job.requestID = obs.RequestID(ctx)
+	job.spec = spec
+	job.total = spec.MaxEvaluations
+	if req.ProbeRecords > 0 && req.ProbeRecords != opts.Records {
+		probe := opts
+		probe.Records = req.ProbeRecords
+		job.probeOpts = &probe
+	}
+	m.jobs[job.ID] = job
+	m.searchSubmitted.Add(1)
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	m.logJob(job, "search accepted",
+		slog.String("query", spec.Query()),
+		slog.Int("budget", spec.MaxEvaluations),
+		slog.Int("space", size))
+	go m.runSearch(job)
+	return job, nil
+}
+
+// runSearch owns a search job goroutine end to end: resolve the fidelity
+// engines, drive the search, distil the outcome. Like run, a panic
+// anywhere degrades this one job to failed, never the daemon.
+func (m *Manager) runSearch(job *Job) {
+	defer m.wg.Done()
+	defer func() { <-m.slots }()
+	defer func() {
+		if r := recover(); r != nil {
+			if !job.State().Terminal() {
+				m.finishSearch(job, search.Outcome{Budget: job.spec.MaxEvaluations},
+					fmt.Errorf("serve: job goroutine panicked: %v", r))
+			}
+		}
+	}()
+
+	fids := make([]search.Fidelity, 0, 2)
+	if job.probeOpts != nil {
+		probe, err := m.cfg.Engines(*job.probeOpts)
+		if err != nil {
+			m.finishSearch(job, search.Outcome{Budget: job.spec.MaxEvaluations},
+				fmt.Errorf("probe engine: %w", err))
+			return
+		}
+		m.registerEngine(probe)
+		fids = append(fids, search.Fidelity{Name: "probe", Eval: searchEvaluator(probe)})
+	}
+	engine, err := m.cfg.Engines(job.opts)
+	if err != nil {
+		m.finishSearch(job, search.Outcome{Budget: job.spec.MaxEvaluations},
+			fmt.Errorf("engine: %w", err))
+		return
+	}
+	if err := fault.Fire(fault.PointJob); err != nil {
+		m.finishSearch(job, search.Outcome{Budget: job.spec.MaxEvaluations},
+			fmt.Errorf("job: %w", err))
+		return
+	}
+	m.registerEngine(engine)
+	job.mu.Lock()
+	job.engine = engine
+	job.mu.Unlock()
+	fids = append(fids, search.Fidelity{Name: "full", Eval: searchEvaluator(engine)})
+	if job.ctx.Err() != nil { // cancelled while the engines were building
+		m.finishSearch(job, search.Outcome{Budget: job.spec.MaxEvaluations}, job.ctx.Err())
+		return
+	}
+	job.setState(StateRunning)
+	m.logJob(job, "search started",
+		slog.String("query", job.spec.Query()),
+		slog.Int("budget", job.spec.MaxEvaluations))
+
+	out, err := search.Run(job.ctx, search.Config{
+		Space:      job.space,
+		Spec:       job.spec,
+		Fidelities: fids,
+		OnProgress: func(p search.Progress) { m.searchProgress(job, p) },
+	})
+	m.finishSearch(job, out, err)
+}
+
+// searchEvaluator adapts the serving Engine surface to the search
+// driver's batch contract. Engines that batch natively (*dse.Sweep)
+// are used directly; others are wrapped so a run-level failure degrades
+// into per-point error rows — never a short slice.
+func searchEvaluator(e Engine) search.Evaluator {
+	if ev, ok := e.(search.Evaluator); ok {
+		return ev
+	}
+	return engineEvaluator{e}
+}
+
+type engineEvaluator struct{ e Engine }
+
+func (a engineEvaluator) EvaluateBatch(ctx context.Context, pts []core.DesignPoint) []core.Result {
+	out := make([]core.Result, len(pts))
+	done := make([]bool, len(pts))
+	rs, err := a.e.RunWithHook(ctx, pts, func(ev dse.Event) {
+		if ev.Index >= 0 && ev.Index < len(out) {
+			out[ev.Index] = ev.Result
+			done[ev.Index] = true
+		}
+	})
+	if err == nil && len(rs) == len(pts) {
+		return rs
+	}
+	if err == nil {
+		err = errors.New("serve: engine returned a short result slice")
+	}
+	for i := range out {
+		if !done[i] {
+			out[i] = core.Result{Point: pts[i], Err: err}
+		}
+	}
+	return out
+}
+
+// searchProgress is the driver's per-round hook: it serialises one
+// "front" SSE event, moves the job's progress window (evaluations spent
+// against budget) and refreshes the manager's live gauges. Called
+// serially from the driver goroutine.
+func (m *Manager) searchProgress(j *Job, p search.Progress) {
+	m.searchFrontSize.Store(int64(p.FrontSize))
+	m.searchBudget.Store(int64(p.Budget - p.Evaluations))
+	data, err := report.NDJSONRow(searchEventHeaders, []interface{}{
+		p.Evaluations, p.Budget, p.Rung, p.RungName, p.FrontSize, p.Hypervolume, p.Improved,
+	})
+	if err != nil {
+		data = []byte(`{}`)
+	}
+	j.mu.Lock()
+	j.done, j.total = p.Evaluations, p.Budget
+	j.appendEventLocked("front", data)
+	j.mu.Unlock()
+}
+
+// finishSearch is finish's search-job counterpart: classify the end
+// state, account the budget exactly (evaluations + remaining == budget,
+// on the outcome, the gauges and the terminal event alike) and schedule
+// eviction. A run that degraded rows or ran out of budget still lands
+// in StateCompleted with partial: true — the front is then a sound
+// lower bound, the same degradation contract sweeps honour.
+func (m *Manager) finishSearch(job *Job, out search.Outcome, err error) {
+	state, errMsg, elapsed := m.finishSearchLocked(job, out, err)
+	m.searchEvaluations.Add(int64(out.Evaluations))
+	m.searchFrontSize.Store(int64(len(out.Front)))
+	m.searchBudget.Store(int64(out.Budget - out.Evaluations))
+
+	attrs := []slog.Attr{
+		slog.String("state", string(state)),
+		slog.Int("evaluations", out.Evaluations),
+		slog.Int("budget", out.Budget),
+		slog.Int("front", len(out.Front)),
+		slog.Duration("elapsed", elapsed),
+	}
+	if out.Errors > 0 {
+		attrs = append(attrs, slog.Int("degraded", out.Errors))
+	}
+	if errMsg != "" {
+		attrs = append(attrs, slog.String("error", errMsg))
+	}
+	m.logJob(job, "search finished", attrs...)
+
+	time.AfterFunc(m.cfg.JobTTL, func() { m.evict(job.ID) })
+}
+
+func (m *Manager) finishSearchLocked(job *Job, out search.Outcome, err error) (state JobState, errMsg string, elapsed time.Duration) {
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	job.finished = time.Now()
+	job.results = out.Front // /results streams the front as NDJSON rows
+	switch {
+	case err == nil:
+		job.state = StateCompleted
+		m.searchCompleted.Add(1)
+	case job.cancelRequested && errors.Is(err, context.Canceled):
+		job.state = StateCancelled
+		m.searchCancelled.Add(1)
+	default:
+		job.state = StateFailed
+		job.err = err
+		m.searchFailed.Add(1)
+	}
+	job.done, job.total = out.Evaluations, out.Budget
+	partial := out.Partial || job.state != StateCompleted
+	job.searchOut = searchOutcomeOf(job.spec, out, partial)
+	state = job.state
+	if job.err != nil {
+		errMsg = job.err.Error()
+	}
+	data, jerr := report.NDJSONRow(
+		[]string{"state", "evaluations", "budget", "budget_remaining",
+			"front_size", "partial", "errors", "error"},
+		[]interface{}{string(state), out.Evaluations, out.Budget,
+			out.Budget - out.Evaluations, len(out.Front), partial, out.Errors, errMsg})
+	if jerr != nil {
+		data = []byte(`{}`)
+	}
+	job.appendEventLocked("done", data)
+	return state, errMsg, job.finished.Sub(job.created)
+}
