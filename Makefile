@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench benchdiff chaos search-accept verify fmt
+.PHONY: build test race bench benchdiff chaos search-accept wal-fuzz verify fmt
 
 build:
 	$(GO) build ./...
@@ -35,9 +35,11 @@ benchdiff:
 
 # chaos runs the fault-injection acceptance suites — seeded schedules
 # through the failpoint registry, the engine's retry path, the cache's
-# singleflight and the full HTTP stack — under the race detector.
-# Deterministic by construction (every schedule is seeded), so it gates
-# CI like any other test.
+# singleflight, the full HTTP stack and the kill-and-restart-mid-sweep
+# durability scenario (resumed fronts must be bit-identical to an
+# uninterrupted run) — under the race detector. Deterministic by
+# construction (every schedule is seeded), so it gates CI like any
+# other test.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Retry|Inject' \
 		./internal/fault ./internal/cache ./internal/dse ./internal/serve
@@ -52,6 +54,14 @@ search-accept:
 		$(GO) test -count=1 -run 'TestSearchAcceptance' ./internal/search
 	@echo "wrote SEARCH_ACCEPT.txt"
 
+# wal-fuzz is a short fuzz smoke over the journal's record decoder: any
+# byte string must either decode to a record that re-encodes exactly or
+# fail cleanly — never panic, never accept a corrupted line. Recovery
+# feeds the decoder whatever a crashed process left on disk, so this is
+# the durability path's input-hardening gate.
+wal-fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 10s ./internal/wal
+
 # verify is the tier-1 gate: formatting, vet, build, the full test
 # suite under the race detector with shuffled execution order (hidden
 # inter-test dependencies fail loudly), and short fuzz smokes over the
@@ -62,3 +72,4 @@ verify: fmt
 	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run '^$$' -fuzz FuzzNDJSONRow -fuzztime 10s ./internal/report
 	$(GO) test -run '^$$' -fuzz FuzzParseGoal -fuzztime 10s ./internal/search
+	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 10s ./internal/wal

@@ -32,6 +32,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -39,6 +41,7 @@ import (
 	"efficsense/internal/experiments"
 	"efficsense/internal/fault"
 	"efficsense/internal/serve"
+	"efficsense/internal/wal"
 )
 
 func main() {
@@ -67,6 +70,16 @@ type config struct {
 
 	chaos     string
 	chaosSeed int64
+
+	walDir string
+
+	tenantSubmitRate  float64
+	tenantSubmitBurst int
+	tenantEvalRate    float64
+	tenantEvalBurst   int
+	tenantMaxJobs     int
+	tenantMaxQueue    int
+	tenantWeights     string
 
 	defaults experiments.Options
 	manager  serve.ManagerConfig
@@ -109,6 +122,22 @@ func parseFlags(args []string) (*config, error) {
 		"fault-injection spec, e.g. dse/evaluate=error:0.1,serve/sse-flush=latency:0.5:20ms (testing only)")
 	fs.Int64Var(&cfg.chaosSeed, "chaos-seed", 1,
 		"root seed for the -chaos schedule (replays a chaos run exactly)")
+	fs.StringVar(&cfg.walDir, "wal-dir", "",
+		"directory for the durable-jobs journal (empty = jobs are in-memory only); on startup the journal is replayed: finished jobs become queryable history, interrupted sweeps resume from their last journaled row")
+	fs.Float64Var(&cfg.tenantSubmitRate, "tenant-submit-rate", 0,
+		"per-tenant sustained job submissions per second (0 = unlimited)")
+	fs.IntVar(&cfg.tenantSubmitBurst, "tenant-submit-burst", 1,
+		"per-tenant job-submission burst capacity")
+	fs.Float64Var(&cfg.tenantEvalRate, "tenant-eval-rate", 0,
+		"per-tenant sustained synchronous-evaluation requests per second (0 = unlimited)")
+	fs.IntVar(&cfg.tenantEvalBurst, "tenant-eval-burst", 1,
+		"per-tenant synchronous-evaluation burst capacity")
+	fs.IntVar(&cfg.tenantMaxJobs, "tenant-max-jobs", 0,
+		"per-tenant concurrent job cap (0 = the global -max-jobs)")
+	fs.IntVar(&cfg.tenantMaxQueue, "tenant-max-queue", 0,
+		"per-tenant queued-job cap (0 = no queueing: reject at saturation)")
+	fs.StringVar(&cfg.tenantWeights, "tenant-weights", "",
+		"per-tenant fair-share weights, e.g. team-a=3,team-b=1 (unlisted tenants weigh 1)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -145,11 +174,20 @@ func (cfg *config) validate() error {
 		{cfg.defaults.BatchSize >= 0, fmt.Sprintf("-batch-size must be non-negative, got %d", cfg.defaults.BatchSize)},
 		{cfg.retryAttempts >= 0, fmt.Sprintf("-retry must be non-negative, got %d", cfg.retryAttempts)},
 		{cfg.retryBase > 0, fmt.Sprintf("-retry-base must be positive, got %s", cfg.retryBase)},
+		{cfg.tenantSubmitRate >= 0, fmt.Sprintf("-tenant-submit-rate must be non-negative, got %g", cfg.tenantSubmitRate)},
+		{cfg.tenantSubmitBurst > 0, fmt.Sprintf("-tenant-submit-burst must be positive, got %d", cfg.tenantSubmitBurst)},
+		{cfg.tenantEvalRate >= 0, fmt.Sprintf("-tenant-eval-rate must be non-negative, got %g", cfg.tenantEvalRate)},
+		{cfg.tenantEvalBurst > 0, fmt.Sprintf("-tenant-eval-burst must be positive, got %d", cfg.tenantEvalBurst)},
+		{cfg.tenantMaxJobs >= 0, fmt.Sprintf("-tenant-max-jobs must be non-negative, got %d", cfg.tenantMaxJobs)},
+		{cfg.tenantMaxQueue >= 0, fmt.Sprintf("-tenant-max-queue must be non-negative, got %d", cfg.tenantMaxQueue)},
 	}
 	for _, c := range checks {
 		if !c.ok {
 			return errors.New(c.msg)
 		}
+	}
+	if _, err := parseTenantWeights(cfg.tenantWeights); err != nil {
+		return fmt.Errorf("-tenant-weights: %w", err)
 	}
 	if cfg.chaos != "" {
 		if _, err := fault.ParseSpec(cfg.chaos, cfg.chaosSeed); err != nil {
@@ -157,6 +195,52 @@ func (cfg *config) validate() error {
 		}
 	}
 	return nil
+}
+
+// parseTenantWeights parses "name=weight,name=weight" into per-tenant
+// fair-share weights.
+func parseTenantWeights(spec string) (map[string]int, error) {
+	out := make(map[string]int)
+	if spec == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("entry %q is not name=weight", part)
+		}
+		w, err := strconv.Atoi(val)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("tenant %q needs a positive integer weight, got %q", name, val)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// tenancy assembles the per-tenant policy from the flags: every tenant
+// gets the default limits, tenants named in -tenant-weights override the
+// fair-share weight only.
+func (cfg *config) tenancy() serve.TenantPolicy {
+	def := serve.TenantLimits{
+		MaxConcurrentJobs: cfg.tenantMaxJobs,
+		MaxQueuedJobs:     cfg.tenantMaxQueue,
+		SubmitRate:        cfg.tenantSubmitRate,
+		SubmitBurst:       cfg.tenantSubmitBurst,
+		EvalRate:          cfg.tenantEvalRate,
+		EvalBurst:         cfg.tenantEvalBurst,
+	}
+	policy := serve.TenantPolicy{Default: def}
+	weights, _ := parseTenantWeights(cfg.tenantWeights) // validated at startup
+	for name, w := range weights {
+		limits := def
+		limits.Weight = w
+		if policy.Tenants == nil {
+			policy.Tenants = make(map[string]serve.TenantLimits)
+		}
+		policy.Tenants[name] = limits
+	}
+	return policy
 }
 
 // run brings the daemon up and blocks until ctx is cancelled (SIGINT /
@@ -194,9 +278,34 @@ func run(ctx context.Context, cfg *config, ready func(addr, opsAddr string)) err
 	mcfg.Engines = engines.Engine
 	mcfg.Cache = engines.Cache()
 	mcfg.Log = srvLog
+	mcfg.Tenancy = cfg.tenancy()
+	var walRecords []wal.Record
+	if cfg.walDir != "" {
+		walLog, records, err := wal.Open(cfg.walDir)
+		if err != nil {
+			return fmt.Errorf("opening wal: %w", err)
+		}
+		mcfg.WAL = walLog // the manager owns it: Shutdown compacts and closes
+		walRecords = records
+		logger.Info("durable jobs enabled",
+			"wal", walLog.Path(), "records", len(records),
+			"dropped", walLog.Stats().Dropped)
+	}
 	mgr, err := serve.NewManager(mcfg)
 	if err != nil {
 		return err
+	}
+	if mcfg.WAL != nil {
+		if err := mgr.Recover(walRecords); err != nil {
+			return fmt.Errorf("replaying wal: %w", err)
+		}
+		c := mgr.Counters()
+		if c.WALReplayedJobs+c.WALResumedJobs > 0 {
+			logger.Info("journal replayed",
+				"history_jobs", c.WALReplayedJobs,
+				"resumed_jobs", c.WALResumedJobs,
+				"restored_rows", c.WALReplayedRows)
+		}
 	}
 
 	ln, err := net.Listen("tcp", cfg.addr)

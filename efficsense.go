@@ -35,6 +35,7 @@ import (
 	"efficsense/internal/power"
 	"efficsense/internal/search"
 	"efficsense/internal/tech"
+	"efficsense/internal/wal"
 )
 
 // Technology and system parameters (paper Table III).
@@ -360,3 +361,34 @@ func NewSuite(opts SuiteOptions) *Suite { return experiments.NewSuite(opts) }
 func SNRVersusReference(ref, out []float64) float64 {
 	return dsp.SNRVersusReference(ref, out)
 }
+
+// Durable job journal (crash-safe append-only JSONL; see DESIGN.md §13).
+// The efficsensed daemon journals job specs and result rows through it
+// so interrupted sweeps resume without re-evaluating finished points;
+// the same primitives are exported for embedders that run the serving
+// layer in-process.
+type (
+	// WALRecord is one journaled entry: an opaque payload under a kind
+	// discriminator, protected by a CRC32 checksum.
+	WALRecord = wal.Record
+	// WALLog is an open journal: goroutine-safe appends to one file.
+	WALLog = wal.Log
+	// WALStats is a journal's point-in-time accounting (appends, fsyncs,
+	// dropped records, file size).
+	WALStats = wal.Stats
+)
+
+// OpenWAL opens (creating if needed) the journal in dir, replays every
+// intact record — truncating a torn tail, skipping corrupt records —
+// and returns the log positioned for appending.
+func OpenWAL(dir string) (*WALLog, []WALRecord, error) { return wal.Open(dir) }
+
+// EncodeWALRecord renders one record as a self-checking JSONL line;
+// DecodeWALRecord parses and checksum-verifies one line back.
+func EncodeWALRecord(kind string, payload interface{}) ([]byte, error) {
+	return wal.Encode(kind, payload)
+}
+
+// DecodeWALRecord parses one journal line, verifying its checksum. It
+// never panics on hostile input.
+func DecodeWALRecord(line []byte) (WALRecord, error) { return wal.Decode(line) }

@@ -1,0 +1,415 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"efficsense/internal/cache"
+	"efficsense/internal/core"
+	"efficsense/internal/dse"
+	"efficsense/internal/experiments"
+	"efficsense/internal/wal"
+)
+
+// newDurableServer wires a Manager over its own engine, cache and WAL —
+// the daemon's -wal-dir topology. The caller drives Recover itself (the
+// replayed records are under test); cleanup shuts the manager down,
+// which compacts and closes the journal.
+func newDurableServer(t *testing.T, walLog *wal.Log, eval dse.PointEvaluator, cfg ManagerConfig) (*httptest.Server, *Manager) {
+	t.Helper()
+	store := cache.New(256)
+	eng, err := dse.NewSweep(eval,
+		dse.WithCache(store), dse.WithWorkers(1), dse.WithEvaluatorID("test-eval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engines = func(opts experiments.Options) (Engine, error) { return eng, nil }
+	cfg.Cache = store
+	cfg.WAL = walLog
+	mgr, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(mgr, nil))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+		ts.Close()
+	})
+	return ts, mgr
+}
+
+// gatedEval evaluates like slowEval but blocks from call limit+1 on
+// until its gate closes, signalling blocked once — the deterministic
+// stand-in for "the process was killed after k points".
+type gatedEval struct {
+	calls   atomic.Int64
+	limit   int64
+	gate    chan struct{}
+	blocked chan struct{}
+}
+
+func (e *gatedEval) Evaluate(p core.DesignPoint) core.Result {
+	if e.calls.Add(1) > e.limit {
+		select {
+		case e.blocked <- struct{}{}:
+		default:
+		}
+		<-e.gate
+	}
+	return (&slowEval{}).Evaluate(p)
+}
+
+// fetchNDJSON downloads a finished job's results stream.
+func fetchNDJSON(t *testing.T, base, statusURL string) []byte {
+	t.Helper()
+	resp, err := http.Get(base + statusURL + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("results status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestChaosRestartResumesMidSweep is the durability acceptance test: a
+// sweep is killed after three of six points (the journal file is copied
+// byte-for-byte — the WAL uses unbuffered appends, so the copy IS the
+// SIGKILL disk image), a new manager over the copied journal resumes
+// it, evaluates only the complement, and the finished result stream is
+// bit-identical to an uninterrupted run's. The replay is accounted in
+// /metrics.
+func TestChaosRestartResumesMidSweep(t *testing.T) {
+	const totalPoints, journaled = 6, 3
+	req := SweepRequest{Space: &SpaceSpec{
+		Architectures: []string{"baseline"}, Bits: []int{4, 6}, NoiseSteps: 3,
+	}}
+
+	// Phase 1: run the sweep and "crash" after three journaled rows.
+	dirA := t.TempDir()
+	walA, recsA, err := wal.Open(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsA) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recsA))
+	}
+	evalA := &gatedEval{limit: journaled, gate: make(chan struct{}), blocked: make(chan struct{}, 1)}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(evalA.gate)
+		}
+	}
+	defer release()
+	_, mgrA := newDurableServer(t, walA, evalA, ManagerConfig{MaxConcurrentJobs: 1})
+
+	jobA, err := mgrA.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-evalA.blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("evaluator never reached the gate")
+	}
+	// The worker is blocked inside point journaled+1; wait until the
+	// completion hooks (which append the row records) of the first
+	// `journaled` points have all run before snapshotting the journal.
+	deadlineA := time.Now().Add(10 * time.Second)
+	for jobA.Status().Progress.Done < journaled {
+		if time.Now().After(deadlineA) {
+			t.Fatalf("only %d rows journaled before the crash point", jobA.Status().Progress.Done)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snapshot, err := os.ReadFile(filepath.Join(dirA, wal.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: the reference — the same sweep, uninterrupted, with no
+	// journal at all.
+	_, mgrRef := newDurableServer(t, nil, &slowEval{}, ManagerConfig{})
+	jobRef, err := mgrRef.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 3: restart against the copied journal.
+	dirB := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dirB, wal.FileName), snapshot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	walB, recsB, err := wal.Open(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recsB) != 1+journaled { // the job record plus its rows
+		t.Fatalf("journal snapshot held %d records, want %d", len(recsB), 1+journaled)
+	}
+	evalB := &slowEval{}
+	srvB, mgrB := newDurableServer(t, walB, evalB, ManagerConfig{MaxConcurrentJobs: 1})
+	if err := mgrB.Recover(recsB); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := mgrB.Job(jobA.ID)
+	if err != nil {
+		t.Fatalf("resumed job %s not tracked: %v", jobA.ID, err)
+	}
+	stB := waitTerminal(t, srvB.URL, resumed.ID)
+	if stB.State != string(StateCompleted) {
+		t.Fatalf("resumed job state %q: %+v", stB.State, stB)
+	}
+	if stB.Progress.Done != totalPoints || stB.Progress.Total != totalPoints {
+		t.Fatalf("resumed progress %d/%d, want %d/%d",
+			stB.Progress.Done, stB.Progress.Total, totalPoints, totalPoints)
+	}
+
+	// The journaled rows were restored, never re-evaluated.
+	if got := evalB.calls.Load(); got != totalPoints-journaled {
+		t.Fatalf("restarted evaluator ran %d points, want %d (the complement)",
+			got, totalPoints-journaled)
+	}
+
+	// Bit-identical to the uninterrupted run.
+	deadline := time.Now().Add(10 * time.Second)
+	for !jobRef.State().Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatal("reference sweep never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	var ref bytes.Buffer
+	if err := experiments.NDJSONResults(&ref, jobRef.Results()); err != nil {
+		t.Fatal(err)
+	}
+	got := fetchNDJSON(t, srvB.URL, "/v1/sweeps/"+resumed.ID)
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Fatalf("resumed results differ from the uninterrupted run:\nresumed:\n%s\nreference:\n%s", got, ref.Bytes())
+	}
+
+	// The replay is accounted in /metrics.
+	metrics := fetchMetrics(t, srvB.URL)
+	if v := metricValue(t, metrics, "efficsense_wal_resumed_jobs_total"); v != 1 {
+		t.Fatalf("efficsense_wal_resumed_jobs_total = %g, want 1", v)
+	}
+	if v := metricValue(t, metrics, "efficsense_wal_replayed_rows_total"); v != journaled {
+		t.Fatalf("efficsense_wal_replayed_rows_total = %g, want %d", v, journaled)
+	}
+	if v := metricValue(t, metrics, "efficsense_wal_appends_total"); v < totalPoints-journaled {
+		t.Fatalf("efficsense_wal_appends_total = %g, want at least the fresh rows", v)
+	}
+
+	// Unblock the "crashed" manager so its cleanup can drain.
+	release()
+}
+
+// journalLines hand-writes a journal file from encoded records (plus
+// optional raw tail bytes), bypassing the Log — the way to fabricate
+// crash artefacts and future-version records.
+func journalLines(t *testing.T, dir string, lines ...[]byte) {
+	t.Helper()
+	journal := bytes.Join(lines, nil)
+	if err := os.WriteFile(filepath.Join(dir, wal.FileName), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func encodeRecord(t *testing.T, kind string, payload interface{}) []byte {
+	t.Helper()
+	line, err := wal.Encode(kind, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return line
+}
+
+// twoPointSpace is a 2-design-point sweep space whose points (and their
+// journal rows) the corner tests construct by hand.
+var twoPointSpace = &SpaceSpec{
+	Architectures: []string{"baseline"}, Bits: []int{4, 6}, LNANoise: []float64{1.0},
+}
+
+func twoPoints(t *testing.T) []core.DesignPoint {
+	t.Helper()
+	space, err := twoPointSpace.space(experiments.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := space.Points()
+	if len(pts) != 2 {
+		t.Fatalf("fixture space has %d points, want 2", len(pts))
+	}
+	return pts
+}
+
+func sweepJobRecord(id string) walJobRecord {
+	return walJobRecord{
+		ID: id, Kind: jobKindSweep, Tenant: DefaultTenant,
+		Created: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC),
+		Sweep:   &SweepRequest{Space: twoPointSpace},
+	}
+}
+
+// TestWALReplayTruncatedTail: a journal whose final line was torn
+// mid-append (the crash signature) resumes the job from the rows that
+// survived; the torn row is simply re-evaluated.
+func TestWALReplayTruncatedTail(t *testing.T) {
+	pts := twoPoints(t)
+	eval := &slowEval{}
+	row0 := encodeRecord(t, walKindRow,
+		walRowRecord{Job: "sweep-1", I: 0, Result: walResultOf(eval.Evaluate(pts[0]))})
+	row1 := encodeRecord(t, walKindRow,
+		walRowRecord{Job: "sweep-1", I: 1, Result: walResultOf(eval.Evaluate(pts[1]))})
+	eval.calls.Store(0)
+
+	dir := t.TempDir()
+	journalLines(t, dir,
+		encodeRecord(t, walKindJob, sweepJobRecord("sweep-1")),
+		row0,
+		row1[:len(row1)/2]) // torn mid-append: no newline, half a record
+	walLog, recs, err := wal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("open replayed %d records, want 2 (torn tail dropped)", len(recs))
+	}
+	if st := walLog.Stats(); st.Dropped != 1 {
+		t.Fatalf("open dropped %d records, want 1", st.Dropped)
+	}
+
+	srv, mgr := newDurableServer(t, walLog, eval, ManagerConfig{})
+	if err := mgr.Recover(recs); err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, srv.URL, "sweep-1")
+	if st.State != string(StateCompleted) || st.Progress.Done != 2 {
+		t.Fatalf("resumed job: %+v", st)
+	}
+	if got := eval.calls.Load(); got != 1 {
+		t.Fatalf("evaluator ran %d points, want 1 (only the torn row)", got)
+	}
+	if v := metricValue(t, fetchMetrics(t, srv.URL), "efficsense_wal_dropped_records_total"); v != 1 {
+		t.Fatalf("efficsense_wal_dropped_records_total = %g, want 1", v)
+	}
+}
+
+// TestWALReplayUnknownKinds: records and jobs of kinds this binary does
+// not know — a journal written by a future version — are skipped with a
+// warning, never a startup failure, and the known jobs around them
+// still replay.
+func TestWALReplayUnknownKinds(t *testing.T) {
+	dir := t.TempDir()
+	futureJob := walJobRecord{ID: "quantum-7", Kind: "quantum",
+		Created: time.Date(2026, 8, 8, 0, 0, 0, 0, time.UTC)}
+	journalLines(t, dir,
+		encodeRecord(t, "telemetry", map[string]int{"v": 2}), // unknown record kind
+		encodeRecord(t, walKindJob, futureJob),               // unknown job kind
+		encodeRecord(t, walKindJob, sweepJobRecord("sweep-3")),
+	)
+	walLog, recs, err := wal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("open replayed %d records, want 3", len(recs))
+	}
+
+	eval := &slowEval{}
+	srv, mgr := newDurableServer(t, walLog, eval, ManagerConfig{})
+	if err := mgr.Recover(recs); err != nil {
+		t.Fatalf("recovery must skip unknown kinds, not fail: %v", err)
+	}
+	if _, err := mgr.Job("quantum-7"); err == nil {
+		t.Fatal("job of unknown kind was tracked")
+	}
+	st := waitTerminal(t, srv.URL, "sweep-3")
+	if st.State != string(StateCompleted) {
+		t.Fatalf("known job after unknown records: %+v", st)
+	}
+	// The daemon keeps serving: new submissions still work, with IDs
+	// bumped past every replayed one — including the skipped future-kind
+	// job, whose ID a newer version may still be using.
+	resp := postJSON(t, srv.URL+"/v1/sweeps", smallSweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-recovery submission: status %d", resp.StatusCode)
+	}
+	if id := decodeStatus(t, resp).ID; id != "sweep-8" {
+		t.Fatalf("post-recovery job ID %q, want sweep-8 (sequence past quantum-7)", id)
+	}
+}
+
+// TestWALReplayIdempotent: replaying a doubled journal (every record
+// twice — the shape of an interrupted compaction retry) yields one job
+// table, not two, and terminal history replays without touching the
+// evaluator.
+func TestWALReplayIdempotent(t *testing.T) {
+	pts := twoPoints(t)
+	ref := &slowEval{}
+	lines := [][]byte{
+		encodeRecord(t, walKindJob, sweepJobRecord("sweep-1")),
+		encodeRecord(t, walKindRow,
+			walRowRecord{Job: "sweep-1", I: 0, Result: walResultOf(ref.Evaluate(pts[0]))}),
+		encodeRecord(t, walKindRow,
+			walRowRecord{Job: "sweep-1", I: 1, Result: walResultOf(ref.Evaluate(pts[1]))}),
+		encodeRecord(t, walKindState, walStateRecord{Job: "sweep-1", State: string(StateCompleted)}),
+	}
+	dir := t.TempDir()
+	journalLines(t, dir, append(append([][]byte{}, lines...), lines...)...)
+	walLog, recs, err := wal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2*len(lines) {
+		t.Fatalf("open replayed %d records, want %d", len(recs), 2*len(lines))
+	}
+
+	eval := &slowEval{}
+	srv, mgr := newDurableServer(t, walLog, eval, ManagerConfig{})
+	if err := mgr.Recover(recs); err != nil {
+		t.Fatal(err)
+	}
+	jobs := mgr.Jobs()
+	if len(jobs) != 1 {
+		t.Fatalf("doubled journal produced %d jobs, want 1", len(jobs))
+	}
+	st := waitTerminal(t, srv.URL, "sweep-1")
+	if st.State != string(StateCompleted) || st.Progress.Done != 2 {
+		t.Fatalf("replayed history: %+v", st)
+	}
+	if got := eval.calls.Load(); got != 0 {
+		t.Fatalf("terminal history replay ran %d evaluations, want 0", got)
+	}
+	// The history is fully queryable: the results stream renders the
+	// journaled rows, identical to what the original run produced.
+	var want bytes.Buffer
+	if err := experiments.NDJSONResults(&want, []core.Result{
+		ref.Evaluate(pts[0]), ref.Evaluate(pts[1])}); err != nil {
+		t.Fatal(err)
+	}
+	if got := fetchNDJSON(t, srv.URL, "/v1/sweeps/sweep-1"); !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("replayed results differ:\n%s\nwant:\n%s", got, want.Bytes())
+	}
+	if v := metricValue(t, fetchMetrics(t, srv.URL), "efficsense_wal_replayed_jobs_total"); v != 1 {
+		t.Fatalf("efficsense_wal_replayed_jobs_total = %g, want 1", v)
+	}
+}

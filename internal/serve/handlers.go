@@ -96,7 +96,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		reqID = obs.NewRequestID()
 	}
 	w.Header().Set("X-Request-ID", reqID)
-	r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+	ctx := obs.WithRequestID(r.Context(), reqID)
+	ctx = WithTenant(ctx, tenantName(r.Header.Get(TenantHeader)))
+	r = r.WithContext(ctx)
 
 	rec := &statusRecorder{ResponseWriter: w}
 	start := time.Now()
@@ -224,7 +226,13 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	result, cached, err := s.mgr.Evaluate(r.Context(), req.Options, dp, timeout)
 	switch {
 	case err == nil:
+	case errors.Is(err, ErrRateLimited):
+		retry := retrySeconds(retryAfter(err, time.Second))
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
+		s.error(w, r, http.StatusTooManyRequests, CodeRateLimited, "%v (retry after ~%ds)", err, retry)
+		return
 	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", fmt.Sprint(retrySeconds(drainRetryAfter)))
 		s.error(w, r, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
@@ -271,7 +279,13 @@ func (s *Server) evaluateBatch(w http.ResponseWriter, r *http.Request, req Evalu
 	case errors.Is(err, ErrBadRequest):
 		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
+	case errors.Is(err, ErrRateLimited):
+		retry := retrySeconds(retryAfter(err, time.Second))
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
+		s.error(w, r, http.StatusTooManyRequests, CodeRateLimited, "%v (retry after ~%ds)", err, retry)
+		return
 	case errors.Is(err, ErrShuttingDown):
+		w.Header().Set("Retry-After", fmt.Sprint(retrySeconds(drainRetryAfter)))
 		s.error(w, r, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
 		return
 	case errors.Is(err, context.Canceled):
@@ -294,28 +308,49 @@ func (s *Server) evaluateBatch(w http.ResponseWriter, r *http.Request, req Evalu
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// retrySeconds rounds an honest Retry-After up to whole seconds (the
+// header's unit), never below 1 — a client that retries instantly would
+// just be rejected again.
+func retrySeconds(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // submitError maps Submit/SubmitSearch sentinel errors onto the wire,
-// reporting whether an error response was written.
+// reporting whether an error response was written. Every backpressure
+// response — rate-limited (429), saturated (429) and draining (503)
+// alike — carries an honest Retry-After so clients never guess.
 func (s *Server) submitError(w http.ResponseWriter, r *http.Request, err error) bool {
 	switch {
 	case err == nil:
 		return false
 	case errors.Is(err, ErrBadRequest):
 		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+	case errors.Is(err, ErrRateLimited):
+		retry := retrySeconds(retryAfter(err, time.Second))
+		w.Header().Set("Retry-After", fmt.Sprint(retry))
+		s.error(w, r, http.StatusTooManyRequests, CodeRateLimited, "%v (retry after ~%ds)", err, retry)
 	case errors.Is(err, ErrSaturated):
-		retry := int(s.mgr.RetryAfter().Round(time.Second) / time.Second)
-		if retry < 1 {
-			retry = 1
-		}
+		retry := retrySeconds(retryAfter(err, s.mgr.RetryAfter()))
 		w.Header().Set("Retry-After", fmt.Sprint(retry))
 		s.error(w, r, http.StatusTooManyRequests, CodeSaturated, "%v (retry after ~%ds)", err, retry)
 	case errors.Is(err, ErrShuttingDown):
+		// A draining daemon is typically restarting: tell the client when
+		// trying again is worthwhile instead of shipping a bare 503.
+		w.Header().Set("Retry-After", fmt.Sprint(retrySeconds(drainRetryAfter)))
 		s.error(w, r, http.StatusServiceUnavailable, CodeShuttingDown, "%v", err)
 	default:
 		s.error(w, r, http.StatusInternalServerError, CodeInternal, "%v", err)
 	}
 	return true
 }
+
+// drainRetryAfter is the Retry-After a draining daemon advertises: long
+// enough for a restart, short enough that clients reconnect promptly.
+const drainRetryAfter = 10 * time.Second
 
 // handleSubmit accepts an asynchronous sweep: 202 + Location on success,
 // 429 + Retry-After when every slot is busy.

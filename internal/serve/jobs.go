@@ -18,6 +18,7 @@ import (
 	"efficsense/internal/obs"
 	"efficsense/internal/report"
 	"efficsense/internal/search"
+	"efficsense/internal/wal"
 )
 
 // JobState is the lifecycle of an asynchronous sweep job.
@@ -89,6 +90,18 @@ type ManagerConfig struct {
 	// submitting request's request_id so a slow sweep correlates back to
 	// the call that created it. nil disables lifecycle logging.
 	Log *slog.Logger
+	// Tenancy shapes traffic per tenant (API key): submission and
+	// evaluation token buckets, concurrency and queue quotas, and
+	// weighted-fair dispatch of queued jobs. The zero value reproduces
+	// the pre-tenancy contract: one default tenant, no rate limits, no
+	// queueing.
+	Tenancy TenantPolicy
+	// WAL, when set, makes jobs durable: specs and completed result rows
+	// are journaled (fsync on job-state transitions), Recover replays
+	// terminal jobs as history and resumes in-flight sweeps from their
+	// last journaled row, and Shutdown compacts the journal. The Manager
+	// owns the log once passed: Shutdown closes it.
+	WAL *wal.Log
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -110,13 +123,14 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	return c
 }
 
-// Manager owns the server's sweep jobs: it bounds their concurrency with
-// a slot semaphore, runs each against the shared engine layer, buffers
-// per-point events for SSE replay, evicts finished jobs after a TTL and
-// drains cleanly on shutdown.
+// Manager owns the server's sweep jobs: it admits them through
+// per-tenant token buckets and quotas, dispatches queued work through a
+// weighted-fair scheduler into a bounded pool of job slots, runs each
+// job against the shared engine layer, buffers per-point events for SSE
+// replay, journals specs and rows to the WAL (when configured), evicts
+// finished jobs after a TTL and drains cleanly on shutdown.
 type Manager struct {
-	cfg   ManagerConfig
-	slots chan struct{}
+	cfg ManagerConfig
 
 	mu      sync.Mutex
 	jobs    map[string]*Job
@@ -124,6 +138,20 @@ type Manager struct {
 	seq     int64
 	closed  bool
 	wg      sync.WaitGroup
+	// Traffic shaping: per-tenant state (buckets, quotas, queues), the
+	// count of occupied job slots, the stride scheduler's virtual time,
+	// and the TTL-eviction timers (stopped on Shutdown so a drained
+	// manager leaks no timers into embedders or tests).
+	tenants     map[string]*tenantState
+	runningJobs int
+	vtime       float64
+	timers      map[string]*time.Timer
+	// Durability counters (efficsense_wal_* series): jobs replayed as
+	// history, sweeps resumed mid-flight, rows restored from the journal
+	// instead of re-evaluated.
+	walReplayedJobs atomic.Int64
+	walResumedJobs  atomic.Int64
+	walReplayedRows atomic.Int64
 
 	submitted, rejected  atomic.Int64
 	completed, cancelled atomic.Int64
@@ -146,9 +174,10 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	cfg = cfg.withDefaults()
 	return &Manager{
 		cfg:     cfg,
-		slots:   make(chan struct{}, cfg.MaxConcurrentJobs),
 		jobs:    make(map[string]*Job),
 		engines: make(map[Engine]struct{}),
+		tenants: make(map[string]*tenantState),
+		timers:  make(map[string]*time.Timer),
 	}, nil
 }
 
@@ -197,6 +226,18 @@ type Job struct {
 	// it, so "which call started this sweep" is always answerable.
 	requestID string
 	kind      string
+	// tenant is the submitting tenant's identity (API key, or
+	// DefaultTenant), immutable after Submit: quota release, fairness
+	// accounting and the status response all key on it.
+	tenant string
+	// replayed holds WAL-journaled results by original point index for a
+	// resumed sweep: those points are never re-evaluated, the engine only
+	// runs the complement. Immutable after Recover; nil for fresh jobs.
+	replayed map[int]core.Result
+	// walJob is the journaled job record (nil when durability is off),
+	// re-emitted verbatim by the clean-shutdown compaction. Immutable
+	// after Submit/Recover.
+	walJob *walJobRecord
 
 	opts   experiments.Options
 	space  dse.Space
@@ -251,12 +292,13 @@ func (m *Manager) logJob(j *Job, msg string, attrs ...slog.Attr) {
 	m.cfg.Log.LogAttrs(context.Background(), slog.LevelInfo, msg, base...)
 }
 
-// Submit validates the request, claims a job slot and starts the sweep.
-// It never blocks on a slot: when every slot is busy the submission is
-// rejected with ErrSaturated and the client retries after RetryAfter.
-// ctx is the submitting request's context — its request ID (if any) is
-// recorded on the job; the sweep itself outlives the request and is NOT
-// cancelled when ctx ends.
+// Submit validates the request, admits it through the tenant's shaping
+// pipeline (token bucket, concurrency and queue quotas) and enqueues the
+// sweep for weighted-fair dispatch. It never blocks: a submission the
+// tenant may not queue is rejected immediately with an honest
+// Retry-After. ctx is the submitting request's context — its request ID
+// and tenant are recorded on the job; the sweep itself outlives the
+// request and is NOT cancelled when ctx ends.
 func (m *Manager) Submit(ctx context.Context, req SweepRequest) (*Job, error) {
 	opts := req.Options.apply(m.cfg.Defaults)
 	space, err := req.Space.space(opts)
@@ -268,38 +310,50 @@ func (m *Manager) Submit(ctx context.Context, req SweepRequest) (*Job, error) {
 			ErrBadRequest, n, m.cfg.MaxSweepPoints)
 	}
 	points := space.Points()
+	tenant := TenantOf(ctx)
 
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
-	select {
-	case m.slots <- struct{}{}:
-	default:
+	ts := m.tenantLocked(tenant)
+	if err := m.admitJobLocked(ts, time.Now()); err != nil {
 		m.mu.Unlock()
-		m.rejected.Add(1)
-		return nil, ErrSaturated
+		return nil, err
 	}
 	m.seq++
 	job := m.newJob(opts, space, points)
 	job.ID = fmt.Sprintf("sweep-%d", m.seq)
 	job.requestID = obs.RequestID(ctx)
+	job.tenant = tenant
 	m.jobs[job.ID] = job
 	m.submitted.Add(1)
+	ts.submitted++
 	m.wg.Add(1)
+	m.journalJob(job, &req, nil)
+	m.logJob(job, "sweep accepted",
+		slog.Int("points", len(points)), slog.String("tenant", tenant))
+	m.enqueueLocked(ts, job)
 	m.mu.Unlock()
-
-	m.logJob(job, "sweep accepted", slog.Int("points", len(points)))
-	go m.run(job)
 	return job, nil
+}
+
+// runJob is the scheduler's dispatch target: one goroutine per job,
+// branching on the job kind.
+func (m *Manager) runJob(job *Job) {
+	if job.kind == jobKindSearch {
+		m.runSearch(job)
+		return
+	}
+	m.run(job)
 }
 
 // run owns a job goroutine end to end: resolve the engine (which may
 // train a detector on a cold option set), sweep, distil the outcome.
 func (m *Manager) run(job *Job) {
 	defer m.wg.Done()
-	defer func() { <-m.slots }()
+	defer m.release(job)
 	// A panic anywhere in the job goroutine (engine resolution, the
 	// serve/job failpoint, a bug in outcome distillation) must degrade
 	// this one job to failed, never take the daemon down. finish is
@@ -333,8 +387,62 @@ func (m *Manager) run(job *Job) {
 	job.setState(StateRunning)
 	m.logJob(job, "sweep started", slog.Int("points", len(job.points)))
 
-	rs, err := engine.RunWithHook(job.ctx, job.points, job.onPoint)
+	// A resumed sweep evaluates only the complement of its journaled
+	// rows: remap maps complement indices back to original point indices
+	// so events, journaled rows and the merged result cloud all speak the
+	// original space. For fresh jobs remap is nil and the hook is a thin
+	// journaling wrapper around onPoint.
+	pts := job.points
+	var remap []int
+	base := len(job.replayed)
+	if base > 0 {
+		remap = make([]int, 0, len(job.points)-base)
+		pts = make([]core.DesignPoint, 0, len(job.points)-base)
+		for i, p := range job.points {
+			if _, ok := job.replayed[i]; !ok {
+				remap = append(remap, i)
+				pts = append(pts, p)
+			}
+		}
+		m.logJob(job, "sweep resumed",
+			slog.Int("replayed_rows", base), slog.Int("remaining", len(pts)))
+	}
+	// got captures results by original index; the hook runs under the
+	// engine's completion lock, so no extra synchronisation is needed.
+	got := make(map[int]core.Result, len(pts))
+	hook := func(ev dse.Event) {
+		orig := ev.Index
+		if remap != nil && ev.Index >= 0 && ev.Index < len(remap) {
+			orig = remap[ev.Index]
+		}
+		got[orig] = ev.Result
+		m.journalRow(job, orig, ev.Result)
+		ev.Index = orig
+		ev.Done += base
+		ev.Total = job.total
+		job.onPoint(ev)
+	}
+
+	rs, err := engine.RunWithHook(job.ctx, pts, hook)
+	if base > 0 {
+		rs = mergeResults(job, got)
+	}
 	m.finish(job, rs, err)
+}
+
+// mergeResults assembles a resumed job's result cloud — journaled rows
+// plus freshly evaluated ones — in original point order, skipping
+// indices that never completed (cancellation mid-resume).
+func mergeResults(job *Job, got map[int]core.Result) []core.Result {
+	out := make([]core.Result, 0, len(job.replayed)+len(got))
+	for i := 0; i < job.total; i++ {
+		if r, ok := job.replayed[i]; ok {
+			out = append(out, r)
+		} else if r, ok := got[i]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // onPoint is the engine's per-run hook: it runs under the engine's
@@ -399,7 +507,20 @@ func (m *Manager) finish(job *Job, rs []core.Result, err error) {
 	}
 	m.logJob(job, "sweep finished", attrs...)
 
-	time.AfterFunc(m.cfg.JobTTL, func() { m.evict(job.ID) })
+	m.journalFinish(job)
+	m.scheduleEvict(job)
+}
+
+// scheduleEvict arms (and tracks) the job's TTL-eviction timer. A
+// draining manager schedules none: Shutdown stops every tracked timer,
+// and a timer armed after that would leak into the embedder.
+func (m *Manager) scheduleEvict(job *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.timers[job.ID] = time.AfterFunc(m.cfg.JobTTL, func() { m.evict(job.ID) })
 }
 
 // finishLocked is finish's under-lock half; the deferred unlock keeps
@@ -448,10 +569,14 @@ func (m *Manager) finishLocked(job *Job, rs []core.Result, err error, errs int) 
 }
 
 // evict forgets a finished job (jobs cannot leave a terminal state, so
-// checking once is enough).
+// checking once is enough) and drops its TTL timer.
 func (m *Manager) evict(id string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if t, ok := m.timers[id]; ok {
+		t.Stop()
+		delete(m.timers, id)
+	}
 	if j, ok := m.jobs[id]; ok && j.State().Terminal() {
 		delete(m.jobs, id)
 	}
@@ -531,6 +656,7 @@ func (j *Job) Status() JobStatus {
 		ID:              j.ID,
 		Kind:            j.kind,
 		State:           string(j.state),
+		Tenant:          j.tenant,
 		RequestID:       j.requestID,
 		CancelRequested: j.cancelRequested && !j.state.Terminal(),
 		CreatedAt:       j.created,
@@ -571,6 +697,7 @@ func (j *Job) Summary() JobSummary {
 		ID:        j.ID,
 		Kind:      j.kind,
 		State:     string(j.state),
+		Tenant:    j.tenant,
 		RequestID: j.requestID,
 		CreatedAt: j.created,
 		Progress:  ProgressJSON{Done: j.done, Total: j.total},
@@ -625,8 +752,17 @@ func (j *Job) estimateRemaining() (time.Duration, bool) {
 // the smallest remaining-time estimate over the running jobs, clamped to
 // [1s, 5m]; 5s when nothing is measurable yet.
 func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.retryAfterLocked()
+}
+
+// retryAfterLocked is RetryAfter under an already-held manager lock (the
+// admission pipeline computes honest Retry-After values there). Job
+// locks nest inside the manager lock, so estimateRemaining is safe here.
+func (m *Manager) retryAfterLocked() time.Duration {
 	best := time.Duration(math.MaxInt64)
-	for _, j := range m.Jobs() {
+	for _, j := range m.jobs {
 		if est, ok := j.estimateRemaining(); ok && est < best {
 			best = est
 		}
@@ -648,6 +784,9 @@ func (m *Manager) Evaluate(ctx context.Context, spec *OptionsSpec, p core.Design
 	m.mu.Unlock()
 	if closed {
 		return core.Result{}, false, ErrShuttingDown
+	}
+	if err := m.admitEval(ctx, 1); err != nil {
+		return core.Result{}, false, err
 	}
 	m.evaluations.Add(1)
 	opts := spec.apply(m.cfg.Defaults)
@@ -688,6 +827,9 @@ func (m *Manager) EvaluateBatch(ctx context.Context, spec *OptionsSpec, pts []co
 	}
 	if max := m.cfg.MaxSweepPoints; len(pts) > max {
 		return nil, nil, fmt.Errorf("%w: batch of %d points exceeds the limit %d", ErrBadRequest, len(pts), max)
+	}
+	if err := m.admitEval(ctx, len(pts)); err != nil {
+		return nil, nil, err
 	}
 	m.evaluations.Add(int64(len(pts)))
 	opts := spec.apply(m.cfg.Defaults)
@@ -759,6 +901,16 @@ type Counters struct {
 	// and EngineBatchPoints the cache-miss points they carried.
 	EngineBatches     int64
 	EngineBatchPoints int64
+	// WAL accounting (zero when durability is off): startup replay
+	// (terminal jobs restored as history, in-flight sweeps resumed, rows
+	// restored instead of re-evaluated) plus the journal's own stats.
+	WALReplayedJobs int64
+	WALResumedJobs  int64
+	WALReplayedRows int64
+	WALAppends      int64
+	WALFsyncs       int64
+	WALDropped      int64
+	WALSizeBytes    int64
 	// EvalHist is the eval-duration histogram merged across every engine
 	// the manager has resolved — the efficsense_eval_duration_seconds
 	// exposition.
@@ -793,6 +945,14 @@ func (m *Manager) Counters() Counters {
 		SearchEvaluations:     m.searchEvaluations.Load(),
 		SearchFrontSize:       m.searchFrontSize.Load(),
 		SearchBudgetRemaining: m.searchBudget.Load(),
+		WALReplayedJobs:       m.walReplayedJobs.Load(),
+		WALResumedJobs:        m.walResumedJobs.Load(),
+		WALReplayedRows:       m.walReplayedRows.Load(),
+	}
+	if m.cfg.WAL != nil {
+		st := m.cfg.WAL.Stats()
+		c.WALAppends, c.WALFsyncs = st.Appends, st.Fsyncs
+		c.WALDropped, c.WALSizeBytes = st.Dropped, st.SizeBytes
 	}
 	m.mu.Lock()
 	c.Tracked = len(m.jobs)
@@ -854,11 +1014,15 @@ func (m *Manager) Draining() bool {
 }
 
 // Shutdown drains the manager: new submissions and evaluations are
-// rejected immediately, and in-flight jobs get until ctx expires to
-// finish before being cancelled. It returns nil on a clean drain and
-// ctx.Err() when jobs had to be cancelled; either way every job
-// goroutine has exited by return, so the HTTP server can be shut down
-// next (SSE streams of finished jobs close themselves).
+// rejected immediately, queued jobs still dispatch and drain, and
+// in-flight jobs get until ctx expires to finish before being
+// cancelled. It returns nil on a clean drain and ctx.Err() when jobs
+// had to be cancelled; either way every job goroutine has exited by
+// return, so the HTTP server can be shut down next (SSE streams of
+// finished jobs close themselves). After the drain every TTL-eviction
+// timer is stopped — a drained manager leaks no timers — and the WAL,
+// if configured, is compacted to a snapshot of the surviving jobs and
+// closed.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true
@@ -868,14 +1032,29 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		m.wg.Wait()
 		close(drained)
 	}()
+	var err error
 	select {
 	case <-drained:
-		return nil
 	case <-ctx.Done():
 		for _, j := range m.Jobs() {
 			j.requestCancel()
 		}
 		<-drained
-		return ctx.Err()
+		err = ctx.Err()
 	}
+	m.mu.Lock()
+	for id, t := range m.timers {
+		t.Stop()
+		delete(m.timers, id)
+	}
+	m.mu.Unlock()
+	if m.cfg.WAL != nil {
+		if cerr := m.compactWAL(); cerr != nil && err == nil {
+			err = cerr
+		}
+		if cerr := m.cfg.WAL.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

@@ -8,6 +8,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -249,6 +250,12 @@ func TestErrorContractStatefulCodes(t *testing.T) {
 	resp = postJSON(t, ts.URL+"/v1/sweeps", smallSweep)
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit while draining: %d, want 503", resp.StatusCode)
+	}
+	// A draining daemon is usually restarting: the 503 must tell the
+	// client when retrying is worthwhile, exactly like the 429s do.
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("503 while draining carries Retry-After %q, want a positive integer",
+			resp.Header.Get("Retry-After"))
 	}
 	if d := decodeErrorEnvelope(t, resp); d.Code != CodeShuttingDown {
 		t.Errorf("shutting_down code %q", d.Code)

@@ -308,3 +308,52 @@ func TestSearchValidation(t *testing.T) {
 		t.Errorf("unknown search id: status %d, want 404", resp.StatusCode)
 	}
 }
+
+// TestSearchBudgetDefaultsSmallSpaces pins the default-budget clamp on
+// degenerate spaces: a request without max_evaluations defaults to a
+// tenth of its space, which rounds to zero for spaces under ten points —
+// the clamp keeps it at one evaluation minimum, so tiny spaces are
+// accepted and searched instead of failing spec validation. The budget
+// accounting must still reconcile at every size.
+func TestSearchBudgetDefaultsSmallSpaces(t *testing.T) {
+	ts, _, _ := newTestServer(t, 0, ManagerConfig{})
+
+	cases := []struct {
+		name       string
+		space      string // size = |bits| x |lna_noise|
+		size       int
+		wantBudget int
+	}{
+		{"single point", `{"architectures":["baseline"],"bits":[4],"lna_noise":[1.0]}`, 1, 1},
+		{"two points", `{"architectures":["baseline"],"bits":[4,6],"lna_noise":[1.0]}`, 2, 1},
+		{"nine points", `{"architectures":["baseline"],"bits":[4,6,8],"lna_noise":[1.0,2.0,3.0]}`, 9, 1},
+		{"just past the clamp", `{"architectures":["baseline"],"bits":[4,6],"lna_noise":[1.0,2.0,3.0,4.0,5.0]}`, 10, 1},
+		{"a tenth rounds down", `{"architectures":["baseline"],"bits":[4,6,8,10,12],"lna_noise":[1.0,2.0,3.0,4.0,5.0]}`, 25, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/search", `{"query":"max-snr","space":`+c.space+`}`)
+			if resp.StatusCode != http.StatusAccepted {
+				raw, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				t.Fatalf("submit status %d: %s", resp.StatusCode, raw)
+			}
+			st := decodeStatus(t, resp)
+			final := waitTerminalAt(t, ts.URL+st.StatusURL)
+			if final.State != string(StateCompleted) || final.Search == nil {
+				t.Fatalf("final status: %+v", final)
+			}
+			so := final.Search
+			if so.Budget != c.wantBudget {
+				t.Fatalf("space of %d points defaulted to budget %d, want %d",
+					c.size, so.Budget, c.wantBudget)
+			}
+			if so.Evaluations < 1 || so.Evaluations+so.BudgetRemaining != so.Budget {
+				t.Fatalf("budget accounting: %+v", so)
+			}
+			if len(so.Front) == 0 {
+				t.Fatalf("degenerate space produced an empty front: %+v", so)
+			}
+		})
+	}
+}

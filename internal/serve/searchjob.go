@@ -1,8 +1,9 @@
 package serve
 
 // Search jobs: the asynchronous POST /v1/search pipeline. A search job
-// shares everything structural with a sweep job — the slot semaphore,
-// the event buffer and SSE replay, TTL eviction, cancellation, drain —
+// shares everything structural with a sweep job — tenant admission and
+// weighted-fair dispatch, the event buffer and SSE replay, TTL
+// eviction, cancellation, drain —
 // but runs the internal/search driver instead of an exhaustive sweep:
 // a budget-bounded propose/observe loop that streams "front" events as
 // the Pareto front grows and finishes with a budget-accounted outcome.
@@ -29,9 +30,11 @@ var searchEventHeaders = []string{
 	"evaluations", "budget", "rung", "rung_name", "front_size", "hypervolume", "improved",
 }
 
-// SubmitSearch validates a goal-directed search request, claims a job
-// slot and starts the driver. Like Submit it never queues: saturation is
-// ErrSaturated, and the job outlives the submitting request's context.
+// SubmitSearch validates a goal-directed search request, admits it
+// through the tenant's shaping pipeline and enqueues it for
+// weighted-fair dispatch. Like Submit it never blocks: a submission the
+// tenant may not queue is rejected with an honest Retry-After, and the
+// job outlives the submitting request's context.
 func (m *Manager) SubmitSearch(ctx context.Context, req SearchRequest) (*Job, error) {
 	opts := req.Options.apply(m.cfg.Defaults)
 	spec, err := req.spec()
@@ -65,23 +68,23 @@ func (m *Manager) SubmitSearch(ctx context.Context, req SearchRequest) (*Job, er
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
 
+	tenant := TenantOf(ctx)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		return nil, ErrShuttingDown
 	}
-	select {
-	case m.slots <- struct{}{}:
-	default:
+	ts := m.tenantLocked(tenant)
+	if err := m.admitJobLocked(ts, time.Now()); err != nil {
 		m.mu.Unlock()
-		m.rejected.Add(1)
-		return nil, ErrSaturated
+		return nil, err
 	}
 	m.seq++
 	job := m.newJob(opts, space, nil)
 	job.kind = jobKindSearch
 	job.ID = fmt.Sprintf("search-%d", m.seq)
 	job.requestID = obs.RequestID(ctx)
+	job.tenant = tenant
 	job.spec = spec
 	job.total = spec.MaxEvaluations
 	if req.ProbeRecords > 0 && req.ProbeRecords != opts.Records {
@@ -91,14 +94,16 @@ func (m *Manager) SubmitSearch(ctx context.Context, req SearchRequest) (*Job, er
 	}
 	m.jobs[job.ID] = job
 	m.searchSubmitted.Add(1)
+	ts.submitted++
 	m.wg.Add(1)
-	m.mu.Unlock()
-
+	m.journalJob(job, nil, &req)
 	m.logJob(job, "search accepted",
 		slog.String("query", spec.Query()),
 		slog.Int("budget", spec.MaxEvaluations),
-		slog.Int("space", size))
-	go m.runSearch(job)
+		slog.Int("space", size),
+		slog.String("tenant", tenant))
+	m.enqueueLocked(ts, job)
+	m.mu.Unlock()
 	return job, nil
 }
 
@@ -107,7 +112,7 @@ func (m *Manager) SubmitSearch(ctx context.Context, req SearchRequest) (*Job, er
 // anywhere degrades this one job to failed, never the daemon.
 func (m *Manager) runSearch(job *Job) {
 	defer m.wg.Done()
-	defer func() { <-m.slots }()
+	defer m.release(job)
 	defer func() {
 		if r := recover(); r != nil {
 			if !job.State().Terminal() {
@@ -244,7 +249,8 @@ func (m *Manager) finishSearch(job *Job, out search.Outcome, err error) {
 	}
 	m.logJob(job, "search finished", attrs...)
 
-	time.AfterFunc(m.cfg.JobTTL, func() { m.evict(job.ID) })
+	m.journalFinish(job)
+	m.scheduleEvict(job)
 }
 
 func (m *Manager) finishSearchLocked(job *Job, out search.Outcome, err error) (state JobState, errMsg string, elapsed time.Duration) {

@@ -1,0 +1,359 @@
+// Package wal is a crash-safe append-only journal for the serving
+// layer's durable jobs: one JSON record per line, each line carrying a
+// CRC32 of its payload so torn or corrupted writes are detected on
+// replay instead of silently mis-parsing. The package is deliberately
+// payload-agnostic — it frames, checksums, persists and replays opaque
+// records; what a "job" or a "row" means lives in the caller
+// (internal/serve), so a future record kind is data this package passes
+// through, never a decode failure.
+//
+// Durability contract:
+//
+//   - Append writes the record to the file immediately (no userspace
+//     buffering), so an in-process reader reopening the file sees every
+//     appended record even without an fsync.
+//   - Sync fsyncs; callers fsync on the transitions that must survive a
+//     power cut (job accepted, job finished) and skip it on high-rate
+//     appends (result rows), trading at most the un-synced tail for
+//     throughput — a replayed job re-evaluates exactly that tail.
+//   - Open recovers from a crash mid-append: a torn final line is
+//     dropped and the file truncated back to the last intact record.
+//     A corrupt record in the middle of the log (bit rot, torn sector)
+//     is counted and skipped, never fatal — losing one row must not
+//     discard the journal behind it.
+//   - Compact atomically replaces the log with a snapshot (write temp,
+//     fsync, rename, fsync dir), the clean-shutdown path that stops the
+//     journal growing without bound.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FileName is the journal's name inside its directory.
+const FileName = "wal.jsonl"
+
+// Record is one journaled entry: an opaque payload under a caller-chosen
+// kind discriminator. Unknown kinds must be skipped by replayers, not
+// rejected — that is the forward-compatibility contract that lets an old
+// binary start against a newer journal.
+type Record struct {
+	// Kind discriminates the payload ("job", "row", "state", ...).
+	Kind string `json:"k"`
+	// Data is the payload, verbatim.
+	Data json.RawMessage `json:"d"`
+	// CRC is the IEEE CRC32 of Kind and Data, set by Encode and checked
+	// by Decode.
+	CRC uint32 `json:"c"`
+}
+
+// checksum covers the kind and the exact payload bytes.
+func checksum(kind string, data []byte) uint32 {
+	h := crc32.NewIEEE()
+	_, _ = h.Write([]byte(kind))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write(data)
+	return h.Sum32()
+}
+
+// Encode renders one record as a single self-checking JSONL line
+// (terminating newline included). The payload must itself be compact
+// single-line JSON; Encode compacts it to make sure.
+func Encode(kind string, payload interface{}) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding %s payload: %w", kind, err)
+	}
+	rec := Record{Kind: kind, Data: raw, CRC: checksum(kind, raw)}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encoding record: %w", err)
+	}
+	return append(line, '\n'), nil
+}
+
+// Decode parses one journal line back into a Record, verifying its
+// checksum. It never panics on hostile input (the fuzz target pins
+// this); any framing or integrity failure is an error.
+func Decode(line []byte) (Record, error) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return Record{}, errors.New("wal: empty record line")
+	}
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, fmt.Errorf("wal: decoding record: %w", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return Record{}, errors.New("wal: trailing data after record")
+	}
+	if rec.Kind == "" {
+		return Record{}, errors.New("wal: record without a kind")
+	}
+	if len(rec.Data) == 0 {
+		return Record{}, errors.New("wal: record without a payload")
+	}
+	if got := checksum(rec.Kind, rec.Data); got != rec.CRC {
+		return Record{}, fmt.Errorf("wal: checksum mismatch (want %08x, got %08x)", rec.CRC, got)
+	}
+	return rec, nil
+}
+
+// Stats is a Log's point-in-time accounting, rendered under /metrics as
+// the efficsense_wal_* series.
+type Stats struct {
+	// Appends counts records written since Open; Fsyncs the explicit
+	// syncs. Dropped counts records discarded during Open — a torn final
+	// line after a crash, or corrupt records mid-log.
+	Appends int64
+	Fsyncs  int64
+	Dropped int64
+	// SizeBytes is the journal file's current length.
+	SizeBytes int64
+}
+
+// Log is an open journal: goroutine-safe appends to one file.
+type Log struct {
+	mu    sync.Mutex
+	f     *os.File
+	dir   string
+	path  string
+	stats Stats
+}
+
+// Open opens (creating if needed) the journal in dir, replays every
+// intact record and returns the log positioned for appending. A torn
+// final line — the signature of a crash mid-append — is dropped and the
+// file truncated back to the last intact record; corrupt records
+// elsewhere are counted in Stats.Dropped and skipped. Decoding is
+// framing-level only: unknown record kinds are returned like any other
+// and are the caller's to skip.
+func Open(dir string) (*Log, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating %s: %w", dir, err)
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	records, goodEnd, dropped, err := replayFile(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Truncate a torn tail so the next append starts on a record
+	// boundary instead of concatenating into the torn line.
+	if fi, statErr := f.Stat(); statErr == nil && goodEnd < fi.Size() {
+		if err := f.Truncate(goodEnd); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seeking %s: %w", path, err)
+	}
+	l := &Log{f: f, dir: dir, path: path}
+	l.stats.Dropped = dropped
+	l.stats.SizeBytes = goodEnd
+	return l, records, nil
+}
+
+// replayFile scans the journal, returning the intact records, the byte
+// offset just past the last intact *terminated* record, and how many
+// records were dropped as corrupt. The writer emits "line\n" in one
+// write, so an unterminated final line — even one that happens to parse
+// as JSON — is a torn write and is dropped like any other partial
+// record.
+func replayFile(f *os.File) (records []Record, goodEnd int64, dropped int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: seeking: %w", err)
+	}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("wal: reading: %w", err)
+	}
+	var offset int64
+	for len(buf) > 0 {
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			// Torn tail: a write that never reached its newline.
+			dropped++
+			break
+		}
+		line := buf[:nl]
+		lineEnd := offset + int64(nl) + 1
+		if rec, derr := Decode(line); derr == nil {
+			records = append(records, rec)
+			goodEnd = lineEnd
+		} else {
+			dropped++
+		}
+		offset = lineEnd
+		buf = buf[nl+1:]
+	}
+	return records, goodEnd, dropped, nil
+}
+
+// Append journals one record. The write reaches the file before Append
+// returns (no userspace buffering); call Sync to force it to stable
+// storage.
+func (l *Log) Append(kind string, payload interface{}) error {
+	line, err := Encode(kind, payload)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if _, err := l.f.Write(line); err != nil {
+		return fmt.Errorf("wal: appending: %w", err)
+	}
+	l.stats.Appends++
+	l.stats.SizeBytes += int64(len(line))
+	return nil
+}
+
+// Sync fsyncs the journal.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.stats.Fsyncs++
+	return nil
+}
+
+// AppendSync journals one record and fsyncs — the job-state-transition
+// path, where the record must survive a power cut.
+func (l *Log) AppendSync(kind string, payload interface{}) error {
+	if err := l.Append(kind, payload); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// Compact atomically replaces the journal with exactly the given
+// records — the clean-shutdown snapshot+truncate. The replacement is
+// write-temp / fsync / rename / fsync-dir, so a crash mid-compaction
+// leaves either the old journal or the new one, never a mix.
+func (l *Log) Compact(records []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("wal: log is closed")
+	}
+	tmpPath := l.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating snapshot: %w", err)
+	}
+	var size int64
+	w := bufio.NewWriter(tmp)
+	for _, rec := range records {
+		line, err := Encode(rec.Kind, rec.Data)
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return err
+		}
+		if _, err := w.Write(line); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("wal: writing snapshot: %w", err)
+		}
+		size += int64(len(line))
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: flushing snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: syncing snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmpPath, l.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("wal: installing snapshot: %w", err)
+	}
+	syncDir(l.dir)
+	old := l.f
+	f, err := os.OpenFile(l.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: reopening after compaction: %w", err)
+	}
+	old.Close()
+	l.f = f
+	l.stats.SizeBytes = size
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable. Best
+// effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Stats snapshots the log's accounting.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// Path returns the journal file's location (tests and log lines).
+func (l *Log) Path() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.path
+}
+
+// Close fsyncs and closes the journal. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	l.f = nil
+	if syncErr != nil {
+		return fmt.Errorf("wal: closing: %w", syncErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("wal: closing: %w", closeErr)
+	}
+	return nil
+}

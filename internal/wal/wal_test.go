@@ -1,0 +1,266 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	ID string `json:"id"`
+	N  int    `json:"n"`
+}
+
+func openT(t *testing.T, dir string) (*Log, []Record) {
+	t.Helper()
+	l, recs, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := openT(t, dir)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log replayed %d records", len(recs))
+	}
+	want := []payload{{"job-1", 1}, {"job-2", 2}, {"job-3", 3}}
+	for _, p := range want {
+		if err := l.Append("job", p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Appends != 3 || st.Fsyncs != 1 || st.SizeBytes == 0 {
+		t.Fatalf("stats = %+v, want 3 appends, 1 fsync, non-zero size", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, recs2 := openT(t, dir)
+	if len(recs2) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(recs2), len(want))
+	}
+	for i, rec := range recs2 {
+		if rec.Kind != "job" {
+			t.Fatalf("record %d kind = %q", i, rec.Kind)
+		}
+		var p payload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		if p != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, p, want[i])
+		}
+	}
+}
+
+// TestTruncatedLastLineDropped is the crash-mid-append scenario: the
+// final record is torn (partial write, no terminating newline), replay
+// must keep everything before it and truncate the tail so appends
+// resume on a record boundary.
+func TestTruncatedLastLineDropped(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		// Half the final line gone: not even valid JSON.
+		"partial-json": func(b []byte) []byte { return b[:len(b)-len(b)/4] },
+		// The full line but no newline: valid JSON, torn write.
+		"missing-newline": func(b []byte) []byte { return b[:len(b)-1] },
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			l, _ := openT(t, dir)
+			for i := 0; i < 3; i++ {
+				if err := l.Append("row", payload{"job-1", i}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(dir, FileName)
+			buf, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, mangle(buf), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			l2, recs := openT(t, dir)
+			if len(recs) != 2 {
+				t.Fatalf("replayed %d records after torn tail, want 2", len(recs))
+			}
+			if st := l2.Stats(); st.Dropped != 1 {
+				t.Fatalf("dropped = %d, want 1", st.Dropped)
+			}
+			// Appends after recovery land on a clean boundary.
+			if err := l2.Append("row", payload{"job-1", 9}); err != nil {
+				t.Fatal(err)
+			}
+			if err := l2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			_, recs3 := openT(t, dir)
+			if len(recs3) != 3 {
+				t.Fatalf("replayed %d records after recovery+append, want 3", len(recs3))
+			}
+			var p payload
+			if err := json.Unmarshal(recs3[2].Data, &p); err != nil {
+				t.Fatal(err)
+			}
+			if p.N != 9 {
+				t.Fatalf("post-recovery record = %+v, want N=9", p)
+			}
+		})
+	}
+}
+
+// TestCorruptMiddleRecordSkipped: bit rot mid-log loses that record
+// only, never the journal behind it.
+func TestCorruptMiddleRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	for i := 0; i < 3; i++ {
+		if err := l.Append("row", payload{"job-1", i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, FileName)
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(buf, []byte("\n"))
+	// Flip a payload byte in the middle record: the CRC must catch it.
+	mid := bytes.Replace(lines[1], []byte(`"n":1`), []byte(`"n":7`), 1)
+	if bytes.Equal(mid, lines[1]) {
+		t.Fatal("test setup: middle record not mangled")
+	}
+	if err := os.WriteFile(path, bytes.Join([][]byte{lines[0], mid, lines[2]}, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := openT(t, dir)
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2 (corrupt middle skipped)", len(recs))
+	}
+	if st := l2.Stats(); st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+	var p0, p1 payload
+	if err := json.Unmarshal(recs[0].Data, &p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(recs[1].Data, &p1); err != nil {
+		t.Fatal(err)
+	}
+	if p0.N != 0 || p1.N != 2 {
+		t.Fatalf("surviving records = %d,%d, want 0,2", p0.N, p1.N)
+	}
+}
+
+func TestCompactReplacesJournalAtomically(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := l.Append("row", payload{"job-1", i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sizeBefore := l.Stats().SizeBytes
+	// Snapshot keeps two records.
+	keep := make([]Record, 0, 2)
+	for _, n := range []int{3, 7} {
+		line, err := Encode("row", payload{"job-1", n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Decode(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep = append(keep, rec)
+	}
+	if err := l.Compact(keep); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.SizeBytes >= sizeBefore {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d", sizeBefore, st.SizeBytes)
+	}
+	// The log stays appendable after compaction.
+	if err := l.Append("row", payload{"job-1", 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, dir)
+	if len(recs) != 3 {
+		t.Fatalf("replayed %d records after compaction+append, want 3", len(recs))
+	}
+	var ns []int
+	for _, rec := range recs {
+		var p payload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			t.Fatal(err)
+		}
+		ns = append(ns, p.N)
+	}
+	if ns[0] != 3 || ns[1] != 7 || ns[2] != 99 {
+		t.Fatalf("post-compaction records = %v, want [3 7 99]", ns)
+	}
+	// No temp file left behind.
+	if _, err := os.Stat(filepath.Join(dir, FileName+".tmp")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot temp file left behind (stat err: %v)", err)
+	}
+}
+
+func TestClosedLogRejectsAppends(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("row", payload{}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("sync after close succeeded")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestDecodeRejectsTampering(t *testing.T) {
+	line, err := Encode("job", payload{"job-1", 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"payload bit flip": bytes.Replace(line, []byte(`"n":1`), []byte(`"n":2`), 1),
+		"kind swap":        bytes.Replace(line, []byte(`"k":"job"`), []byte(`"k":"row"`), 1),
+		"empty":            []byte(""),
+		"not json":         []byte("definitely not json"),
+		"trailing data":    append(bytes.TrimRight(append([]byte{}, line...), "\n"), []byte(` {"x":1}`)...),
+	}
+	for name, mangled := range cases {
+		if _, err := Decode(mangled); err == nil {
+			t.Errorf("%s: Decode accepted tampered record", name)
+		}
+	}
+	if _, err := Decode(line); err != nil {
+		t.Errorf("Decode rejected its own Encode output: %v", err)
+	}
+}
