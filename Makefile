@@ -65,7 +65,8 @@ wal-fuzz:
 # verify is the tier-1 gate: formatting, vet, build, the full test
 # suite under the race detector with shuffled execution order (hidden
 # inter-test dependencies fail loudly), and short fuzz smokes over the
-# streaming report emitters and the search query parser.
+# streaming report emitters, the search query parser and the scenario
+# name validator (a wire-facing parser like the rest).
 verify: fmt
 	$(GO) vet ./...
 	$(GO) build ./...
@@ -73,3 +74,4 @@ verify: fmt
 	$(GO) test -run '^$$' -fuzz FuzzNDJSONRow -fuzztime 10s ./internal/report
 	$(GO) test -run '^$$' -fuzz FuzzParseGoal -fuzztime 10s ./internal/search
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzParseScenarioName -fuzztime 10s ./internal/scenario

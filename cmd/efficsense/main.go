@@ -40,6 +40,7 @@ import (
 	"efficsense/internal/eeg"
 	"efficsense/internal/experiments"
 	"efficsense/internal/report"
+	"efficsense/internal/scenario"
 	"efficsense/internal/search"
 	"efficsense/internal/tech"
 	"efficsense/internal/units"
@@ -65,6 +66,8 @@ func main() {
 		err = cmdSuite(cmd, args)
 	case "search":
 		err = cmdSearch(args)
+	case "scenarios":
+		err = cmdScenarios(args)
 	case "variants":
 		err = cmdVariants(args)
 	case "refine":
@@ -98,9 +101,11 @@ func usage() {
   efficsense search   -q QUERY [-budget N] [-probe-records N] [-csv F] [suite flags]
   efficsense variants [-bits N] [-noise V] [-m M] [suite flags]
   efficsense refine   -arch A -bits N [-m M] [-min-accuracy A] [suite flags]
+  efficsense scenarios                  list the registered workload scenarios
   efficsense all      [suite flags]
 
-suite flags: -records N (default 40; paper uses 500) -seed S -workers W
+suite flags: -scenario NAME (workload; default eeg-epilepsy)
+             -records N (default 40; paper uses 500) -seed S -workers W
              -noise-steps N -epochs E -min-accuracy A -csv F
              -progress (rich progress + engine metrics) -trace F (JSONL per-point trace)
 `)
@@ -109,6 +114,8 @@ suite flags: -records N (default 40; paper uses 500) -seed S -workers W
 // suiteFlags registers the shared suite options on a FlagSet.
 func suiteFlags(fs *flag.FlagSet) *experiments.Options {
 	opts := &experiments.Options{}
+	fs.StringVar(&opts.Scenario, "scenario", "",
+		"workload scenario (empty = "+scenario.DefaultName+"; `efficsense scenarios` lists the registry)")
 	fs.Int64Var(&opts.Seed, "seed", 1, "root seed for every stochastic element")
 	fs.IntVar(&opts.Records, "records", 40, "evaluation records (paper: 500)")
 	fs.IntVar(&opts.TrainRecords, "train-records", 120, "detector training records")
@@ -254,7 +261,8 @@ func cmdDataset(args []string) error {
 
 func cmdPoint(args []string) error {
 	fs := flag.NewFlagSet("point", flag.ExitOnError)
-	arch := fs.String("arch", "baseline", "architecture: baseline | cs")
+	scnName := fs.String("scenario", "", "workload scenario (empty = "+scenario.DefaultName+")")
+	arch := fs.String("arch", "baseline", "architecture (scoped to the scenario's set)")
 	bits := fs.Int("bits", 8, "ADC resolution")
 	noise := fs.Float64("noise", 5e-6, "LNA input-referred noise (V rms)")
 	m := fs.Int("m", 150, "CS measurements per frame")
@@ -263,16 +271,19 @@ func cmdPoint(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	suite := experiments.NewSuite(experiments.Options{Seed: *seed, Records: *records})
-	p := core.DesignPoint{Bits: *bits, LNANoise: *noise}
-	switch *arch {
-	case "baseline":
-		p.Arch = core.ArchBaseline
-	case "cs":
-		p.Arch = core.ArchCS
+	scn, err := scenario.Lookup(*scnName)
+	if err != nil {
+		return err
+	}
+	a, err := scn.ParseArch(*arch)
+	if err != nil {
+		return err
+	}
+	suite := experiments.NewSuite(experiments.Options{
+		Scenario: scn.Name, Seed: *seed, Records: *records})
+	p := core.DesignPoint{Arch: a, Bits: *bits, LNANoise: *noise}
+	if a != core.ArchBaseline {
 		p.M = *m
-	default:
-		return fmt.Errorf("unknown architecture %q", *arch)
 	}
 	r := suite.Engine().Evaluate(p)
 	fmt.Println(dse.Describe(r))
@@ -303,7 +314,11 @@ func cmdSearch(args []string) error {
 		return err
 	}
 	spec.Seed = opts.Seed
-	space := dse.PaperSpace(opts.NoiseSteps)
+	scn, err := scenario.Lookup(opts.Scenario)
+	if err != nil {
+		return err
+	}
+	space := scn.Space(opts.NoiseSteps)
 	size := space.Size()
 	spec.MaxEvaluations = *budget
 	if spec.MaxEvaluations <= 0 {
@@ -362,6 +377,30 @@ func cmdSearch(args []string) error {
 	})
 }
 
+// cmdScenarios lists the registered workloads: what -scenario (and the
+// daemon's options.scenario field) may select, and what each evaluates.
+func cmdScenarios(args []string) error {
+	fs := flag.NewFlagSet("scenarios", flag.ExitOnError)
+	noiseSteps := fs.Int("noise-steps", 8, "noise resolution used to size each default space")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := report.NewTable("name", "architectures", "space", "recon", "description")
+	for _, sc := range scenario.All() {
+		name := sc.Name
+		if name == scenario.DefaultName {
+			name += " (default)"
+		}
+		t.AddRow(name,
+			strings.Join(sc.ArchNames(), ","),
+			fmt.Sprintf("%d points", sc.Space(*noiseSteps).Size()),
+			sc.ReconMethod.String(),
+			sc.Description)
+	}
+	t.Render(os.Stdout)
+	return nil
+}
+
 func cmdVariants(args []string) error {
 	fs := flag.NewFlagSet("variants", flag.ExitOnError)
 	opts := suiteFlags(fs)
@@ -379,25 +418,24 @@ func cmdVariants(args []string) error {
 func cmdRefine(args []string) error {
 	fs := flag.NewFlagSet("refine", flag.ExitOnError)
 	opts := suiteFlags(fs)
-	arch := fs.String("arch", "cs", "architecture: baseline | cs | cs-digital | cs-active")
+	arch := fs.String("arch", "cs", "architecture (scoped to the scenario's set)")
 	bits := fs.Int("bits", 8, "ADC resolution")
 	m := fs.Int("m", 150, "CS measurements per frame")
 	iters := fs.Int("iters", 6, "bisection evaluations")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p := core.DesignPoint{Bits: *bits}
-	switch *arch {
-	case "baseline":
-		p.Arch = core.ArchBaseline
-	case "cs":
-		p.Arch, p.M = core.ArchCS, *m
-	case "cs-digital":
-		p.Arch, p.M = core.ArchCSDigital, *m
-	case "cs-active":
-		p.Arch, p.M = core.ArchCSActive, *m
-	default:
-		return fmt.Errorf("unknown architecture %q", *arch)
+	scn, err := scenario.Lookup(opts.Scenario)
+	if err != nil {
+		return err
+	}
+	a, err := scn.ParseArch(*arch)
+	if err != nil {
+		return err
+	}
+	p := core.DesignPoint{Arch: a, Bits: *bits}
+	if a != core.ArchBaseline {
+		p.M = *m
 	}
 	suite := experiments.NewSuite(*opts)
 	best, ok := dse.BisectNoiseFloor(suite.Engine(), p, dse.QualityAccuracy,

@@ -40,6 +40,7 @@ import (
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
 	"efficsense/internal/fault"
+	"efficsense/internal/scenario"
 	"efficsense/internal/serve"
 	"efficsense/internal/wal"
 )
@@ -96,6 +97,8 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.drain, "drain", 30*time.Second, "shutdown grace period for running sweeps")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "suppress request logging")
 
+	fs.StringVar(&cfg.defaults.Scenario, "scenario", "",
+		"default workload scenario (empty = "+scenario.DefaultName+"); GET /v1/scenarios lists the registry")
 	fs.Int64Var(&cfg.defaults.Seed, "seed", 1, "default root seed")
 	fs.IntVar(&cfg.defaults.Records, "records", 40, "default evaluation records (paper: 500)")
 	fs.IntVar(&cfg.defaults.TrainRecords, "train-records", 120, "default detector training records")
@@ -185,6 +188,9 @@ func (cfg *config) validate() error {
 		if !c.ok {
 			return errors.New(c.msg)
 		}
+	}
+	if _, err := scenario.Lookup(cfg.defaults.Scenario); err != nil {
+		return fmt.Errorf("-scenario: %w", err)
 	}
 	if _, err := parseTenantWeights(cfg.tenantWeights); err != nil {
 		return fmt.Errorf("-tenant-weights: %w", err)

@@ -33,6 +33,7 @@ import (
 	"efficsense/internal/experiments"
 	"efficsense/internal/obs"
 	"efficsense/internal/power"
+	"efficsense/internal/scenario"
 	"efficsense/internal/search"
 	"efficsense/internal/tech"
 	"efficsense/internal/wal"
@@ -354,6 +355,24 @@ type (
 
 // NewSuite builds a reproduction suite.
 func NewSuite(opts SuiteOptions) *Suite { return experiments.NewSuite(opts) }
+
+// Workload scenarios (the registry of named applications the framework
+// evaluates; SuiteOptions.Scenario selects one by name).
+type (
+	// Scenario is one registered workload: synthesiser, quality metric,
+	// architecture set, default space and evaluator knobs behind a name.
+	Scenario = scenario.Scenario
+)
+
+// DefaultScenario is the scenario selected when none is named — the
+// paper's EEG epilepsy-detection chain.
+const DefaultScenario = scenario.DefaultName
+
+// LookupScenario resolves a scenario name ("" selects the default).
+func LookupScenario(name string) (*Scenario, error) { return scenario.Lookup(name) }
+
+// Scenarios returns every registered scenario in name order.
+func Scenarios() []*Scenario { return scenario.All() }
 
 // SNRVersusReference computes the SNR (dB) of a processed waveform against
 // a reference after least-squares gain alignment — the Fig 7a goal

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestArchitectureRoundTrip pins String/ParseArchitecture as exact
+// inverses over the full enum — the one table every wire name, CSV
+// column and CLI flag resolves through.
+func TestArchitectureRoundTrip(t *testing.T) {
+	archs := Architectures()
+	if len(archs) != 4 {
+		t.Fatalf("enum has %d architectures, update this test deliberately", len(archs))
+	}
+	seen := map[string]bool{}
+	for _, a := range archs {
+		name := a.String()
+		if name == "" || strings.HasPrefix(name, "Architecture(") {
+			t.Fatalf("architecture %d has no wire name", int(a))
+		}
+		if seen[name] {
+			t.Fatalf("duplicate wire name %q", name)
+		}
+		seen[name] = true
+		got, err := ParseArchitecture(name)
+		if err != nil {
+			t.Fatalf("ParseArchitecture(%q): %v", name, err)
+		}
+		if got != a {
+			t.Fatalf("round-trip %v -> %q -> %v", a, name, got)
+		}
+	}
+	for _, bad := range []string{"", "CS", "baseline ", "cs_digital", "analog"} {
+		if _, err := ParseArchitecture(bad); err == nil {
+			t.Fatalf("ParseArchitecture(%q) accepted a non-wire name", bad)
+		}
+	}
+	// An out-of-range value renders its diagnostic form, which must not
+	// parse back.
+	if _, err := ParseArchitecture(Architecture(99).String()); err == nil {
+		t.Fatal("diagnostic String form parsed as a wire name")
+	}
+}

@@ -29,7 +29,7 @@ type pointAccum struct {
 	res    Result
 	snrSum float64
 	rate   float64
-	waves  [][]float64 // retained for the detector; nil without one
+	waves  [][]float64 // retained for the quality metric; nil without one
 }
 
 func (a *pointAccum) add(e *Evaluator, ri int, o chain.Output) {
@@ -110,18 +110,18 @@ func (e *Evaluator) EvaluateBatch(ctx context.Context, pts []DesignPoint) []Resu
 	return out
 }
 
-// newAccums prepares one accumulator per group member. Only the detector
-// protocol needs every record's waveform at once; without a detector a
+// newAccums prepares one accumulator per group member. Only the quality
+// metric needs every record's waveform at once; without a metric a
 // single output row per point is reused across records.
 func (e *Evaluator) newAccums(pts []DesignPoint, idxs []int) ([]*pointAccum, int) {
 	rowsPer := 1
-	if e.cfg.Detector != nil {
+	if e.metric != nil {
 		rowsPer = len(e.grids)
 	}
 	accs := make([]*pointAccum, len(idxs))
 	for j, i := range idxs {
 		a := &pointAccum{res: Result{Point: pts[i], Power: power.Breakdown{}}}
-		if e.cfg.Detector != nil {
+		if e.metric != nil {
 			a.waves = make([][]float64, len(e.grids))
 		}
 		accs[j] = a
@@ -138,13 +138,14 @@ func (e *Evaluator) finishAccums(accs []*pointAccum, idxs []int, out []Result) {
 		}
 		res.TotalPower = res.Power.Total()
 		res.MeanSNRdB = a.snrSum / nRec
-		if e.cfg.Detector != nil {
+		if e.metric != nil {
 			win := 0
 			if e.cfg.WindowSeconds > 0 {
 				win = int(e.cfg.WindowSeconds * a.rate)
 			}
-			res.Confusion = e.cfg.Detector.EvaluateWavesWindowed(a.waves, a.rate, e.labels, win)
-			res.Accuracy = res.Confusion.Accuracy()
+			res.Accuracy, res.Confusion = e.metric.Score(MetricContext{
+				Waves: a.waves, Refs: e.refs, Rate: a.rate, Labels: e.labels, WindowSamples: win,
+			})
 		}
 		out[idxs[j]] = res
 	}

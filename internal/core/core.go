@@ -18,6 +18,7 @@ import (
 
 	"efficsense/internal/chain"
 	"efficsense/internal/classify"
+	"efficsense/internal/cs"
 	"efficsense/internal/dsp"
 	"efficsense/internal/eeg"
 	"efficsense/internal/power"
@@ -56,6 +57,23 @@ func (a Architecture) String() string {
 	default:
 		return fmt.Sprintf("Architecture(%d)", int(a))
 	}
+}
+
+// Architectures returns every defined architecture in enum order.
+func Architectures() []Architecture {
+	return []Architecture{ArchBaseline, ArchCS, ArchCSDigital, ArchCSActive}
+}
+
+// ParseArchitecture inverts Architecture.String: wire names, CSV columns
+// and CLI flags all resolve through this one table, so an architecture's
+// external name can never drift from its String form.
+func ParseArchitecture(name string) (Architecture, error) {
+	for _, a := range Architectures() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown architecture %q", name)
 }
 
 // DesignPoint is one configuration in the search space of Table III.
@@ -164,6 +182,21 @@ type Config struct {
 	// Detector is the trained accuracy metric. Nil skips accuracy (SNR
 	// sweeps like Fig 4 don't need it).
 	Detector *classify.Detector
+	// Metric is the pluggable application-quality metric. When nil, a
+	// non-nil Detector is adapted automatically (DetectorMetric), which
+	// is the historical behaviour; setting Metric directly lets a
+	// scenario score quality without a trained detector.
+	Metric Metric
+	// Scenario names the registered workload this evaluator scores (""
+	// for the default EEG chain). It is folded into the fingerprint so
+	// the shared sweep cache never mixes results across workloads whose
+	// other inputs happen to coincide.
+	Scenario string
+	// InputPeak is the expected electrode-signal peak (V) the LNA gain
+	// is set from; 0 selects the chain default (250 µV, the EEG scale).
+	InputPeak float64
+	// ReconMethod selects the CS reconstruction algorithm (OMP default).
+	ReconMethod cs.Method
 	// NPhi and Sparsity fix the CS frame geometry (defaults 384 / 2).
 	NPhi     int
 	Sparsity int
@@ -186,6 +219,7 @@ type Config struct {
 // (internal state is read-only after construction).
 type Evaluator struct {
 	cfg         Config
+	metric      Metric       // resolved quality metric (nil skips accuracy)
 	common      chain.Common // template (per-point fields zeroed)
 	grids       [][]float64  // records on the simulation grid
 	refs        [][]float64  // band-limited references at f_sample
@@ -214,11 +248,16 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 	if cfg.SimOversample < 2 {
 		cfg.SimOversample = 4
 	}
+	if cfg.Metric == nil && cfg.Detector != nil {
+		cfg.Metric = DetectorMetric{Detector: cfg.Detector}
+	}
 	e := &Evaluator{
-		cfg: cfg,
+		cfg:    cfg,
+		metric: cfg.Metric,
 		common: chain.Common{
 			Tech:          cfg.Tech,
 			Sys:           cfg.Sys,
+			InputPeak:     cfg.InputPeak,
 			SimOversample: cfg.SimOversample,
 			Seed:          cfg.Seed,
 		},
@@ -249,12 +288,19 @@ func NewEvaluator(cfg Config) (*Evaluator, error) {
 func fingerprintConfig(cfg Config) string {
 	h := fnv.New64a()
 	var det uint64
-	if cfg.Detector != nil {
+	if cfg.Metric != nil {
+		det = cfg.Metric.Fingerprint()
+	} else if cfg.Detector != nil {
 		det = cfg.Detector.Fingerprint()
 	}
 	fmt.Fprintf(h, "%+v|%+v|%d|%d|%d|%g|%d|det:%016x",
 		cfg.Tech, cfg.Sys, cfg.NPhi, cfg.Sparsity, cfg.SimOversample,
 		cfg.WindowSeconds, cfg.Seed, det)
+	// Scenario identity and the per-scenario evaluator knobs: keyed so the
+	// shared LRU can never serve one workload's result to another even if
+	// every numeric input happens to coincide.
+	fmt.Fprintf(h, "|scn:%s|ip:%016x|rm:%d",
+		cfg.Scenario, math.Float64bits(cfg.InputPeak), cfg.ReconMethod)
 	var buf [8]byte
 	for _, r := range cfg.Dataset.Records {
 		fmt.Fprintf(h, "|r:%d:%d:%016x:",
@@ -277,11 +323,12 @@ func (e *Evaluator) Fingerprint() string { return e.fingerprint }
 // csConfig assembles the CS-family chain configuration for a point.
 func (e *Evaluator) csConfig(common chain.Common, p DesignPoint) chain.CSConfig {
 	return chain.CSConfig{
-		Common:   common,
-		M:        p.M,
-		NPhi:     e.cfg.NPhi,
-		Sparsity: e.cfg.Sparsity,
-		CHold:    p.CHold,
+		Common:      common,
+		M:           p.M,
+		NPhi:        e.cfg.NPhi,
+		Sparsity:    e.cfg.Sparsity,
+		CHold:       p.CHold,
+		ReconMethod: e.cfg.ReconMethod,
 	}
 }
 
@@ -358,13 +405,14 @@ func (e *Evaluator) evaluateClassic(p DesignPoint) Result {
 	}
 	res.TotalPower = res.Power.Total()
 	res.MeanSNRdB = snrSum / nRec
-	if e.cfg.Detector != nil {
+	if e.metric != nil {
 		win := 0
 		if e.cfg.WindowSeconds > 0 {
 			win = int(e.cfg.WindowSeconds * rate)
 		}
-		res.Confusion = e.cfg.Detector.EvaluateWavesWindowed(waves, rate, e.labels, win)
-		res.Accuracy = res.Confusion.Accuracy()
+		res.Accuracy, res.Confusion = e.metric.Score(MetricContext{
+			Waves: waves, Refs: e.refs, Rate: rate, Labels: e.labels, WindowSamples: win,
+		})
 	}
 	return res
 }
@@ -403,15 +451,21 @@ func EvaluateSine(cfg Config, p DesignPoint, freq, seconds float64) SineResult {
 		Sys:           cfg.Sys,
 		Bits:          p.Bits,
 		LNANoise:      p.LNANoise,
+		InputPeak:     cfg.InputPeak,
 		SimOversample: cfg.SimOversample,
 		Seed:          cfg.Seed,
 	}
 	gridRate := common.GridRate()
 	n := int(seconds * gridRate)
 	// Drive at ~70 % of the input range (matching the chain headroom).
-	in := siggen.Sine(n, freq, gridRate, 175e-6, 0)
+	amp := 175e-6
+	if cfg.InputPeak > 0 {
+		amp = 0.7 * cfg.InputPeak
+	}
+	in := siggen.Sine(n, freq, gridRate, amp, 0)
 	csCfg := chain.CSConfig{
 		Common: common, M: p.M, NPhi: cfg.NPhi, Sparsity: cfg.Sparsity, CHold: p.CHold,
+		ReconMethod: cfg.ReconMethod,
 	}
 	var out chain.Output
 	switch p.Arch {

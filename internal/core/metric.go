@@ -1,0 +1,56 @@
+package core
+
+import (
+	"efficsense/internal/classify"
+	"efficsense/internal/eeg"
+)
+
+// MetricContext carries everything a quality metric may score after a
+// design point has been pushed through the chain: the retained output
+// waveforms (referred back to electrode scale), the band-limited
+// references they were acquired from, and the dataset ground truth.
+type MetricContext struct {
+	// Waves holds one electrode-referred output waveform per record.
+	Waves [][]float64
+	// Refs holds the band-limited references at the output rate, one per
+	// record (reconstruction-quality metrics score against these).
+	Refs [][]float64
+	// Rate is the output sample rate (f_sample).
+	Rate float64
+	// Labels is the per-record ground truth.
+	Labels []eeg.Class
+	// WindowSamples is the windowed-protocol length (0 = whole records).
+	WindowSamples int
+}
+
+// Metric is the pluggable application-quality contract: it turns a design
+// point's per-record outputs into the scalar quality the paper's Step 5
+// goal functions optimise (Result.Accuracy) plus a confusion matrix. The
+// seizure detector is one Metric; a scenario registers whatever quality
+// its workload defines (an SNDR gate for telemonitoring, a detector for
+// inference chains).
+type Metric interface {
+	// Score evaluates one design point's outputs. The returned quality
+	// lands in Result.Accuracy and must be in [0, 1] for the accuracy
+	// goal functions to stay meaningful.
+	Score(ctx MetricContext) (quality float64, conf classify.Confusion)
+	// Fingerprint digests every parameter the score depends on, by value.
+	// It is folded into the evaluator fingerprint, so metrics with equal
+	// fingerprints must score identically.
+	Fingerprint() uint64
+}
+
+// DetectorMetric adapts a trained seizure detector to the Metric
+// interface — the historical (and default-scenario) quality metric.
+type DetectorMetric struct {
+	Detector *classify.Detector
+}
+
+// Score runs the windowed detection protocol over the output waveforms.
+func (m DetectorMetric) Score(ctx MetricContext) (float64, classify.Confusion) {
+	conf := m.Detector.EvaluateWavesWindowed(ctx.Waves, ctx.Rate, ctx.Labels, ctx.WindowSamples)
+	return conf.Accuracy(), conf
+}
+
+// Fingerprint returns the detector's weight fingerprint.
+func (m DetectorMetric) Fingerprint() uint64 { return m.Detector.Fingerprint() }

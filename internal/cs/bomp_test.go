@@ -1,0 +1,66 @@
+package cs
+
+import (
+	"testing"
+
+	"efficsense/internal/dsp"
+)
+
+// blockSparseFrameProblem builds an ideal passive encoder and a frame
+// whose DCT energy lives in two contiguous coefficient blocks — the
+// structure BOMP exploits and singleton-greedy OMP does not.
+func blockSparseFrameProblem(n, m int, seed int64) (enc *Encoder, x, y []float64) {
+	enc = idealEncoder(m, n, 2, seed)
+	d := dsp.NewDCT(n)
+	coeffs := make([]float64, n)
+	for k := 4; k < 8; k++ {
+		coeffs[k] = 1.0 - 0.1*float64(k-4)
+	}
+	for k := 20; k < 24; k++ {
+		coeffs[k] = -0.5 + 0.08*float64(k-20)
+	}
+	x = d.Inverse(coeffs)
+	y = enc.EncodeFrame(x)
+	return enc, x, y
+}
+
+func TestMethodBOMPString(t *testing.T) {
+	if MethodBOMP.String() != "bomp" {
+		t.Fatalf("MethodBOMP renders %q", MethodBOMP.String())
+	}
+}
+
+func TestMethodBOMPRecoversBlockSparse(t *testing.T) {
+	enc, x, y := blockSparseFrameProblem(128, 64, 31)
+	r := NewMethodReconstructor(enc.EffectiveMatrix(true), 128,
+		ReconOptions{Method: MethodBOMP, MaxAtoms: 16, BlockLen: 4, Tol: 1e-12})
+	snr := dsp.SNRVersusReference(x, r.ReconstructFrame(y))
+	if snr < 50 {
+		t.Fatalf("BOMP SNR on a block-sparse frame = %g dB", snr)
+	}
+}
+
+func TestMethodBOMPDeterministic(t *testing.T) {
+	enc, _, y := blockSparseFrameProblem(96, 48, 32)
+	r := NewMethodReconstructor(enc.EffectiveMatrix(true), 96,
+		ReconOptions{Method: MethodBOMP, MaxAtoms: 12, BlockLen: 4})
+	a := r.ReconstructFrame(y)
+	b := r.ReconstructFrame(y)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("BOMP reconstruction not deterministic at sample %d", i)
+		}
+	}
+}
+
+func TestMethodBOMPZeroMeasurements(t *testing.T) {
+	enc, _, _ := blockSparseFrameProblem(64, 32, 33)
+	r := NewMethodReconstructor(enc.EffectiveMatrix(true), 64,
+		ReconOptions{Method: MethodBOMP})
+	out := r.ReconstructFrame(make([]float64, 32))
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("zero measurements reconstructed nonzero sample %d = %g", i, v)
+		}
+	}
+}

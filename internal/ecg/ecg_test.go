@@ -1,0 +1,116 @@
+package ecg
+
+import (
+	"math"
+	"testing"
+
+	"efficsense/internal/classify"
+	"efficsense/internal/core"
+	"efficsense/internal/eeg"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(DefaultConfig(42, 6))
+	b := Synthesize(DefaultConfig(42, 6))
+	if len(a.Records) != 6 || len(b.Records) != 6 {
+		t.Fatalf("record counts %d/%d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		if len(ra.Samples) != len(rb.Samples) {
+			t.Fatalf("record %d: lengths differ", i)
+		}
+		for j := range ra.Samples {
+			if ra.Samples[j] != rb.Samples[j] {
+				t.Fatalf("record %d sample %d: %g vs %g (not bit-identical)",
+					i, j, ra.Samples[j], rb.Samples[j])
+			}
+		}
+	}
+	c := Synthesize(DefaultConfig(43, 6))
+	same := true
+	for j, s := range a.Records[0].Samples {
+		if c.Records[0].Samples[j] != s {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical records")
+	}
+}
+
+func TestSynthesizeShape(t *testing.T) {
+	ds := Synthesize(DefaultConfig(7, 0))
+	if len(ds.Records) != DefaultRecordCount {
+		t.Fatalf("zero records should default to %d, got %d", DefaultRecordCount, len(ds.Records))
+	}
+	if ds.Rate != NativeRate {
+		t.Fatalf("dataset rate %g", ds.Rate)
+	}
+	wantLen := int(RecordSeconds * NativeRate)
+	for i, r := range ds.Records {
+		if len(r.Samples) != wantLen {
+			t.Fatalf("record %d: %d samples, want %d", i, len(r.Samples), wantLen)
+		}
+		if r.Rate != NativeRate || r.ID != i {
+			t.Fatalf("record %d: rate %g id %d", i, r.Rate, r.ID)
+		}
+		// Classes alternate so any prefix is balanced.
+		want := eeg.Interictal
+		if i%2 == 1 {
+			want = eeg.Ictal
+		}
+		if r.Label != want {
+			t.Fatalf("record %d: label %v, want %v", i, r.Label, want)
+		}
+		// Electrode-scale amplitudes: R peaks live near a millivolt, so
+		// the record peak must sit well above noise and below 10 mV.
+		peak := 0.0
+		for _, s := range r.Samples {
+			if a := math.Abs(s); a > peak {
+				peak = a
+			}
+		}
+		if peak < 0.5e-3 || peak > 10e-3 {
+			t.Fatalf("record %d: peak %g V outside electrode ECG scale", i, peak)
+		}
+	}
+}
+
+// TestQualityGate drives the metric with hand-built reconstructions: a
+// perfect copy passes, a destroyed one fails, and the confusion matrix
+// follows the rhythm labels.
+func TestQualityGate(t *testing.T) {
+	ds := Synthesize(DefaultConfig(3, 4))
+	refs := make([][]float64, len(ds.Records))
+	waves := make([][]float64, len(ds.Records))
+	labels := make([]eeg.Class, len(ds.Records))
+	for i, r := range ds.Records {
+		refs[i] = r.Samples
+		labels[i] = r.Label
+		if i < 2 {
+			waves[i] = r.Samples // perfect reconstruction
+		} else {
+			waves[i] = make([]float64, len(r.Samples)) // all-zero: fails any floor
+		}
+	}
+	acc, conf := QualityGate{}.Score(core.MetricContext{Waves: waves, Refs: refs, Labels: labels})
+	want := classify.Confusion{TN: 1, TP: 1, FN: 1, FP: 1}
+	if conf != want {
+		t.Fatalf("confusion %+v, want %+v", conf, want)
+	}
+	if acc != 0.5 {
+		t.Fatalf("accuracy %g, want 0.5", acc)
+	}
+}
+
+func TestQualityGateFingerprint(t *testing.T) {
+	def := QualityGate{}.Fingerprint()
+	if def != (QualityGate{ThresholdDB: DefaultThresholdDB}).Fingerprint() {
+		t.Fatal("zero threshold must fingerprint as the default threshold")
+	}
+	if def == (QualityGate{ThresholdDB: 6}.Fingerprint()) {
+		t.Fatal("distinct thresholds collide")
+	}
+}

@@ -1,0 +1,75 @@
+package ecg
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"efficsense/internal/classify"
+	"efficsense/internal/core"
+	"efficsense/internal/dsp"
+	"efficsense/internal/eeg"
+)
+
+// DefaultThresholdDB is the reconstruction-SNDR floor a record must meet
+// to count as diagnostically usable. Telemonitoring literature treats
+// low-teens output SNR as the clinical floor for rhythm reading; the
+// default sits there so the gate responds smoothly across the front-end
+// design space instead of saturating at 0 or 1.
+const DefaultThresholdDB = 12.0
+
+// QualityGate is the ECG-telemonitoring quality metric: the fraction of
+// records whose reconstructed waveform reaches ThresholdDB of SNDR
+// against the band-limited reference. Unlike the EEG detector it needs
+// no training — the telemonitoring application ships waveforms, so
+// quality is fidelity, not classification — yet it still fills the
+// confusion matrix (a passing record counts as a correct handling of its
+// rhythm label) so accuracy-goal searches and fronts work unchanged.
+type QualityGate struct {
+	// ThresholdDB is the per-record SNDR floor (0 → DefaultThresholdDB).
+	ThresholdDB float64
+}
+
+// Score implements core.Metric.
+func (q QualityGate) Score(ctx core.MetricContext) (float64, classify.Confusion) {
+	thr := q.ThresholdDB
+	if thr == 0 {
+		thr = DefaultThresholdDB
+	}
+	var conf classify.Confusion
+	for i, w := range ctx.Waves {
+		ref := ctx.Refs[i]
+		n := len(w)
+		if len(ref) < n {
+			n = len(ref)
+		}
+		pass := dsp.SNRVersusReference(ref[:n], w[:n]) >= thr
+		arrhythmic := i < len(ctx.Labels) && ctx.Labels[i] == eeg.Ictal
+		switch {
+		case pass && arrhythmic:
+			conf.TP++
+		case pass:
+			conf.TN++
+		case arrhythmic:
+			conf.FN++
+		default:
+			conf.FP++
+		}
+	}
+	return conf.Accuracy(), conf
+}
+
+// Fingerprint implements core.Metric: the gate is fully determined by its
+// kind and threshold.
+func (q QualityGate) Fingerprint() uint64 {
+	thr := q.ThresholdDB
+	if thr == 0 {
+		thr = DefaultThresholdDB
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte("ecg-sndr-gate:"))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(thr))
+	_, _ = h.Write(buf[:])
+	return h.Sum64()
+}

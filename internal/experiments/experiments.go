@@ -16,13 +16,17 @@ import (
 	"efficsense/internal/classify"
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
-	"efficsense/internal/eeg"
 	"efficsense/internal/power"
+	"efficsense/internal/scenario"
 	"efficsense/internal/tech"
 )
 
 // Options configures a reproduction suite.
 type Options struct {
+	// Scenario names the registered workload to evaluate (see
+	// internal/scenario). Empty selects the default EEG epilepsy chain,
+	// bit-identical to the historical hard-wired behaviour.
+	Scenario string
 	// Seed drives every stochastic element.
 	Seed int64
 	// Records is the number of evaluation records (paper: 500). The
@@ -106,7 +110,9 @@ type Suite struct {
 	sys  tech.System
 
 	once      sync.Once
+	scn       *scenario.Scenario
 	evaluator *core.Evaluator
+	metric    core.Metric
 	detector  *classify.Detector
 	engine    *dse.Sweep
 	cache     dse.Cache
@@ -124,24 +130,34 @@ func NewSuite(opts Options) *Suite {
 // Options returns the effective (defaulted) options.
 func (s *Suite) Options() Options { return s.opts }
 
-// init lazily trains the detector and builds the evaluator.
+// init lazily resolves the scenario, builds its quality metric (training
+// the detector, for workloads that have one) and assembles the evaluator.
 func (s *Suite) init() {
 	s.once.Do(func() {
-		train := eeg.Synthesize(eeg.DefaultConfig(s.opts.Seed+1000, s.opts.TrainRecords))
-		s.detector = classify.TrainDetector(train, classify.DetectorConfig{
-			Seed:          s.opts.Seed,
-			WindowSeconds: s.opts.WindowSeconds,
-			Train:         classify.TrainOptions{Epochs: s.opts.Epochs},
-		})
-		test := eeg.Synthesize(eeg.DefaultConfig(s.opts.Seed, s.opts.Records))
-		ev, err := core.NewEvaluator(core.Config{
-			Tech:          s.tp,
-			Sys:           s.sys,
-			Dataset:       test,
-			Detector:      s.detector,
-			WindowSeconds: s.opts.WindowSeconds,
-			Seed:          s.opts.Seed,
-		})
+		scn, err := scenario.Lookup(s.opts.Scenario)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		s.scn = scn
+		if scn.NewMetric != nil {
+			s.metric = scn.NewMetric(scenario.MetricConfig{
+				Seed:          s.opts.Seed,
+				TrainRecords:  s.opts.TrainRecords,
+				WindowSeconds: s.opts.WindowSeconds,
+				Epochs:        s.opts.Epochs,
+			})
+		}
+		if dm, ok := s.metric.(core.DetectorMetric); ok {
+			s.detector = dm.Detector
+		}
+		cfg := scn.EvaluatorConfig()
+		cfg.Tech = s.tp
+		cfg.Sys = s.sys
+		cfg.Dataset = scn.Synthesize(s.opts.Seed, s.opts.Records)
+		cfg.Metric = s.metric
+		cfg.WindowSeconds = s.opts.WindowSeconds
+		cfg.Seed = s.opts.Seed
+		ev, err := core.NewEvaluator(cfg)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %v", err))
 		}
@@ -187,10 +203,26 @@ func (s *Suite) Evaluator() *core.Evaluator {
 	return s.evaluator
 }
 
-// Detector exposes the trained detector.
+// Detector exposes the trained detector, when the scenario's quality
+// metric is detector-based (nil otherwise — e.g. the SNDR-gated
+// telemonitoring workloads).
 func (s *Suite) Detector() *classify.Detector {
 	s.init()
 	return s.detector
+}
+
+// Metric exposes the scenario's quality metric (nil for SNR-only
+// scenarios).
+func (s *Suite) Metric() core.Metric {
+	s.init()
+	return s.metric
+}
+
+// Scenario exposes the resolved workload (building the suite on first
+// use, since resolution and construction share the init path).
+func (s *Suite) Scenario() *scenario.Scenario {
+	s.init()
+	return s.scn
 }
 
 // Fig4Point is one x-position of the Fig 4 sweep.
@@ -260,7 +292,7 @@ func (s *Suite) SweepResultsContext(ctx context.Context) ([]core.Result, error) 
 	if s.sweep != nil {
 		return s.sweep, nil
 	}
-	space := dse.PaperSpace(s.opts.NoiseSteps)
+	space := s.scn.Space(s.opts.NoiseSteps)
 	if err := space.Validate(); err != nil {
 		return nil, err
 	}

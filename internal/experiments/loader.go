@@ -50,18 +50,11 @@ func LoadResults(r io.Reader) ([]core.Result, error) {
 			return v, nil
 		}
 		var res core.Result
-		switch get("arch") {
-		case "baseline":
-			res.Point.Arch = core.ArchBaseline
-		case "cs":
-			res.Point.Arch = core.ArchCS
-		case "cs-digital":
-			res.Point.Arch = core.ArchCSDigital
-		case "cs-active":
-			res.Point.Arch = core.ArchCSActive
-		default:
+		arch, err := core.ParseArchitecture(get("arch"))
+		if err != nil {
 			return nil, fmt.Errorf("experiments: line %d: unknown architecture %q", line, get("arch"))
 		}
+		res.Point.Arch = arch
 		bits, err := strconv.Atoi(get("bits"))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: line %d: bits: %w", line, err)

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+
+	"efficsense/internal/core"
+	"efficsense/internal/scenario"
+)
+
+// tinyOpts keeps suite construction cheap: 1-record evaluation, a
+// 4-record training split, one epoch.
+func tinyOpts(scn string) Options {
+	return Options{Scenario: scn, Seed: 11, Records: 1, TrainRecords: 4, NoiseSteps: 1, Epochs: 1}
+}
+
+// TestDefaultScenarioBitIdentical is the regression gate for the
+// registry redesign: an unnamed scenario and an explicit "eeg-epilepsy"
+// must build evaluators with equal fingerprints and produce identical
+// results — the pre-registry behaviour under a new spelling.
+func TestDefaultScenarioBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains two (tiny) detectors")
+	}
+	implicit := NewSuite(tinyOpts(""))
+	explicit := NewSuite(tinyOpts(scenario.DefaultName))
+	if implicit.Scenario().Name != scenario.DefaultName {
+		t.Fatalf("implicit suite resolved scenario %q", implicit.Scenario().Name)
+	}
+	fa, fb := implicit.Evaluator().Fingerprint(), explicit.Evaluator().Fingerprint()
+	if fa != fb {
+		t.Fatalf("fingerprints diverge:\n implicit %s\n explicit %s", fa, fb)
+	}
+	p := core.DesignPoint{Arch: core.ArchCS, Bits: 6, LNANoise: 5e-6, M: 75}
+	ra, rb := implicit.Evaluator().Evaluate(p), explicit.Evaluator().Evaluate(p)
+	if ra.MeanSNRdB != rb.MeanSNRdB || ra.Accuracy != rb.Accuracy || ra.TotalPower != rb.TotalPower {
+		t.Fatalf("results diverge:\n implicit %+v\n explicit %+v", ra, rb)
+	}
+}
+
+// TestScenarioFingerprintsDisjoint pins the cache-safety property the
+// serving layer relies on: evaluators of different scenarios can never
+// share a fingerprint, so cross-workload cache hits are impossible.
+func TestScenarioFingerprintsDisjoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a (tiny) detector")
+	}
+	eeg := NewSuite(tinyOpts(""))
+	ecg := NewSuite(tinyOpts("ecg-telemonitoring"))
+	if ecg.Scenario().Name != "ecg-telemonitoring" {
+		t.Fatalf("ecg suite resolved scenario %q", ecg.Scenario().Name)
+	}
+	if eeg.Evaluator().Fingerprint() == ecg.Evaluator().Fingerprint() {
+		t.Fatalf("EEG and ECG evaluators share fingerprint %s", eeg.Evaluator().Fingerprint())
+	}
+	// The ECG workload's metric is training-free and must still produce
+	// sound results over its own architecture set.
+	for _, arch := range ecg.Scenario().Architectures {
+		p := core.DesignPoint{Arch: arch, Bits: 8, LNANoise: 5e-6, M: 75}
+		r := ecg.Evaluator().Evaluate(p)
+		if r.Err != nil {
+			t.Fatalf("ecg %v: %v", arch, r.Err)
+		}
+		if r.Accuracy < 0 || r.Accuracy > 1 {
+			t.Fatalf("ecg %v: accuracy %g outside [0,1]", arch, r.Accuracy)
+		}
+		if r.TotalPower <= 0 {
+			t.Fatalf("ecg %v: non-positive power %g", arch, r.TotalPower)
+		}
+	}
+}
+
+// TestSuiteUnknownScenarioPanics pins failure locality: a bad name
+// fails at suite construction, not deep inside an evaluation.
+func TestSuiteUnknownScenarioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("suite with an unknown scenario did not panic on init")
+		}
+	}()
+	NewSuite(tinyOpts("no-such-workload")).Scenario()
+}

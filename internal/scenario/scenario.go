@@ -1,0 +1,209 @@
+// Package scenario is the registry of named workloads the pathfinding
+// framework evaluates. The paper positions EffiCSense as a general
+// architectural-pathfinding methodology; a Scenario bundles everything
+// that makes one application concrete — the signal synthesiser, the
+// application-quality metric, the architecture set, the design-space
+// generator and the evaluator knobs — behind a name, so the experiments
+// engine, the serving layer and the CLIs select workloads instead of
+// hard-wiring the EEG chain. The serving/caching/search stack amortises
+// across every registered scenario (ROADMAP "Scenario diversity").
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"efficsense/internal/core"
+	"efficsense/internal/cs"
+	"efficsense/internal/dse"
+	"efficsense/internal/eeg"
+)
+
+// DefaultName is the scenario selected when none is named: the paper's
+// EEG epilepsy-detection chain, bit-identical to the pre-registry
+// behaviour.
+const DefaultName = "eeg-epilepsy"
+
+// MetricConfig carries the per-run options a scenario's metric factory
+// may depend on (the EEG detector trains on a seed-derived split; a
+// training-free metric ignores all of it).
+type MetricConfig struct {
+	// Seed drives every stochastic choice of the metric build.
+	Seed int64
+	// TrainRecords sizes the training split, when the metric trains.
+	TrainRecords int
+	// WindowSeconds is the windowed classification protocol length.
+	WindowSeconds float64
+	// Epochs bounds metric training.
+	Epochs int
+}
+
+// Scenario is one registered workload. All fields are immutable after
+// registration; a Scenario is safe for concurrent use.
+type Scenario struct {
+	// Name is the registry key and wire identity (lowercase kebab-case).
+	Name string
+	// Description is the one-line summary surfaced by GET /v1/scenarios.
+	Description string
+	// Architectures is the set of front-end architectures this workload
+	// accepts on the wire; arch-name parsing is scoped to it.
+	Architectures []core.Architecture
+	// Synthesize builds the labelled evaluation dataset.
+	Synthesize func(seed int64, records int) *eeg.Dataset
+	// NewMetric builds the application-quality metric (nil Metric means
+	// the scenario scores SNR only).
+	NewMetric func(cfg MetricConfig) core.Metric
+	// Space returns the default design-space grid for the workload.
+	Space func(noiseSteps int) dse.Space
+	// InputPeak is the expected electrode-signal peak (V) the LNA gain
+	// is designed for; 0 keeps the chain default (250 µV).
+	InputPeak float64
+	// ReconMethod selects the CS reconstruction algorithm (OMP default).
+	ReconMethod cs.Method
+}
+
+// ArchNames returns the wire names of the scenario's architecture set,
+// derived from core.Architecture.String — the single source of truth.
+func (s *Scenario) ArchNames() []string {
+	names := make([]string, len(s.Architectures))
+	for i, a := range s.Architectures {
+		names[i] = a.String()
+	}
+	return names
+}
+
+// ParseArch resolves a wire architecture name within this scenario's
+// architecture set. Names outside the set fail even when another
+// scenario defines them, so a request can never evaluate an architecture
+// its workload does not support.
+func (s *Scenario) ParseArch(name string) (core.Architecture, error) {
+	for _, a := range s.Architectures {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario %s: unknown architecture %q (want one of %v)",
+		s.Name, name, s.ArchNames())
+}
+
+// EvaluatorConfig seeds a core.Config with the scenario's evaluator
+// identity and knobs; the caller fills dataset, metric and run options.
+func (s *Scenario) EvaluatorConfig() core.Config {
+	return core.Config{
+		Scenario:    s.Name,
+		InputPeak:   s.InputPeak,
+		ReconMethod: s.ReconMethod,
+	}
+}
+
+var (
+	mu       sync.RWMutex
+	registry = map[string]*Scenario{}
+)
+
+// Register adds a scenario to the registry. It panics on an invalid
+// definition or a duplicate name — registration happens at init time,
+// where a panic is a build error, not a runtime hazard.
+func Register(s *Scenario) {
+	if err := validate(s); err != nil {
+		panic("scenario: " + err.Error())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic("scenario: duplicate registration of " + s.Name)
+	}
+	registry[s.Name] = s
+}
+
+func validate(s *Scenario) error {
+	if s == nil {
+		return fmt.Errorf("nil scenario")
+	}
+	if !ValidName(s.Name) {
+		return fmt.Errorf("invalid name %q (want lowercase kebab-case, at most %d chars)", s.Name, maxNameLen)
+	}
+	if len(s.Architectures) == 0 {
+		return fmt.Errorf("%s: empty architecture set", s.Name)
+	}
+	if s.Synthesize == nil {
+		return fmt.Errorf("%s: nil synthesiser", s.Name)
+	}
+	if s.Space == nil {
+		return fmt.Errorf("%s: nil space generator", s.Name)
+	}
+	return nil
+}
+
+const maxNameLen = 64
+
+// ValidName reports whether name is a well-formed scenario name on the
+// wire: non-empty lowercase kebab-case (letters, digits, single hyphens)
+// of bounded length. Lookup rejects invalid names before touching the
+// registry, so hostile inputs cost O(len) and cannot alias a registered
+// name.
+func ValidName(name string) bool {
+	if len(name) == 0 || len(name) > maxNameLen {
+		return false
+	}
+	prevHyphen := true // leading hyphen is invalid
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			prevHyphen = false
+		case c == '-':
+			if prevHyphen {
+				return false
+			}
+			prevHyphen = true
+		default:
+			return false
+		}
+	}
+	return !prevHyphen // trailing hyphen is invalid
+}
+
+// Lookup resolves a scenario name. The empty string selects the default
+// workload; unknown or malformed names return an error listing what is
+// registered.
+func Lookup(name string) (*Scenario, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	if !ValidName(name) {
+		return nil, fmt.Errorf("scenario: invalid name %q", name)
+	}
+	mu.RLock()
+	s := registry[name]
+	mu.RUnlock()
+	if s == nil {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (registered: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// Names returns the registered scenario names, sorted.
+func Names() []string {
+	mu.RLock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered scenarios in Name order.
+func All() []*Scenario {
+	mu.RLock()
+	out := make([]*Scenario, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

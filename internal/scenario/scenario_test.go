@@ -1,0 +1,172 @@
+package scenario
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"efficsense/internal/core"
+)
+
+func TestLookup(t *testing.T) {
+	def, err := Lookup("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Name != DefaultName {
+		t.Fatalf("empty name resolved %q, want %q", def.Name, DefaultName)
+	}
+	explicit, err := Lookup(DefaultName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit != def {
+		t.Fatal("explicit default and implicit default are distinct scenarios")
+	}
+	ecg, err := Lookup("ecg-telemonitoring")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecg.Name != "ecg-telemonitoring" {
+		t.Fatalf("lookup returned %q", ecg.Name)
+	}
+
+	if _, err := Lookup("no-such-workload"); err == nil {
+		t.Fatal("unknown name did not error")
+	} else if !strings.Contains(err.Error(), DefaultName) {
+		t.Fatalf("unknown-name error should list the registry: %v", err)
+	}
+	if _, err := Lookup("Not-Kebab"); err == nil {
+		t.Fatal("malformed name did not error")
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for name, want := range map[string]bool{
+		"eeg-epilepsy":                    true,
+		"a":                               true,
+		"a1-b2":                           true,
+		"":                                false,
+		"-leading":                        false,
+		"trailing-":                       false,
+		"double--hyphen":                  false,
+		"Upper":                           false,
+		"under_score":                     false,
+		"spa ce":                          false,
+		"dot.name":                        false,
+		strings.Repeat("a", maxNameLen):   true,
+		strings.Repeat("a", maxNameLen+1): false,
+	} {
+		if got := ValidName(name); got != want {
+			t.Errorf("ValidName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+// TestParseArchScoped pins the scoping contract: a name parses only
+// inside a scenario that includes the architecture, even though the
+// global registry knows it.
+func TestParseArchScoped(t *testing.T) {
+	eeg, _ := Lookup(DefaultName)
+	ecg, _ := Lookup("ecg-telemonitoring")
+	if a, err := eeg.ParseArch("cs-digital"); err != nil || a != core.ArchCSDigital {
+		t.Fatalf("eeg cs-digital: %v %v", a, err)
+	}
+	if _, err := ecg.ParseArch("cs-digital"); err == nil {
+		t.Fatal("ecg accepted an architecture outside its set")
+	} else if !strings.Contains(err.Error(), "ecg-telemonitoring") {
+		t.Fatalf("scoped parse error should name the scenario: %v", err)
+	}
+	for _, sc := range All() {
+		for _, want := range sc.Architectures {
+			got, err := sc.ParseArch(want.String())
+			if err != nil || got != want {
+				t.Fatalf("%s: round-trip %v: got %v, err %v", sc.Name, want, got, err)
+			}
+		}
+		if !reflect.DeepEqual(len(sc.ArchNames()), len(sc.Architectures)) {
+			t.Fatalf("%s: ArchNames length mismatch", sc.Name)
+		}
+	}
+}
+
+func TestRegistryOrdering(t *testing.T) {
+	names := Names()
+	if len(names) < 2 {
+		t.Fatalf("registry holds %d scenarios, want >= 2", len(names))
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Names not sorted: %v", names)
+	}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All/Names disagree: %d vs %d", len(all), len(names))
+	}
+	for i, sc := range all {
+		if sc.Name != names[i] {
+			t.Fatalf("All()[%d] = %s, Names()[%d] = %s", i, sc.Name, i, names[i])
+		}
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	mustPanic := func(name string, s *Scenario) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Register did not panic", name)
+			}
+		}()
+		Register(s)
+	}
+	ok, _ := Lookup(DefaultName)
+	mustPanic("nil", nil)
+	mustPanic("bad name", &Scenario{Name: "Bad Name", Architectures: ok.Architectures,
+		Synthesize: ok.Synthesize, Space: ok.Space})
+	mustPanic("no archs", &Scenario{Name: "no-archs",
+		Synthesize: ok.Synthesize, Space: ok.Space})
+	mustPanic("nil synth", &Scenario{Name: "nil-synth", Architectures: ok.Architectures,
+		Space: ok.Space})
+	mustPanic("nil space", &Scenario{Name: "nil-space", Architectures: ok.Architectures,
+		Synthesize: ok.Synthesize})
+	mustPanic("duplicate", &Scenario{Name: DefaultName, Architectures: ok.Architectures,
+		Synthesize: ok.Synthesize, Space: ok.Space})
+}
+
+// FuzzParseScenarioName hammers the wire-name validator and Lookup with
+// arbitrary bytes: no panic, and the two must agree — Lookup never
+// resolves a name ValidName rejects, and every registered name both
+// validates and resolves to itself.
+func FuzzParseScenarioName(f *testing.F) {
+	f.Add("")
+	f.Add(DefaultName)
+	f.Add("ecg-telemonitoring")
+	f.Add("-")
+	f.Add("a--b")
+	f.Add(strings.Repeat("a-", 40))
+	f.Add("EEG-EPILEPSY")
+	f.Add("eeg-epilepsy\x00")
+	f.Fuzz(func(t *testing.T, name string) {
+		sc, err := Lookup(name)
+		if err != nil {
+			if sc != nil {
+				t.Fatal("Lookup returned both a scenario and an error")
+			}
+			return
+		}
+		if name != "" && !ValidName(name) {
+			t.Fatalf("Lookup(%q) resolved a name ValidName rejects", name)
+		}
+		if name != "" && sc.Name != name {
+			t.Fatalf("Lookup(%q) resolved to %q", name, sc.Name)
+		}
+		if name == "" && sc.Name != DefaultName {
+			t.Fatalf("Lookup(\"\") resolved to %q", sc.Name)
+		}
+		// Resolved scenarios are well-formed.
+		if len(sc.Architectures) == 0 || sc.Synthesize == nil || sc.Space == nil {
+			t.Fatalf("registered scenario %q fails its own validation", sc.Name)
+		}
+	})
+}

@@ -17,7 +17,13 @@
 //	GET    /v1/search/{id}/events  SSE stream of front-update events
 //	GET    /v1/search/{id}/results NDJSON stream of the discovered front
 //	DELETE /v1/search/{id}         cancel the search (partial front kept)
+//	GET    /v1/scenarios           list the registered workload scenarios
 //	GET    /healthz, GET /metrics  liveness and Prometheus exposition
+//
+// Every request that evaluates designs selects a workload through the
+// options' "scenario" field (absent = the server default, normally
+// eeg-epilepsy); architecture names, the default design space and the
+// evaluator identity all resolve against the selected scenario.
 //
 // Every response carries an X-Request-ID header (echoing the caller's,
 // when valid, else freshly assigned); error responses share the v1
@@ -35,6 +41,7 @@ import (
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
+	"efficsense/internal/scenario"
 	"efficsense/internal/search"
 )
 
@@ -47,25 +54,27 @@ type PointSpec struct {
 	CHold    float64 `json:"chold,omitempty"`
 }
 
-// parseArch maps the wire architecture names (the same strings
-// core.Architecture renders) back to values.
+// parseArch maps a wire architecture name back to its value without any
+// scenario scoping — the names derive from core.Architecture.String, the
+// single source of truth. WAL replay uses this (a journaled row must
+// round-trip whatever architecture produced it); request paths parse
+// through the selected scenario instead, so a workload only accepts the
+// architectures it supports.
 func parseArch(s string) (core.Architecture, error) {
-	switch s {
-	case "baseline":
-		return core.ArchBaseline, nil
-	case "cs":
-		return core.ArchCS, nil
-	case "cs-digital":
-		return core.ArchCSDigital, nil
-	case "cs-active":
-		return core.ArchCSActive, nil
-	}
-	return 0, fmt.Errorf("unknown architecture %q (want baseline, cs, cs-digital or cs-active)", s)
+	return core.ParseArchitecture(s)
 }
 
-// DesignPoint validates the spec and converts it.
-func (p PointSpec) DesignPoint() (core.DesignPoint, error) {
-	arch, err := parseArch(p.Arch)
+// DesignPoint validates the spec and converts it. The architecture name
+// resolves within the selected scenario's architecture set; a nil
+// scenario falls back to the unscoped global parse.
+func (p PointSpec) DesignPoint(scn *scenario.Scenario) (core.DesignPoint, error) {
+	var arch core.Architecture
+	var err error
+	if scn != nil {
+		arch, err = scn.ParseArch(p.Arch)
+	} else {
+		arch, err = parseArch(p.Arch)
+	}
 	if err != nil {
 		return core.DesignPoint{}, err
 	}
@@ -93,6 +102,9 @@ func pointSpecOf(p core.DesignPoint) PointSpec {
 // field; absent fields inherit the default. Progress/trace sinks are
 // server-owned and not settable over the wire.
 type OptionsSpec struct {
+	// Scenario names the workload (GET /v1/scenarios lists them); absent
+	// or empty selects the server default.
+	Scenario      *string  `json:"scenario,omitempty"`
 	Seed          *int64   `json:"seed,omitempty"`
 	Records       *int     `json:"records,omitempty"`
 	TrainRecords  *int     `json:"train_records,omitempty"`
@@ -106,6 +118,9 @@ type OptionsSpec struct {
 func (o *OptionsSpec) apply(base experiments.Options) experiments.Options {
 	if o == nil {
 		return base
+	}
+	if o.Scenario != nil {
+		base.Scenario = *o.Scenario
 	}
 	if o.Seed != nil {
 		base.Seed = *o.Seed
@@ -135,8 +150,8 @@ func (o *OptionsSpec) apply(base experiments.Options) experiments.Options {
 }
 
 // SpaceSpec selects the design-space grid of a sweep. Absent fields
-// inherit the paper's Table III axes (dse.PaperSpace); lna_noise, when
-// set, wins over noise_steps.
+// inherit the selected scenario's default axes (the paper's Table III
+// grid for eeg-epilepsy); lna_noise, when set, wins over noise_steps.
 type SpaceSpec struct {
 	Architectures []string  `json:"architectures,omitempty"`
 	Bits          []int     `json:"bits,omitempty"`
@@ -147,14 +162,18 @@ type SpaceSpec struct {
 }
 
 func (sp *SpaceSpec) space(opts experiments.Options) (dse.Space, error) {
-	s := dse.PaperSpace(opts.NoiseSteps)
+	scn, err := scenario.Lookup(opts.Scenario)
+	if err != nil {
+		return dse.Space{}, err
+	}
+	s := scn.Space(opts.NoiseSteps)
 	if sp == nil {
 		return s, s.Validate()
 	}
 	if len(sp.Architectures) > 0 {
 		s.Architectures = s.Architectures[:0]
 		for _, name := range sp.Architectures {
-			arch, err := parseArch(name)
+			arch, err := scn.ParseArch(name)
 			if err != nil {
 				return dse.Space{}, err
 			}
@@ -168,7 +187,9 @@ func (sp *SpaceSpec) space(opts experiments.Options) (dse.Space, error) {
 	case len(sp.LNANoise) > 0:
 		s.LNANoise = sp.LNANoise
 	case sp.NoiseSteps > 0:
-		s.LNANoise = dse.GeomRange(1e-6, 20e-6, sp.NoiseSteps)
+		// Re-derive the scenario's own noise axis at the requested
+		// resolution, not a hard-wired EEG range.
+		s.LNANoise = scn.Space(sp.NoiseSteps).LNANoise
 	}
 	if len(sp.M) > 0 {
 		s.M = sp.M
@@ -481,6 +502,7 @@ type ProgressJSON struct {
 type JobStatus struct {
 	ID              string             `json:"id"`
 	Kind            string             `json:"kind"`
+	Scenario        string             `json:"scenario,omitempty"`
 	State           string             `json:"state"`
 	Tenant          string             `json:"tenant,omitempty"`
 	RequestID       string             `json:"request_id,omitempty"`
@@ -503,6 +525,7 @@ type JobStatus struct {
 type JobSummary struct {
 	ID        string       `json:"id"`
 	Kind      string       `json:"kind"`
+	Scenario  string       `json:"scenario,omitempty"`
 	State     string       `json:"state"`
 	Tenant    string       `json:"tenant,omitempty"`
 	RequestID string       `json:"request_id,omitempty"`
@@ -515,6 +538,61 @@ type JobSummary struct {
 type JobListJSON struct {
 	Jobs  []JobSummary `json:"jobs"`
 	Count int          `json:"count"`
+}
+
+// ScenarioSpaceJSON describes a scenario's default design-space axes, so
+// a client can see what an unconstrained sweep would enumerate.
+type ScenarioSpaceJSON struct {
+	Architectures []string  `json:"architectures"`
+	Bits          []int     `json:"bits"`
+	LNANoise      []float64 `json:"lna_noise"`
+	M             []int     `json:"m"`
+	CHold         []float64 `json:"chold"`
+}
+
+// ScenarioJSON is one row of the GET /v1/scenarios listing: the name a
+// request's options.scenario field selects, what the workload evaluates,
+// and the architecture set its point specs accept.
+type ScenarioJSON struct {
+	Name          string            `json:"name"`
+	Description   string            `json:"description"`
+	Default       bool              `json:"default,omitempty"`
+	Architectures []string          `json:"architectures"`
+	InputPeakV    float64           `json:"input_peak_v,omitempty"`
+	ReconMethod   string            `json:"recon_method"`
+	Space         ScenarioSpaceJSON `json:"space"`
+}
+
+// ScenarioListJSON is the GET /v1/scenarios response.
+type ScenarioListJSON struct {
+	Scenarios []ScenarioJSON `json:"scenarios"`
+	Count     int            `json:"count"`
+	Default   string         `json:"default"`
+}
+
+// scenarioJSON renders one registered scenario; noiseSteps sizes the
+// default space's noise axis (the server's default NoiseSteps).
+func scenarioJSON(sc *scenario.Scenario, noiseSteps int) ScenarioJSON {
+	sp := sc.Space(noiseSteps)
+	spaceArchs := make([]string, len(sp.Architectures))
+	for i, a := range sp.Architectures {
+		spaceArchs[i] = a.String()
+	}
+	return ScenarioJSON{
+		Name:          sc.Name,
+		Description:   sc.Description,
+		Default:       sc.Name == scenario.DefaultName,
+		Architectures: sc.ArchNames(),
+		InputPeakV:    sc.InputPeak,
+		ReconMethod:   sc.ReconMethod.String(),
+		Space: ScenarioSpaceJSON{
+			Architectures: spaceArchs,
+			Bits:          sp.Bits,
+			LNANoise:      sp.LNANoise,
+			M:             sp.M,
+			CHold:         sp.CHold,
+		},
+	}
 }
 
 // ErrorCode is the machine-readable error taxonomy of the v1 API: the

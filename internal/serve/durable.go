@@ -395,6 +395,9 @@ func (m *Manager) recoverSweep(rec walJobRecord, rows map[int]core.Result, st *w
 		req = *rec.Sweep
 	}
 	opts := req.Options.apply(m.cfg.Defaults)
+	if _, err := resolveScenario(&opts); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	space, err := req.Space.space(opts)
 	if err != nil {
 		return fmt.Errorf("space: %w", err)
@@ -468,6 +471,9 @@ func (m *Manager) recoverSearch(rec walJobRecord, st *walStateRecord) error {
 		req = *rec.Search
 	}
 	opts := req.Options.apply(m.cfg.Defaults)
+	if _, err := resolveScenario(&opts); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
 	spec, err := req.spec()
 	if err != nil {
 		return fmt.Errorf("spec: %w", err)

@@ -9,6 +9,7 @@ import (
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
+	"efficsense/internal/scenario"
 )
 
 // Engine is the slice of the sweep engine the serving layer depends on.
@@ -71,8 +72,15 @@ func (se *SuiteEngines) Cache() *cache.LRU { return se.cache }
 // defaults (not settable over the wire), so they never split
 // otherwise-identical suites.
 func optionsKey(o experiments.Options) string {
-	return fmt.Sprintf("s%d|r%d|t%d|n%d|w%d|e%d|a%g|win%g",
-		o.Seed, o.Records, o.TrainRecords, o.NoiseSteps, o.Workers,
+	// The scenario is part of the evaluator identity: an unset name
+	// canonicalises to the default, so "no scenario" and the default
+	// scenario share one suite (they are the same workload by contract).
+	name := o.Scenario
+	if name == "" {
+		name = scenario.DefaultName
+	}
+	return fmt.Sprintf("scn:%s|s%d|r%d|t%d|n%d|w%d|e%d|a%g|win%g",
+		name, o.Seed, o.Records, o.TrainRecords, o.NoiseSteps, o.Workers,
 		o.Epochs, o.MinAccuracy, o.WindowSeconds)
 }
 

@@ -17,6 +17,7 @@ import (
 	"efficsense/internal/core"
 	"efficsense/internal/experiments"
 	"efficsense/internal/obs"
+	"efficsense/internal/scenario"
 )
 
 // Server is the HTTP face of a job Manager.
@@ -63,6 +64,7 @@ func NewServer(mgr *Manager, logger *slog.Logger) *Server {
 	s.route("GET /v1/search/{id}/events", s.handleEvents)
 	s.route("GET /v1/search/{id}/results", s.handleResults)
 	s.route("DELETE /v1/search/{id}", s.handleCancel)
+	s.route("GET /v1/scenarios", s.handleScenarios)
 	s.route("GET /healthz", s.handleHealthz)
 	s.route("GET /metrics", s.handleMetrics)
 	return s
@@ -189,6 +191,12 @@ func decodeBody(r *http.Request, v interface{}) error {
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
+		// encoding/json reports an unknown key as `json: unknown field
+		// "name"` with no typed error; rewrap it so the envelope names
+		// the offending field in the API's own words.
+		if field, ok := strings.CutPrefix(err.Error(), "json: unknown field "); ok {
+			return fmt.Errorf("unknown field %s in request body", field)
+		}
 		return err
 	}
 	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
@@ -214,11 +222,16 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
-	if req.Points != nil {
-		s.evaluateBatch(w, r, req, timeout)
+	scn, err := s.mgr.Scenario(req.Options)
+	if err != nil {
+		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
 		return
 	}
-	dp, err := req.Point.DesignPoint()
+	if req.Points != nil {
+		s.evaluateBatch(w, r, req, scn, timeout)
+		return
+	}
+	dp, err := req.Point.DesignPoint(scn)
 	if err != nil {
 		s.error(w, r, http.StatusBadRequest, CodeBadRequest, "point: %v", err)
 		return
@@ -254,7 +267,7 @@ func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 // all-or-nothing (a malformed point is the caller's bug: 400 naming the
 // index); evaluation failures degrade per point into error rows with
 // partial: true, the same shape sweep outcomes use.
-func (s *Server) evaluateBatch(w http.ResponseWriter, r *http.Request, req EvaluateRequest, timeout time.Duration) {
+func (s *Server) evaluateBatch(w http.ResponseWriter, r *http.Request, req EvaluateRequest, scn *scenario.Scenario, timeout time.Duration) {
 	if req.Point != (PointSpec{}) {
 		s.error(w, r, http.StatusBadRequest, CodeBadRequest,
 			"provide either point or points, not both")
@@ -266,7 +279,7 @@ func (s *Server) evaluateBatch(w http.ResponseWriter, r *http.Request, req Evalu
 	}
 	pts := make([]core.DesignPoint, len(req.Points))
 	for i, ps := range req.Points {
-		dp, err := ps.DesignPoint()
+		dp, err := ps.DesignPoint(scn)
 		if err != nil {
 			s.error(w, r, http.StatusBadRequest, CodeBadRequest, "points[%d]: %v", i, err)
 			return
@@ -396,9 +409,10 @@ func validStateFilter(s string) bool {
 }
 
 // handleList returns every tracked job (running and TTL-retained
-// finished ones), newest first, optionally filtered by ?state=. This is
-// the discovery endpoint: clients find their jobs here — by the
-// request_id they submitted with — instead of scraping /metrics.
+// finished ones), newest first, optionally filtered by ?state= and/or
+// ?scenario=. This is the discovery endpoint: clients find their jobs
+// here — by the request_id they submitted with — instead of scraping
+// /metrics.
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	filter := r.URL.Query().Get("state")
 	if filter != "" && !validStateFilter(filter) {
@@ -406,11 +420,23 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			"unknown state %q (want pending, running, completed, cancelled or failed)", filter)
 		return
 	}
+	scnFilter := r.URL.Query().Get("scenario")
+	if scnFilter != "" {
+		scn, err := scenario.Lookup(scnFilter)
+		if err != nil {
+			s.error(w, r, http.StatusBadRequest, CodeBadRequest, "%v", err)
+			return
+		}
+		scnFilter = scn.Name
+	}
 	jobs := s.mgr.Jobs()
 	summaries := make([]JobSummary, 0, len(jobs))
 	for _, j := range jobs {
 		sum := j.Summary()
 		if filter != "" && sum.State != filter {
+			continue
+		}
+		if scnFilter != "" && sum.Scenario != scnFilter {
 			continue
 		}
 		summaries = append(summaries, sum)
@@ -466,6 +492,23 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+// handleScenarios lists the registered workload scenarios — the names a
+// request's options.scenario field may select, each with its
+// architecture set and default design space (sized by the server's
+// default noise resolution).
+func (s *Server) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	list := scenario.All()
+	out := ScenarioListJSON{
+		Scenarios: make([]ScenarioJSON, 0, len(list)),
+		Default:   scenario.DefaultName,
+	}
+	for _, sc := range list {
+		out.Scenarios = append(out.Scenarios, scenarioJSON(sc, s.mgr.cfg.Defaults.NoiseSteps))
+	}
+	out.Count = len(out.Scenarios)
+	writeJSON(w, http.StatusOK, out)
 }
 
 // healthJSON is the /healthz body.

@@ -17,6 +17,7 @@ import (
 	"efficsense/internal/fault"
 	"efficsense/internal/obs"
 	"efficsense/internal/report"
+	"efficsense/internal/scenario"
 	"efficsense/internal/search"
 	"efficsense/internal/wal"
 )
@@ -41,6 +42,27 @@ const (
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
 	return s == StateCompleted || s == StateCancelled || s == StateFailed
+}
+
+// resolveScenario looks the option set's scenario up and canonicalises
+// the name in place (empty → the default's registered name), so
+// engine-key derivation and status rendering always see the same
+// identity regardless of how the request spelled it.
+func resolveScenario(opts *experiments.Options) (*scenario.Scenario, error) {
+	scn, err := scenario.Lookup(opts.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	opts.Scenario = scn.Name
+	return scn, nil
+}
+
+// Scenario resolves the workload a request's options select, with the
+// server defaults applied — the handler-side counterpart of the
+// admission paths, used to scope point parsing before evaluation.
+func (m *Manager) Scenario(spec *OptionsSpec) (*scenario.Scenario, error) {
+	opts := spec.apply(m.cfg.Defaults)
+	return scenario.Lookup(opts.Scenario)
 }
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -301,6 +323,9 @@ func (m *Manager) logJob(j *Job, msg string, attrs ...slog.Attr) {
 // request and is NOT cancelled when ctx ends.
 func (m *Manager) Submit(ctx context.Context, req SweepRequest) (*Job, error) {
 	opts := req.Options.apply(m.cfg.Defaults)
+	if _, err := resolveScenario(&opts); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
 	space, err := req.Space.space(opts)
 	if err != nil {
 		return nil, fmt.Errorf("%w: space: %v", ErrBadRequest, err)
@@ -558,9 +583,9 @@ func (m *Manager) finishLocked(job *Job, rs []core.Result, err error, errs int) 
 		p50, p90, p99 = ms(snap.P50Eval), ms(snap.P90Eval), ms(snap.P99Eval)
 	}
 	data, jerr := report.NDJSONRow(
-		[]string{"state", "done", "total", "partial", "errors", "error",
+		[]string{"state", "scenario", "done", "total", "partial", "errors", "error",
 			"eval_p50_ms", "eval_p90_ms", "eval_p99_ms"},
-		[]interface{}{string(state), len(rs), job.total, partial, errs, errMsg, p50, p90, p99})
+		[]interface{}{string(state), job.opts.Scenario, len(rs), job.total, partial, errs, errMsg, p50, p90, p99})
 	if jerr != nil {
 		data = []byte(`{}`)
 	}
@@ -655,6 +680,7 @@ func (j *Job) Status() JobStatus {
 	st := JobStatus{
 		ID:              j.ID,
 		Kind:            j.kind,
+		Scenario:        j.opts.Scenario,
 		State:           string(j.state),
 		Tenant:          j.tenant,
 		RequestID:       j.requestID,
@@ -696,6 +722,7 @@ func (j *Job) Summary() JobSummary {
 	return JobSummary{
 		ID:        j.ID,
 		Kind:      j.kind,
+		Scenario:  j.opts.Scenario,
 		State:     string(j.state),
 		Tenant:    j.tenant,
 		RequestID: j.requestID,
@@ -790,6 +817,9 @@ func (m *Manager) Evaluate(ctx context.Context, spec *OptionsSpec, p core.Design
 	}
 	m.evaluations.Add(1)
 	opts := spec.apply(m.cfg.Defaults)
+	if _, err := resolveScenario(&opts); err != nil {
+		return core.Result{}, false, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
 	engine, err := m.cfg.Engines(opts)
 	if err != nil {
 		return core.Result{}, false, fmt.Errorf("engine: %w", err)
@@ -833,6 +863,9 @@ func (m *Manager) EvaluateBatch(ctx context.Context, spec *OptionsSpec, pts []co
 	}
 	m.evaluations.Add(int64(len(pts)))
 	opts := spec.apply(m.cfg.Defaults)
+	if _, err := resolveScenario(&opts); err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
 	engine, err := m.cfg.Engines(opts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("engine: %w", err)

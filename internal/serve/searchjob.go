@@ -37,6 +37,9 @@ var searchEventHeaders = []string{
 // job outlives the submitting request's context.
 func (m *Manager) SubmitSearch(ctx context.Context, req SearchRequest) (*Job, error) {
 	opts := req.Options.apply(m.cfg.Defaults)
+	if _, err := resolveScenario(&opts); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
 	spec, err := req.spec()
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -278,9 +281,9 @@ func (m *Manager) finishSearchLocked(job *Job, out search.Outcome, err error) (s
 		errMsg = job.err.Error()
 	}
 	data, jerr := report.NDJSONRow(
-		[]string{"state", "evaluations", "budget", "budget_remaining",
+		[]string{"state", "scenario", "evaluations", "budget", "budget_remaining",
 			"front_size", "partial", "errors", "error"},
-		[]interface{}{string(state), out.Evaluations, out.Budget,
+		[]interface{}{string(state), job.opts.Scenario, out.Evaluations, out.Budget,
 			out.Budget - out.Evaluations, len(out.Front), partial, out.Errors, errMsg})
 	if jerr != nil {
 		data = []byte(`{}`)
