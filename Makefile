@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench benchdiff chaos search-accept wal-fuzz verify fmt
+.PHONY: build test race bench benchdiff chaos cluster-accept search-accept wal-fuzz verify fmt
 
 build:
 	$(GO) build ./...
@@ -11,17 +11,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench writes a machine-readable baseline (BENCH_PR7.json, ignored by
+# bench writes a machine-readable baseline (BENCH_PR10.json, ignored by
 # git) for the hot paths: the obs histogram, the sweep engine, the HTTP
 # serving stack, and the headline cold-sweep throughput benchmark
 # (BenchmarkSweepColdCS, points/s). -count=6 gives benchstat enough
 # samples to call a regression; the target is informational, not a gate.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -count=6 -json \
-		./internal/obs ./internal/dse ./internal/serve > BENCH_PR7.json
+		./internal/obs ./internal/dse ./internal/serve > BENCH_PR10.json
 	$(GO) test -run '^$$' -bench 'SweepColdCS' -benchmem -count=6 -json \
-		. >> BENCH_PR7.json
-	@echo "wrote BENCH_PR7.json"
+		. >> BENCH_PR10.json
+	@echo "wrote BENCH_PR10.json"
 
 # benchdiff prints a per-benchmark delta table between the release
 # baselines and the capture `make bench` just wrote — points/s, ns/op
@@ -31,7 +31,7 @@ bench:
 # skipped), it exists so the batch-dispatch throughput claim stays
 # visible release over release.
 benchdiff:
-	$(GO) run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/benchdiff BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json BENCH_PR10.json
 
 # chaos runs the fault-injection acceptance suites — seeded schedules
 # through the failpoint registry, the engine's retry path, the cache's
@@ -42,7 +42,19 @@ benchdiff:
 # other test.
 chaos:
 	$(GO) test -race -count=1 -run 'Chaos|Fault|Retry|Inject' \
-		./internal/fault ./internal/cache ./internal/dse ./internal/serve
+		./internal/fault ./internal/cache ./internal/cluster ./internal/dse ./internal/serve
+
+# cluster-accept is the fleet-mode acceptance gate, race-enabled and
+# deterministic: the full internal/cluster suite (ring placement, wire
+# protocol, peer client, membership), plus the serve-layer fleet tests —
+# a three-node fleet evaluating each design point exactly once for the
+# same sweep submitted to two nodes, a peer killed mid-sweep degrading
+# to local compute without a partial result, a restarted peer rejoining
+# on a new address without double-evaluating journaled work, and
+# single-node mode left bit-identical to a fleet of none.
+cluster-accept:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -count=1 -run 'TestCluster|TestChaosCluster|TestJobNode' ./internal/serve
 
 # search-accept is the adaptive-search acceptance gate: the budgeted
 # search must recover >= 95 % of the exhaustive Pareto front while
@@ -75,3 +87,4 @@ verify: fmt
 	$(GO) test -run '^$$' -fuzz FuzzParseGoal -fuzztime 10s ./internal/search
 	$(GO) test -run '^$$' -fuzz FuzzDecodeRecord -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzParseScenarioName -fuzztime 10s ./internal/scenario
+	$(GO) test -run '^$$' -fuzz FuzzDecodePeerRequest -fuzztime 10s ./internal/cluster

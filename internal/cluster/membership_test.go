@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestParseMember(t *testing.T) {
+	m, err := ParseMember(" n1 = http://host:8080 ")
+	if err != nil {
+		t.Fatalf("ParseMember: %v", err)
+	}
+	if m.Name != "n1" || m.Addr != "http://host:8080" {
+		t.Fatalf("parsed %+v", m)
+	}
+	for _, bad := range []string{"", "n1", "n1=", "=http://h:1", "n1=ftp://h:1", "n 1=http://h:1"} {
+		if _, err := ParseMember(bad); err == nil {
+			t.Errorf("ParseMember(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("a=http://a:1, b=http://b:2 ,,")
+	if err != nil {
+		t.Fatalf("ParseMembers: %v", err)
+	}
+	if len(ms) != 2 || ms[0].Name != "a" || ms[1].Addr != "http://b:2" {
+		t.Fatalf("parsed %v", ms)
+	}
+	if _, err := ParseMembers("a=http://a:1,a=http://a:2"); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestLoadMembersFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members")
+	content := "# fleet roster\na=http://a:1\n\nb=http://b:2  # rack 2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := LoadMembersFile(path)
+	if err != nil {
+		t.Fatalf("LoadMembersFile: %v", err)
+	}
+	if len(ms) != 2 || ms[0].Name != "a" || ms[1].Name != "b" {
+		t.Fatalf("loaded %v", ms)
+	}
+	if _, err := LoadMembersFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestWatchFileInstallsUpdates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "members")
+	if err := os.WriteFile(path, []byte("self=http://s:1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := testPeers(t, Config{})
+	ms, _ := LoadMembersFile(path)
+	p.SetMembers(ms)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := make(chan error, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.WatchFile(ctx, path, 5*time.Millisecond, func(err error) {
+			select {
+			case errs <- err:
+			default:
+			}
+		})
+	}()
+
+	// rewriteUntil keeps writing body (with a changing comment, so every
+	// write differs byte-wise from whatever the watcher last latched —
+	// its initial read races with the first rewrite) until ok holds.
+	rewriteUntil := func(body string, ok func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for rev := 0; !ok(); rev++ {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s; members = %v", what, p.Members())
+			}
+			content := fmt.Sprintf("# rev %d\n%s", rev, body)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// A good rewrite installs the new roster.
+	rewriteUntil("self=http://s:1\njoiner=http://j:2\n",
+		func() bool { return len(p.Members()) == 2 }, "joiner never installed")
+
+	// A bad rewrite keeps the previous membership and reports the error.
+	gotErr := func() bool {
+		select {
+		case <-errs:
+			return true
+		default:
+			return false
+		}
+	}
+	rewriteUntil("broken line\n", gotErr, "parse error never reported")
+	if got := p.Members(); len(got) != 2 {
+		t.Fatalf("bad file changed membership: %v", got)
+	}
+
+	// Recovery: a later good rewrite takes effect.
+	rewriteUntil("self=http://s:1\n",
+		func() bool { return len(p.Members()) == 1 }, "departure never installed")
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WatchFile did not stop on context cancel")
+	}
+}

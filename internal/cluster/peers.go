@@ -1,0 +1,434 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"efficsense/internal/fault"
+	"efficsense/internal/obs"
+	"efficsense/internal/xrand"
+)
+
+// Peer-protocol client defaults. The peer hop sits inside an
+// interactive evaluation, so the budget is tight: one retry with
+// seeded jitter, then the caller computes locally.
+const (
+	defaultTimeout   = 2 * time.Second
+	defaultRetries   = 1
+	defaultRetryBase = 25 * time.Millisecond
+	maxPeerBody      = 1 << 20
+)
+
+// Config sizes a peer group client.
+type Config struct {
+	// Self is this node. Name is required; Addr may stay empty until the
+	// listener is bound (membership updates carrying the name fill it).
+	Self Member
+	// VNodes is the per-member virtual-node count (0 → DefaultVNodes).
+	// Every node of a fleet must agree on it.
+	VNodes int
+	// Seed derives the retry-jitter schedule (xrand.Derive), so chaos
+	// runs replay identical backoff timing.
+	Seed int64
+	// Retries is how many extra attempts follow a failed fetch
+	// (default 1; negative disables retry).
+	Retries int
+	// RetryBase scales the jittered pause between attempts (default 25ms).
+	RetryBase time.Duration
+	// Timeout bounds one peer HTTP attempt (default 2s).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil uses a dedicated
+	// client with Timeout applied per request via context.
+	Client *http.Client
+}
+
+// peerHealth accumulates per-peer observability: request/error counts,
+// consecutive failures, the last error string and a latency histogram.
+type peerHealth struct {
+	member      Member
+	hist        *obs.Histogram
+	requests    atomic.Int64
+	errors      atomic.Int64
+	consecutive atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+// Peers is the node-local view of the group: the current ring, a
+// protocol client with per-peer health, and the hit/miss/fill/error
+// accounting surfaced by /v1/cluster and the efficsense_cluster_*
+// Prometheus series. All methods are goroutine-safe.
+type Peers struct {
+	self      Member
+	vnodes    int
+	retries   int
+	retryBase time.Duration
+	timeout   time.Duration
+	client    *http.Client
+
+	jitterMu sync.Mutex
+	jitter   *xrand.Source
+
+	mu     sync.RWMutex
+	ring   *Ring
+	health map[string]*peerHealth
+
+	hits   atomic.Int64 // peer answered from its cache
+	misses atomic.Int64 // peer computed for us (still a success)
+	fills  atomic.Int64 // requests this node served as owner
+	errors atomic.Int64 // fetches that degraded to local compute
+}
+
+// NewPeers builds a client for self. The group is empty until
+// SetMembers installs a membership list; an empty ring owns nothing, so
+// every key computes locally.
+func NewPeers(cfg Config) (*Peers, error) {
+	if err := checkName(cfg.Self.Name); err != nil {
+		return nil, err
+	}
+	if cfg.Self.Addr != "" {
+		if err := checkAddr(cfg.Self.Addr); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = DefaultVNodes
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = defaultRetries
+	} else if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = defaultRetryBase
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultTimeout
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Peers{
+		self:      cfg.Self,
+		vnodes:    cfg.VNodes,
+		retries:   cfg.Retries,
+		retryBase: cfg.RetryBase,
+		timeout:   cfg.Timeout,
+		client:    client,
+		jitter:    xrand.Derive(cfg.Seed, "cluster/peer-retry"),
+		ring:      NewRing(cfg.VNodes, nil),
+		health:    make(map[string]*peerHealth),
+	}, nil
+}
+
+// Self returns this node's identity, with the address from the current
+// membership when the list carries one (the listener address is often
+// unknown at construction time).
+func (p *Peers) Self() Member {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if h, ok := p.health[p.self.Name]; ok && h.member.Addr != "" {
+		return h.member
+	}
+	return p.self
+}
+
+// SetMembers replaces the membership and rebuilds the ring. Self is
+// added if the list omits it, so a node always owns part of its own
+// keyspace. Health state (histograms, counters) survives for members
+// present before and after the change; departed members drop theirs.
+func (p *Peers) SetMembers(members []Member) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	withSelf := members
+	found := false
+	for _, m := range members {
+		if m.Name == p.self.Name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		withSelf = append(append([]Member(nil), members...), p.self)
+	}
+	ring := NewRing(p.vnodes, withSelf)
+	health := make(map[string]*peerHealth, ring.Size())
+	for _, m := range ring.Members() {
+		if prev, ok := p.health[m.Name]; ok {
+			prev.member = m // address may have changed (restart)
+			health[m.Name] = prev
+			continue
+		}
+		health[m.Name] = &peerHealth{member: m, hist: obs.NewHistogram(obs.DurationBuckets)}
+	}
+	p.ring, p.health = ring, health
+}
+
+// Members returns the current membership in name order.
+func (p *Peers) Members() []Member {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.ring.Members()
+}
+
+// Lookup resolves a member by name (sticky job routing).
+func (p *Peers) Lookup(name string) (Member, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	h, ok := p.health[name]
+	if !ok {
+		return Member{}, false
+	}
+	return h.member, true
+}
+
+// Owner maps key to its owning member. remote is true only when the
+// owner is another node — the only case where the caller should fetch.
+func (p *Peers) Owner(key string) (owner Member, remote bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	m, ok := p.ring.Owner(key)
+	if !ok {
+		return Member{}, false
+	}
+	return m, m.Name != p.self.Name
+}
+
+// Owned reports whether key computes locally: true for an empty ring
+// and for segments this node owns. The batch dispatcher keeps owned
+// misses together and routes the rest through the per-point peer path.
+func (p *Peers) Owned(key string) bool {
+	_, remote := p.Owner(key)
+	return !remote
+}
+
+// Fetch asks owner to produce the result for key, with one jittered
+// retry on failure. It returns the verified response payload: transport
+// errors, non-200 statuses, undecodable or checksum-failing bodies and
+// key mismatches (ring skew: the owner evaluated a different
+// fingerprint) all come back as errors, after which the caller computes
+// locally. Failures are accounted per peer and in the group error
+// counter; they are never fatal to the evaluation above.
+func (p *Peers) Fetch(ctx context.Context, owner Member, key string, spec []byte) ([]byte, error) {
+	body, err := EncodePeerRequest(key, spec)
+	if err != nil {
+		return nil, err
+	}
+	h := p.healthFor(owner)
+	var lastErr error
+	for attempt := 0; attempt <= p.retries; attempt++ {
+		if attempt > 0 {
+			if err := p.sleepJitter(ctx, attempt); err != nil {
+				break
+			}
+		}
+		payload, err := p.fetchOnce(ctx, owner, key, body, h)
+		if err == nil {
+			return payload, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	p.errors.Add(1)
+	if lastErr == nil {
+		lastErr = ctx.Err()
+	}
+	return nil, fmt.Errorf("cluster: fetch %s from %s: %w", key, owner.Name, lastErr)
+}
+
+func (p *Peers) fetchOnce(ctx context.Context, owner Member, key string, body []byte, h *peerHealth) ([]byte, error) {
+	if h != nil {
+		h.requests.Add(1)
+	}
+	start := time.Now()
+	payload, err := p.doFetch(ctx, owner, key, body)
+	if h != nil {
+		h.hist.Observe(time.Since(start).Seconds())
+		if err != nil {
+			h.errors.Add(1)
+			h.consecutive.Add(1)
+			h.mu.Lock()
+			h.lastErr = err.Error()
+			h.mu.Unlock()
+		} else {
+			h.consecutive.Store(0)
+		}
+	}
+	return payload, err
+}
+
+func (p *Peers) doFetch(ctx context.Context, owner Member, key string, body []byte) ([]byte, error) {
+	if err := fault.Fire(fault.PointPeerFetch); err != nil {
+		return nil, err
+	}
+	if owner.Addr == "" {
+		return nil, fmt.Errorf("member %s has no address", owner.Name)
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peerURL(owner.Addr), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer status %d", resp.StatusCode)
+	}
+	pr, err := DecodePeerResponse(raw)
+	if err != nil {
+		return nil, err
+	}
+	if pr.Key != key {
+		return nil, fmt.Errorf("peer answered key %q, asked %q", pr.Key, key)
+	}
+	return pr.Result, nil
+}
+
+func peerURL(addr string) string {
+	for len(addr) > 0 && addr[len(addr)-1] == '/' {
+		addr = addr[:len(addr)-1]
+	}
+	return addr + PeerPath
+}
+
+func (p *Peers) healthFor(m Member) *peerHealth {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.health[m.Name]
+}
+
+// sleepJitter pauses before retry attempt n: a seeded-uniform fraction
+// of n*RetryBase, context-aware.
+func (p *Peers) sleepJitter(ctx context.Context, attempt int) error {
+	p.jitterMu.Lock()
+	f := p.jitter.Float64()
+	p.jitterMu.Unlock()
+	d := time.Duration((0.5 + 0.5*f) * float64(attempt) * float64(p.retryBase))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// CountHit / CountMiss / CountFill record protocol outcomes the client
+// cannot see by itself: the peering cache reports whether a successful
+// fetch was served hot (hit) or computed by the owner (miss), and the
+// serving side reports each request it filled. CountError covers
+// payload-level failures discovered above Fetch (an undecodable result,
+// an error-carrying row), which also degrade to local compute.
+func (p *Peers) CountHit()   { p.hits.Add(1) }
+func (p *Peers) CountMiss()  { p.misses.Add(1) }
+func (p *Peers) CountFill()  { p.fills.Add(1) }
+func (p *Peers) CountError() { p.errors.Add(1) }
+
+// PeerStatus is one member's health in a Status snapshot.
+type PeerStatus struct {
+	Member      Member
+	Self        bool
+	Share       float64
+	Requests    int64
+	Errors      int64
+	Consecutive int64
+	LastError   string
+	Latency     obs.Snapshot
+}
+
+// Status is a point-in-time view of the group: ring shape, group-wide
+// hit accounting and per-peer health, in member-name order.
+type Status struct {
+	Self     Member
+	VNodes   int
+	RingSize int
+	Hits     int64
+	Misses   int64
+	Fills    int64
+	Errors   int64
+	Peers    []PeerStatus
+}
+
+// Status snapshots the group for /v1/cluster and /metrics.
+func (p *Peers) Status() Status {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	st := Status{
+		Self:     p.self,
+		VNodes:   p.vnodes,
+		RingSize: p.ring.Size(),
+		Hits:     p.hits.Load(),
+		Misses:   p.misses.Load(),
+		Fills:    p.fills.Load(),
+		Errors:   p.errors.Load(),
+	}
+	shares := p.ring.Shares()
+	for _, m := range p.ring.Members() {
+		h := p.health[m.Name]
+		ps := PeerStatus{Member: m, Self: m.Name == p.self.Name, Share: shares[m.Name]}
+		if h != nil {
+			ps.Requests = h.requests.Load()
+			ps.Errors = h.errors.Load()
+			ps.Consecutive = h.consecutive.Load()
+			h.mu.Lock()
+			ps.LastError = h.lastErr
+			h.mu.Unlock()
+			ps.Latency = h.hist.Snapshot()
+		}
+		st.Peers = append(st.Peers, ps)
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].Member.Name < st.Peers[j].Member.Name })
+	return st
+}
+
+// checkAddr validates a member base URL: absolute http/https with a host.
+func checkAddr(addr string) error {
+	u, err := url.Parse(addr)
+	if err != nil {
+		return fmt.Errorf("cluster: member addr %q: %w", addr, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("cluster: member addr %q must be an absolute http(s) URL", addr)
+	}
+	return nil
+}
+
+// peeringKey marks a context as already one peer hop deep.
+type peeringKey struct{}
+
+// WithoutPeering marks ctx so the peering cache computes locally
+// instead of fetching again. The serving side applies it before
+// evaluating a peer request: with membership views momentarily skewed,
+// two nodes can each believe the other owns a key, and an unmarked
+// context would bounce the request between them. One hop, then compute.
+func WithoutPeering(ctx context.Context) context.Context {
+	return context.WithValue(ctx, peeringKey{}, true)
+}
+
+// PeeringDisabled reports whether ctx forbids another peer hop.
+func PeeringDisabled(ctx context.Context) bool {
+	v, _ := ctx.Value(peeringKey{}).(bool)
+	return v
+}

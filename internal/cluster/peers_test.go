@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"efficsense/internal/fault"
+)
+
+// echoPeer serves PeerPath by answering every decoded request with the
+// same key and a fixed result payload, counting requests.
+func echoPeer(t *testing.T, result string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PeerPath, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		req, err := DecodePeerRequest(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := EncodePeerResponse(req.Key, []byte(result))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(resp)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func testPeers(t *testing.T, cfg Config) *Peers {
+	t.Helper()
+	if cfg.Self.Name == "" {
+		cfg.Self = Member{Name: "self"}
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = time.Millisecond
+	}
+	p, err := NewPeers(cfg)
+	if err != nil {
+		t.Fatalf("NewPeers: %v", err)
+	}
+	return p
+}
+
+func TestPeersFetchSuccess(t *testing.T) {
+	srv, calls := echoPeer(t, `{"r":{"mean_snr_db":9}}`)
+	p := testPeers(t, Config{})
+	owner := Member{Name: "owner", Addr: srv.URL}
+	p.SetMembers([]Member{owner})
+
+	got, err := p.Fetch(context.Background(), owner, "key-1", []byte(`{"point":{"bits":4}}`))
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if string(got) != `{"r":{"mean_snr_db":9}}` {
+		t.Fatalf("payload = %s", got)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("peer served %d requests, want 1", calls.Load())
+	}
+	st := p.Status()
+	if st.Errors != 0 {
+		t.Fatalf("group errors = %d after a clean fetch", st.Errors)
+	}
+	for _, ps := range st.Peers {
+		if ps.Member.Name == "owner" && (ps.Requests != 1 || ps.Errors != 0) {
+			t.Fatalf("owner health = %+v, want 1 request, 0 errors", ps)
+		}
+	}
+}
+
+func TestPeersRetryRecoversTransientError(t *testing.T) {
+	var calls atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PeerPath, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		req, _ := DecodePeerRequest(body)
+		resp, _ := EncodePeerResponse(req.Key, []byte(`{"ok":true}`))
+		w.Write(resp)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	p := testPeers(t, Config{Seed: 42, Retries: 1})
+	owner := Member{Name: "flaky", Addr: srv.URL}
+	p.SetMembers([]Member{owner})
+	got, err := p.Fetch(context.Background(), owner, "k", []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Fetch after transient failure: %v", err)
+	}
+	if string(got) != `{"ok":true}` {
+		t.Fatalf("payload = %s", got)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("peer saw %d requests, want 2 (failure + retry)", calls.Load())
+	}
+	st := p.Status()
+	if st.Errors != 0 {
+		t.Fatalf("recovered fetch still counted a group error: %d", st.Errors)
+	}
+	for _, ps := range st.Peers {
+		if ps.Member.Name == "flaky" {
+			if ps.Requests != 2 || ps.Errors != 1 || ps.Consecutive != 0 {
+				t.Fatalf("flaky health = %+v, want 2 requests, 1 error, streak reset", ps)
+			}
+		}
+	}
+}
+
+func TestPeersRetryExhaustedCountsError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	p := testPeers(t, Config{Retries: 2})
+	owner := Member{Name: "down", Addr: srv.URL}
+	p.SetMembers([]Member{owner})
+	if _, err := p.Fetch(context.Background(), owner, "k", []byte(`{}`)); err == nil {
+		t.Fatal("Fetch against a dead peer succeeded")
+	}
+	st := p.Status()
+	if st.Errors != 1 {
+		t.Fatalf("group errors = %d, want 1 (counted once per degraded fetch)", st.Errors)
+	}
+	for _, ps := range st.Peers {
+		if ps.Member.Name == "down" {
+			if ps.Requests != 3 || ps.Errors != 3 || ps.Consecutive != 3 {
+				t.Fatalf("down health = %+v, want 3/3/3", ps)
+			}
+			if ps.LastError == "" {
+				t.Fatal("LastError empty after repeated failures")
+			}
+		}
+	}
+}
+
+func TestPeersFaultInjectDegradesFetch(t *testing.T) {
+	// Arm the peer-fetch failpoint at probability 1: every attempt fails
+	// before touching the network, exactly as `-chaos
+	// cluster/peer-fetch=error:1` would in efficsensed, and the caller
+	// falls back to local compute.
+	if err := fault.EnableSpec(fault.PointPeerFetch+"=error:1", 7); err != nil {
+		t.Fatalf("EnableSpec: %v", err)
+	}
+	t.Cleanup(fault.Reset)
+	srv, calls := echoPeer(t, `{"ok":true}`)
+	p := testPeers(t, Config{Retries: 1})
+	owner := Member{Name: "owner", Addr: srv.URL}
+	p.SetMembers([]Member{owner})
+	if _, err := p.Fetch(context.Background(), owner, "k", []byte(`{}`)); err == nil {
+		t.Fatal("Fetch succeeded with the failpoint armed")
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("injected fault still reached the peer %d times", calls.Load())
+	}
+	if st := p.Status(); st.Errors != 1 {
+		t.Fatalf("group errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestPeersFetchRejectsKeyMismatch(t *testing.T) {
+	// A skewed owner answering under a different fingerprint must not be
+	// trusted: the response's key is checked against the request's.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		resp, _ := EncodePeerResponse("some-other-key", []byte(`{"ok":true}`))
+		w.Write(resp)
+	}))
+	defer srv.Close()
+	p := testPeers(t, Config{Retries: -1})
+	owner := Member{Name: "skewed", Addr: srv.URL}
+	p.SetMembers([]Member{owner})
+	if _, err := p.Fetch(context.Background(), owner, "asked-key", []byte(`{}`)); err == nil {
+		t.Fatal("mismatched response key accepted")
+	}
+}
+
+func TestPeersOwnerAndOwned(t *testing.T) {
+	p := testPeers(t, Config{Self: Member{Name: "a"}, VNodes: 16})
+	// Empty ring: everything computes locally.
+	if !p.Owned("anything") {
+		t.Fatal("empty ring should own every key locally")
+	}
+	p.SetMembers([]Member{
+		{Name: "a", Addr: "http://a:1"},
+		{Name: "b", Addr: "http://b:1"},
+	})
+	var local, remote int
+	for _, key := range ringKeys(200) {
+		owner, isRemote := p.Owner(key)
+		if isRemote {
+			remote++
+			if owner.Name != "b" {
+				t.Fatalf("remote owner = %s, want b", owner.Name)
+			}
+			if p.Owned(key) {
+				t.Fatalf("key %q both remote and owned", key)
+			}
+		} else {
+			local++
+		}
+	}
+	if local == 0 || remote == 0 {
+		t.Fatalf("two-node split degenerate: %d local, %d remote", local, remote)
+	}
+}
+
+func TestPeersSelfResolvesAddrFromMembership(t *testing.T) {
+	p := testPeers(t, Config{Self: Member{Name: "n1"}})
+	if got := p.Self(); got.Addr != "" {
+		t.Fatalf("Self().Addr = %q before membership", got.Addr)
+	}
+	p.SetMembers([]Member{{Name: "n1", Addr: "http://n1:8080"}})
+	if got := p.Self(); got.Addr != "http://n1:8080" {
+		t.Fatalf("Self().Addr = %q, want membership address", got.Addr)
+	}
+}
+
+func TestPeersSetMembersPreservesHealth(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+	p := testPeers(t, Config{Retries: -1})
+	owner := Member{Name: "peer", Addr: srv.URL}
+	p.SetMembers([]Member{owner})
+	p.Fetch(context.Background(), owner, "k", []byte(`{}`))
+
+	// The peer restarts on a new address: counters survive, the address
+	// updates, and a departed member's state is gone.
+	p.SetMembers([]Member{{Name: "peer", Addr: "http://moved:1"}})
+	m, ok := p.Lookup("peer")
+	if !ok || m.Addr != "http://moved:1" {
+		t.Fatalf("Lookup after addr change = %v, %v", m, ok)
+	}
+	for _, ps := range p.Status().Peers {
+		if ps.Member.Name == "peer" && ps.Requests != 1 {
+			t.Fatalf("health lost across SetMembers: %+v", ps)
+		}
+	}
+	p.SetMembers(nil)
+	if _, ok := p.Lookup("peer"); ok {
+		t.Fatal("departed member still resolvable")
+	}
+	if got := p.Members(); len(got) != 1 || got[0].Name != "self" {
+		t.Fatalf("Members() = %v, want just self", got)
+	}
+}
+
+func TestPeersRejectsBadConfig(t *testing.T) {
+	if _, err := NewPeers(Config{}); err == nil {
+		t.Error("empty self name accepted")
+	}
+	if _, err := NewPeers(Config{Self: Member{Name: "a=b"}}); err == nil {
+		t.Error("reserved character in self name accepted")
+	}
+	if _, err := NewPeers(Config{Self: Member{Name: "a", Addr: "not-a-url"}}); err == nil {
+		t.Error("bad self addr accepted")
+	}
+}
+
+func TestWithoutPeering(t *testing.T) {
+	ctx := context.Background()
+	if PeeringDisabled(ctx) {
+		t.Fatal("fresh context reports peering disabled")
+	}
+	if !PeeringDisabled(WithoutPeering(ctx)) {
+		t.Fatal("marked context reports peering enabled")
+	}
+}

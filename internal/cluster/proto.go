@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// PeerPath is the internal peer-protocol endpoint a node serves for the
+// keys it owns. It lives outside /v1 deliberately: it is node-to-node
+// plumbing, not public API, and its shape may change between releases
+// as long as a fleet upgrades together.
+const PeerPath = "/internal/peer/eval"
+
+// The peer wire format mirrors the WAL record discipline: a key, an
+// opaque JSON payload, and a CRC over both. The requester reuses the
+// engine's cache fingerprint (evalID + "/" + point key) as the key, so
+// a response can be verified to answer the question that was asked —
+// a ring-skewed owner evaluating under different options produces a
+// different fingerprint and the requester falls back to local compute
+// instead of caching a stranger's result.
+
+// PeerRequest asks the key's owner to produce the evaluation the key
+// fingerprints. Spec carries the requester's option set and design
+// point so the owner can compute on a cold cache.
+type PeerRequest struct {
+	Key  string          `json:"k"`
+	Spec json.RawMessage `json:"d"`
+	CRC  uint32          `json:"c"`
+}
+
+// PeerResponse carries the owner's result payload under the owner's own
+// fingerprint for the requested point.
+type PeerResponse struct {
+	Key    string          `json:"k"`
+	Result json.RawMessage `json:"d"`
+	CRC    uint32          `json:"c"`
+}
+
+// peerChecksum covers the key and payload with a separator so moving a
+// byte between them cannot cancel out: CRC32-IEEE over key + 0x00 + data.
+func peerChecksum(key string, data []byte) uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write([]byte(key))
+	crc.Write([]byte{0})
+	crc.Write(data)
+	return crc.Sum32()
+}
+
+// EncodePeerRequest renders a self-checking request body. spec must be
+// valid JSON; it is compacted so the checksum is canonical.
+func EncodePeerRequest(key string, spec []byte) ([]byte, error) {
+	return encodePeer("request", key, spec, func(k string, d json.RawMessage, c uint32) interface{} {
+		return PeerRequest{Key: k, Spec: d, CRC: c}
+	})
+}
+
+// EncodePeerResponse renders a self-checking response body.
+func EncodePeerResponse(key string, result []byte) ([]byte, error) {
+	return encodePeer("response", key, result, func(k string, d json.RawMessage, c uint32) interface{} {
+		return PeerResponse{Key: k, Result: d, CRC: c}
+	})
+}
+
+func encodePeer(what, key string, payload []byte, wrap func(string, json.RawMessage, uint32) interface{}) ([]byte, error) {
+	if key == "" {
+		return nil, fmt.Errorf("cluster: peer %s key must not be empty", what)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return nil, fmt.Errorf("cluster: peer %s payload is not valid JSON: %w", what, err)
+	}
+	data := buf.Bytes()
+	out, err := json.Marshal(wrap(key, json.RawMessage(data), peerChecksum(key, data)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode peer %s: %w", what, err)
+	}
+	return out, nil
+}
+
+// DecodePeerRequest parses and checksum-verifies a request body. Any
+// input either yields a request whose re-encoding is byte-identical or
+// a clean error — never a panic and never a silently corrupted spec.
+// The peer endpoint feeds it whatever arrives on the wire, so it is
+// fuzzed like the WAL decoder (FuzzDecodePeerRequest).
+func DecodePeerRequest(body []byte) (PeerRequest, error) {
+	var req PeerRequest
+	err := decodePeer("request", body, &req, func() (string, []byte, uint32) {
+		return req.Key, req.Spec, req.CRC
+	})
+	if err != nil {
+		return PeerRequest{}, err
+	}
+	return req, nil
+}
+
+// DecodePeerResponse parses and checksum-verifies a response body.
+func DecodePeerResponse(body []byte) (PeerResponse, error) {
+	var resp PeerResponse
+	err := decodePeer("response", body, &resp, func() (string, []byte, uint32) {
+		return resp.Key, resp.Result, resp.CRC
+	})
+	if err != nil {
+		return PeerResponse{}, err
+	}
+	return resp, nil
+}
+
+func decodePeer(what string, body []byte, into interface{}, fields func() (string, []byte, uint32)) error {
+	trimmed := bytes.TrimSpace(body)
+	if len(trimmed) == 0 {
+		return fmt.Errorf("cluster: empty peer %s", what)
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("cluster: parse peer %s: %w", what, err)
+	}
+	// A trailing second JSON value means the body was not one message.
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return fmt.Errorf("cluster: trailing data after peer %s", what)
+	}
+	key, payload, crc := fields()
+	if key == "" {
+		return fmt.Errorf("cluster: peer %s has empty key", what)
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("cluster: peer %s has empty payload", what)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, payload); err != nil {
+		return fmt.Errorf("cluster: peer %s payload is not valid JSON: %w", what, err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		return fmt.Errorf("cluster: peer %s payload is not compact", what)
+	}
+	if got := peerChecksum(key, payload); got != crc {
+		return fmt.Errorf("cluster: peer %s checksum mismatch: stored %08x, computed %08x", what, crc, got)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestPeerRequestRoundTrip(t *testing.T) {
+	spec := []byte(`{ "options": {"seed": 5},
+		"point": {"architecture":"baseline","bits":6} }`)
+	body, err := EncodePeerRequest("eval/arch=baseline,bits=6", spec)
+	if err != nil {
+		t.Fatalf("EncodePeerRequest: %v", err)
+	}
+	req, err := DecodePeerRequest(body)
+	if err != nil {
+		t.Fatalf("DecodePeerRequest: %v", err)
+	}
+	if req.Key != "eval/arch=baseline,bits=6" {
+		t.Fatalf("Key = %q", req.Key)
+	}
+	var compact bytes.Buffer
+	json.Compact(&compact, spec)
+	if !bytes.Equal(req.Spec, compact.Bytes()) {
+		t.Fatalf("Spec = %s, want compacted %s", req.Spec, compact.Bytes())
+	}
+	// Re-encoding a decoded request is byte-identical: the payload is
+	// already compact, so the checksum is canonical.
+	again, err := EncodePeerRequest(req.Key, req.Spec)
+	if err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(again, body) {
+		t.Fatalf("re-encode differs:\n got %s\nwant %s", again, body)
+	}
+}
+
+func TestPeerResponseRoundTrip(t *testing.T) {
+	body, err := EncodePeerResponse("k1", []byte(`{"r":{"mean_snr_db":12.5}}`))
+	if err != nil {
+		t.Fatalf("EncodePeerResponse: %v", err)
+	}
+	resp, err := DecodePeerResponse(body)
+	if err != nil {
+		t.Fatalf("DecodePeerResponse: %v", err)
+	}
+	if resp.Key != "k1" || string(resp.Result) != `{"r":{"mean_snr_db":12.5}}` {
+		t.Fatalf("decoded %+v", resp)
+	}
+}
+
+func TestDecodePeerRequestRejectsCorruption(t *testing.T) {
+	good, err := EncodePeerRequest("key", []byte(`{"a":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          nil,
+		"whitespace":     []byte("  \n\t"),
+		"not json":       []byte("hello"),
+		"trailing data":  append(append([]byte{}, good...), []byte(`{"k":"x"}`)...),
+		"unknown field":  []byte(`{"k":"key","d":{"a":1},"c":1,"extra":true}`),
+		"empty key":      []byte(`{"k":"","d":{"a":1},"c":1}`),
+		"empty payload":  []byte(`{"k":"key","c":1}`),
+		"non-compact":    []byte(`{"k":"key","d":{"a": 1},"c":1}`),
+		"wrong checksum": []byte(`{"k":"key","d":{"a":1},"c":12345}`),
+	}
+	// Flipped payload byte: the stored CRC no longer matches.
+	flipped := append([]byte{}, good...)
+	flipped[bytes.IndexByte(flipped, '1')] = '2'
+	cases["flipped byte"] = flipped
+	for name, body := range cases {
+		if _, err := DecodePeerRequest(body); err == nil {
+			t.Errorf("%s: DecodePeerRequest accepted %q", name, body)
+		}
+	}
+	if _, err := DecodePeerRequest(good); err != nil {
+		t.Fatalf("control: DecodePeerRequest rejected a good body: %v", err)
+	}
+}
+
+func TestEncodePeerRequestRejectsBadInput(t *testing.T) {
+	if _, err := EncodePeerRequest("", []byte(`{}`)); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := EncodePeerRequest("k", []byte(`not json`)); err == nil {
+		t.Error("invalid payload accepted")
+	}
+	if _, err := EncodePeerResponse("k", nil); err == nil {
+		t.Error("nil response payload accepted")
+	}
+}
+
+// FuzzDecodePeerRequest pins the wire decoder's contract: arbitrary
+// bytes never panic, and every accepted body re-encodes byte-identically
+// (the decoder admits only canonical messages).
+func FuzzDecodePeerRequest(f *testing.F) {
+	seed, _ := EncodePeerRequest("eval/arch=baseline,bits=6", []byte(`{"point":{"bits":6}}`))
+	f.Add(seed)
+	f.Add([]byte(`{"k":"key","d":{"a":1},"c":12345}`))
+	f.Add([]byte(`{"k":"","d":null,"c":0}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := DecodePeerRequest(body)
+		if err != nil {
+			return
+		}
+		again, err := EncodePeerRequest(req.Key, req.Spec)
+		if err != nil {
+			t.Fatalf("accepted request failed to re-encode: %v", err)
+		}
+		back, err := DecodePeerRequest(again)
+		if err != nil {
+			t.Fatalf("re-encoded request failed to decode: %v", err)
+		}
+		if back.Key != req.Key || !bytes.Equal(back.Spec, req.Spec) || back.CRC != req.CRC {
+			t.Fatalf("round trip drifted: %+v vs %+v", back, req)
+		}
+	})
+}

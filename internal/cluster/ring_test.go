@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func threeMembers() []Member {
+	return []Member{
+		{Name: "alpha", Addr: "http://a:1"},
+		{Name: "beta", Addr: "http://b:1"},
+		{Name: "gamma", Addr: "http://c:1"},
+	}
+}
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("test-eval/arch=baseline,bits=%d,noise=%d", i%16, i)
+	}
+	return keys
+}
+
+func TestRingPlacementIgnoresListOrder(t *testing.T) {
+	ms := threeMembers()
+	a := NewRing(64, ms)
+	b := NewRing(64, []Member{ms[2], ms[0], ms[1]})
+	for _, key := range ringKeys(500) {
+		ma, ok := a.Owner(key)
+		if !ok {
+			t.Fatalf("Owner(%q) not found", key)
+		}
+		mb, _ := b.Owner(key)
+		if ma.Name != mb.Name {
+			t.Fatalf("key %q: order-dependent placement %s vs %s", key, ma.Name, mb.Name)
+		}
+	}
+}
+
+func TestRingPlacementIgnoresAddresses(t *testing.T) {
+	// A node keeps its keyspace segment when it restarts on a new port:
+	// only names feed the hash.
+	ms := threeMembers()
+	moved := threeMembers()
+	for i := range moved {
+		moved[i].Addr = fmt.Sprintf("http://other:%d", 9000+i)
+	}
+	a, b := NewRing(32, ms), NewRing(32, moved)
+	for _, key := range ringKeys(300) {
+		ma, _ := a.Owner(key)
+		mb, _ := b.Owner(key)
+		if ma.Name != mb.Name {
+			t.Fatalf("key %q moved from %s to %s on address change", key, ma.Name, mb.Name)
+		}
+	}
+}
+
+func TestRingMinimalMovementOnJoin(t *testing.T) {
+	// Consistent hashing's defining property: adding a member only
+	// reassigns keys to the newcomer, never between survivors.
+	two := NewRing(64, threeMembers()[:2])
+	three := NewRing(64, threeMembers())
+	moved := 0
+	keys := ringKeys(1000)
+	for _, key := range keys {
+		before, _ := two.Owner(key)
+		after, _ := three.Owner(key)
+		if before.Name != after.Name {
+			moved++
+			if after.Name != "gamma" {
+				t.Fatalf("key %q moved %s -> %s, not to the joining member", key, before.Name, after.Name)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys moved to the joining member")
+	}
+	if moved > len(keys)/2 {
+		t.Fatalf("%d/%d keys moved on join; expected roughly a third", moved, len(keys))
+	}
+}
+
+func TestRingSharesBalanced(t *testing.T) {
+	r := NewRing(DefaultVNodes, threeMembers())
+	shares := r.Shares()
+	sum := 0.0
+	for name, s := range shares {
+		sum += s
+		if s < 0.15 || s > 0.55 {
+			t.Errorf("member %s owns %.1f%% of the keyspace; want a roughly even split", name, 100*s)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+func TestRingDuplicateNamesCollapse(t *testing.T) {
+	r := NewRing(8, []Member{
+		{Name: "a", Addr: "http://first:1"},
+		{Name: "a", Addr: "http://second:1"},
+		{Name: "b", Addr: "http://b:1"},
+	})
+	if r.Size() != 2 {
+		t.Fatalf("Size() = %d, want 2", r.Size())
+	}
+	m, ok := r.Owner("any")
+	if !ok {
+		t.Fatal("Owner on a populated ring returned ok=false")
+	}
+	if m.Name == "a" && m.Addr != "http://first:1" {
+		t.Fatalf("duplicate name resolved to %s, want first occurrence", m.Addr)
+	}
+}
+
+func TestRingEmptyAndNil(t *testing.T) {
+	var nilRing *Ring
+	if _, ok := nilRing.Owner("k"); ok {
+		t.Fatal("nil ring claimed an owner")
+	}
+	if nilRing.Size() != 0 || nilRing.VNodes() != 0 || nilRing.Members() != nil {
+		t.Fatal("nil ring reported non-empty shape")
+	}
+	empty := NewRing(0, nil)
+	if _, ok := empty.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if got := empty.VNodes(); got != DefaultVNodes {
+		t.Fatalf("VNodes() = %d, want default %d", got, DefaultVNodes)
+	}
+	if len(empty.Shares()) != 0 {
+		t.Fatal("empty ring reported shares")
+	}
+}
+
+func TestRingSingleMemberOwnsEverything(t *testing.T) {
+	r := NewRing(4, []Member{{Name: "solo", Addr: "http://s:1"}})
+	for _, key := range ringKeys(50) {
+		m, ok := r.Owner(key)
+		if !ok || m.Name != "solo" {
+			t.Fatalf("Owner(%q) = %v, %v; want solo", key, m, ok)
+		}
+	}
+	if s := r.Shares()["solo"]; math.Abs(s-1) > 1e-9 {
+		t.Fatalf("solo share = %v, want 1", s)
+	}
+}
+
+func TestCheckNameRejectsReservedCharacters(t *testing.T) {
+	for _, bad := range []string{"", "a/b", "a=b", "a,b", `a"b`, "a b", "a\tb", "a\nb"} {
+		if err := checkName(bad); err == nil {
+			t.Errorf("checkName(%q) accepted a reserved name", bad)
+		}
+	}
+	for _, good := range []string{"node-1", "a", "rack2.node7", "n_0"} {
+		if err := checkName(good); err != nil {
+			t.Errorf("checkName(%q) = %v, want nil", good, err)
+		}
+	}
+}

@@ -183,6 +183,25 @@ func (s *Sweep) evalChunk(ctx context.Context, points []core.DesignPoint, idxs [
 	} else {
 		miss = append(miss, idxs...)
 	}
+	// A partitioned cache (cluster peering) owns only part of the
+	// keyspace: misses owned elsewhere leave the batch and take the
+	// per-point path, where the cache can fetch them from the key's
+	// owner instead of computing here. Owned misses keep batching.
+	if part, ok := s.cache.(Partitioned); ok && len(miss) > 0 {
+		owned := make([]int, 0, len(miss))
+		kb := keyBufPool.Get().(*keyBuf)
+		for _, idx := range miss {
+			kb.b = s.appendKey(kb.b[:0], points[idx])
+			if part.Owned(string(kb.b)) {
+				owned = append(owned, idx)
+				continue
+			}
+			res, cached, dur := s.evalPoint(ctx, points[idx])
+			complete(idx, res, cached, dur)
+		}
+		keyBufPool.Put(kb)
+		miss = owned
+	}
 	switch len(miss) {
 	case 0:
 		return

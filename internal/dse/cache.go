@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,27 @@ type Cache interface {
 // one evaluation (see internal/cache.LRU, the bounded implementation).
 type Flight interface {
 	Do(key string, fn func() core.Result) (r core.Result, hit, shared bool)
+}
+
+// PointFlight extends Flight for caches that need the evaluation
+// context and the design point itself to fill a miss — the cluster
+// peering cache, which may fetch the result from the key's owner over
+// the network instead of running fn. The engine prefers DoPoint over Do
+// when the cache provides it. The (r, hit, shared) contract matches
+// Flight.Do, with one addition: a peer-served result reports hit=true,
+// since it cost this node a lookup rather than an evaluation.
+type PointFlight interface {
+	DoPoint(ctx context.Context, key string, p core.DesignPoint, fn func() core.Result) (r core.Result, hit, shared bool)
+}
+
+// Partitioned is optionally implemented by caches that own only a
+// segment of the keyspace (cluster peering). Owned reports whether key
+// should be computed on this node. The batch dispatcher keeps owned
+// misses together for the batch evaluator and routes remote misses
+// through the per-point path, where the cache can fetch them from
+// their owners.
+type Partitioned interface {
+	Owned(key string) bool
 }
 
 // MemoryCache is an unbounded in-memory Cache with hit/miss accounting.

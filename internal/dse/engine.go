@@ -348,6 +348,25 @@ dispatch:
 // only bounds retry backoff (see WithRetry); an in-flight evaluation
 // always runs to its end.
 func (s *Sweep) evalPoint(ctx context.Context, p core.DesignPoint) (res core.Result, cached bool, dur time.Duration) {
+	if pf, ok := s.cache.(PointFlight); ok {
+		key := s.evalID + "/" + p.Key()
+		var evalDur time.Duration
+		res, hit, shared := s.flightDoPoint(ctx, pf, key, p, func() core.Result {
+			start := time.Now()
+			r := s.evaluate(ctx, p)
+			evalDur = time.Since(start)
+			return r
+		})
+		switch {
+		case hit:
+			s.metrics.cacheHits.Add(1)
+			return res, true, 0
+		case shared:
+			s.metrics.deduped.Add(1)
+			return res, true, 0
+		}
+		return res, false, evalDur
+	}
 	if fl, ok := s.cache.(Flight); ok {
 		key := s.evalID + "/" + p.Key()
 		var evalDur time.Duration
@@ -405,6 +424,19 @@ func (s *Sweep) flightDo(fl Flight, key string, p core.DesignPoint, fn func() co
 		}
 	}()
 	return fl.Do(key, fn)
+}
+
+// flightDoPoint is flightDo for the context-and-point-aware variant
+// (the cluster peering cache): the same recovery contract, so a panic
+// anywhere in the peer path degrades one point, never a worker.
+func (s *Sweep) flightDoPoint(ctx context.Context, pf PointFlight, key string, p core.DesignPoint, fn func() core.Result) (res core.Result, hit, shared bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.panics.Add(1)
+			res = core.Result{Point: p, Err: fmt.Errorf("dse: cache flight for %s panicked: %v", p, r)}
+		}
+	}()
+	return pf.DoPoint(ctx, key, p, fn)
 }
 
 // safeEvaluate is one guarded evaluator call: the dse/evaluate failpoint

@@ -63,6 +63,11 @@ const (
 	// stream mid-job (the client reconnects with Last-Event-ID); a
 	// latency stalls the flush.
 	PointSSEFlush = "serve/sse-flush"
+	// PointPeerFetch fires before each peer-protocol HTTP attempt in the
+	// cluster client. An error simulates an unreachable owner: the
+	// requester retries with seeded jitter, then degrades to local
+	// compute — never an error row.
+	PointPeerFetch = "cluster/peer-fetch"
 )
 
 // Kind selects what an armed failpoint injects when it fires.

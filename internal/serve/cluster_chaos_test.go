@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"efficsense/internal/wal"
+)
+
+// singleNodeReference runs fleetSweep on a plain single-node server and
+// returns its NDJSON result stream — the correctness yardstick every
+// degraded fleet run must still match bit for bit.
+func singleNodeReference(t *testing.T) []byte {
+	t.Helper()
+	srv, _, _ := newTestServer(t, 0, ManagerConfig{})
+	st := submitSweep(t, srv.URL)
+	done := waitTerminal(t, srv.URL, st.ID)
+	if done.State != string(StateCompleted) {
+		t.Fatalf("reference state %q", done.State)
+	}
+	return fetchNDJSON(t, srv.URL, "/v1/sweeps/"+st.ID)
+}
+
+// TestChaosClusterPeerKillMidSweep: losing a member must cost only the
+// peer shortcut, never a row. A dead owner degrades every fetch for its
+// segment to local compute — the sweep completes, is not partial, and
+// its results are bit-identical to a single-node run.
+func TestChaosClusterPeerKillMidSweep(t *testing.T) {
+	ref := singleNodeReference(t)
+
+	// Deterministic variant: the peer is already dead when the sweep
+	// starts, so every fetch for its segment fails and is accounted.
+	nodes := newFleet(t, []string{"node-a", "node-b", "node-c"}, 0)
+	a, c := nodes[0], nodes[2]
+	c.srv.Close()
+
+	st := submitSweep(t, a.srv.URL)
+	done := waitTerminal(t, a.srv.URL, st.ID)
+	if done.State != string(StateCompleted) {
+		t.Fatalf("sweep with a dead peer: state %q, error %q", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Partial {
+		t.Fatalf("degraded fetches produced a partial result: %+v", done.Result)
+	}
+	rows := fetchNDJSON(t, a.srv.URL, "/v1/sweeps/"+st.ID)
+	if !bytes.Equal(rows, ref) {
+		t.Fatalf("degraded results differ from reference:\ndegraded:\n%s\nreference:\n%s", rows, ref)
+	}
+	if errs := a.peers.Status().Errors; errs == 0 {
+		t.Fatal("fetches against the dead peer were not accounted as errors")
+	}
+	// The dead member's health row carries the failure for /v1/cluster.
+	cs := clusterStatusJSON(t, a.srv.URL)
+	var sawDead bool
+	for _, m := range cs.Members {
+		if m.Name == "node-c" {
+			sawDead = m.Errors > 0 && m.LastError != ""
+		}
+	}
+	if !sawDead {
+		t.Fatalf("dead peer's health missing from /v1/cluster: %+v", cs.Members)
+	}
+
+	// Mid-sweep variant: the peer dies while the sweep is in flight.
+	// Whenever the kill lands, the outcome contract is the same —
+	// completed, never partial, values correct.
+	nodes2 := newFleet(t, []string{"node-a", "node-b", "node-c"}, 2*time.Millisecond)
+	a2, c2 := nodes2[0], nodes2[2]
+	st2 := submitSweep(t, a2.srv.URL)
+	time.Sleep(3 * time.Millisecond)
+	c2.srv.Close()
+	done2 := waitTerminal(t, a2.srv.URL, st2.ID)
+	if done2.State != string(StateCompleted) {
+		t.Fatalf("mid-sweep kill: state %q, error %q", done2.State, done2.Error)
+	}
+	if done2.Result == nil || done2.Result.Partial {
+		t.Fatalf("mid-sweep kill produced a partial result: %+v", done2.Result)
+	}
+	rows2 := fetchNDJSON(t, a2.srv.URL, "/v1/sweeps/"+st2.ID)
+	if !bytes.Equal(rows2, ref) {
+		t.Fatalf("mid-sweep-kill results differ from reference:\ngot:\n%s\nwant:\n%s", rows2, ref)
+	}
+}
+
+// TestChaosClusterRestartedPeerRejoins: a node crashes mid-sweep (its
+// journal file copied byte-for-byte as the SIGKILL disk image), restarts
+// on a NEW address, rejoins the ring and resumes the journaled job —
+// evaluating only the complement, fleet-wide, with some of it served by
+// the peer it rejoined. Its keyspace segment survives the address
+// change, so the other node's fetches find it again.
+func TestChaosClusterRestartedPeerRejoins(t *testing.T) {
+	const totalPoints, journaled = 6, 3
+	const sweep = `{"space":{"architectures":["baseline"],"bits":[4,6],"noise_steps":3}}`
+
+	// Reference: the same 6-point sweep, uninterrupted, single node.
+	refSrv, _, _ := newTestServer(t, 0, ManagerConfig{})
+	refResp := postJSON(t, refSrv.URL+"/v1/sweeps", sweep)
+	refSt := decodeStatus(t, refResp)
+	if waitTerminal(t, refSrv.URL, refSt.ID).State != string(StateCompleted) {
+		t.Fatal("reference sweep failed")
+	}
+	ref := fetchNDJSON(t, refSrv.URL, "/v1/sweeps/"+refSt.ID)
+
+	// Phase 1: node-a runs alone (a fleet of one — peering idle, so the
+	// crash point is deterministic) and dies after three journaled rows.
+	dirA := t.TempDir()
+	walA, _, err := wal.Open(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalA := &gatedEval{limit: journaled, gate: make(chan struct{}), blocked: make(chan struct{}, 1)}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			close(evalA.gate)
+		}
+	}
+	defer release()
+	nodeA := newFleetNode(t, "node-a", evalA, walA)
+	nodeA.peers.SetMembers(nil)
+
+	resp := postJSON(t, nodeA.srv.URL+"/v1/sweeps", sweep)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	st := decodeStatus(t, resp)
+	if st.ID != "sweep-node-a-1" {
+		t.Fatalf("job ID %q", st.ID)
+	}
+	select {
+	case <-evalA.blocked:
+	case <-time.After(10 * time.Second):
+		t.Fatal("evaluator never reached the gate")
+	}
+	jobA, err := nodeA.mgr.Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for jobA.Status().Progress.Done < journaled {
+		if time.Now().After(deadline) {
+			t.Fatal("rows never journaled before the crash point")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	snapshot, err := os.ReadFile(filepath.Join(dirA, wal.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: node-b comes up, and node-a restarts from the snapshot on
+	// a fresh listener (a new address — the ring hashes names, so its
+	// segment is unchanged). Both learn the new two-node roster.
+	dirB := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dirB, wal.FileName), snapshot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	walRestarted, recs, err := wal.Open(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evalRestarted := &slowEval{}
+	restarted := newFleetNode(t, "node-a", evalRestarted, walRestarted)
+	evalB := &slowEval{}
+	nodeB := newFleetNode(t, "node-b", evalB, nil)
+	installMembership(restarted, nodeB)
+	if err := restarted.mgr.Recover(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	done := waitTerminal(t, restarted.srv.URL, st.ID)
+	if done.State != string(StateCompleted) || done.Progress.Done != totalPoints {
+		t.Fatalf("resumed job: %+v", done)
+	}
+	rows := fetchNDJSON(t, restarted.srv.URL, "/v1/sweeps/"+st.ID)
+	if !bytes.Equal(rows, ref) {
+		t.Fatalf("resumed results differ from reference:\nresumed:\n%s\nreference:\n%s", rows, ref)
+	}
+
+	// No double evaluation of journaled work, fleet-wide: the restarted
+	// node and the peer together ran exactly the complement.
+	if got := evalRestarted.calls.Load() + evalB.calls.Load(); got != totalPoints-journaled {
+		t.Fatalf("fleet evaluated %d points after restart, want %d (the complement)",
+			got, totalPoints-journaled)
+	}
+
+	// The rejoined node serves its segment again: the peer can run the
+	// same sweep with every fetch answered, none degraded.
+	respB := postJSON(t, nodeB.srv.URL+"/v1/sweeps", sweep)
+	stB := decodeStatus(t, respB)
+	doneB := waitTerminal(t, nodeB.srv.URL, stB.ID)
+	if doneB.State != string(StateCompleted) || doneB.Result == nil || doneB.Result.Partial {
+		t.Fatalf("post-rejoin sweep on the peer: %+v", doneB)
+	}
+	if !bytes.Equal(fetchNDJSON(t, nodeB.srv.URL, "/v1/sweeps/"+stB.ID), ref) {
+		t.Fatal("post-rejoin results differ from reference")
+	}
+	if errs := nodeB.peers.Status().Errors; errs != 0 {
+		t.Fatalf("peer counted %d fetch errors against the rejoined node", errs)
+	}
+
+	release()
+}
+
+// TestChaosTenantBucketSurvivesRestart pins the PR 8 follow-on fix: a
+// tenant's token-bucket levels are journaled, so a crash-restart cannot
+// refill an exhausted bucket and hand the tenant a fresh burst.
+func TestChaosTenantBucketSurvivesRestart(t *testing.T) {
+	const sweep = `{"space":{"architectures":["baseline"],"bits":[4],"noise_steps":1}}`
+	tenancy := TenantPolicy{Default: TenantLimits{
+		// Refill is negligible on test timescales: the burst is the
+		// whole budget.
+		SubmitRate:  0.0001,
+		SubmitBurst: 2,
+	}}
+
+	dirA := t.TempDir()
+	walA, _, err := wal.Open(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA, mgrA := newDurableServer(t, walA, &slowEval{}, ManagerConfig{Tenancy: tenancy})
+
+	// Spend the whole burst, then confirm the bucket is empty.
+	for i := 0; i < 2; i++ {
+		resp := postJSON(t, srvA.URL+"/v1/sweeps", sweep)
+		st := decodeStatus(t, resp)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submission %d rejected: %d", i+1, resp.StatusCode)
+		}
+		waitTerminal(t, srvA.URL, st.ID)
+	}
+	if _, err := mgrA.Submit(context.Background(), SweepRequest{}); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("third submission before restart: %v, want ErrRateLimited", err)
+	}
+
+	// SIGKILL disk image, restart, recover.
+	snapshot, err := os.ReadFile(filepath.Join(dirA, wal.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirB := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dirB, wal.FileName), snapshot, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	walB, recs, err := wal.Open(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB, mgrB := newDurableServer(t, walB, &slowEval{}, ManagerConfig{Tenancy: tenancy})
+	if err := mgrB.Recover(recs); err != nil {
+		t.Fatal(err)
+	}
+
+	// The exhausted bucket survived the restart: still rate-limited.
+	if _, err := mgrB.Submit(context.Background(), SweepRequest{}); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("submission after restart: %v, want ErrRateLimited (bucket state lost)", err)
+	}
+	resp := postJSON(t, srvB.URL+"/v1/sweeps", sweep)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("HTTP submission after restart: %d, want 429", resp.StatusCode)
+	}
+
+	// Control: an unrelated fresh deployment (no journal) does get its
+	// burst — the limit above came from the restored levels, not the
+	// policy alone.
+	srvC, _ := newDurableServer(t, nil, &slowEval{}, ManagerConfig{Tenancy: tenancy})
+	resp = postJSON(t, srvC.URL+"/v1/sweeps", sweep)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("fresh deployment first submission: %d, want 202", resp.StatusCode)
+	}
+}

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"efficsense/internal/cache"
+	"efficsense/internal/cluster"
+	"efficsense/internal/dse"
+	"efficsense/internal/experiments"
+	"efficsense/internal/wal"
+)
+
+// fleetNode is one efficsensed of a test fleet: its own engine, cache,
+// peer client and HTTP listener, all wired exactly as cmd/efficsensed
+// wires them in fleet mode.
+type fleetNode struct {
+	name  string
+	srv   *httptest.Server
+	mgr   *Manager
+	eval  dse.PointEvaluator
+	peers *cluster.Peers
+	store *cache.LRU
+}
+
+func (n *fleetNode) member() cluster.Member {
+	return cluster.Member{Name: n.name, Addr: n.srv.URL}
+}
+
+// newFleetNode builds one fleet member — engine, shared cache wrapped in
+// the peering cache, manager and listener, wired exactly as
+// cmd/efficsensed wires them — with no membership yet (addresses exist
+// only after the listener starts). walLog nil runs without durability.
+func newFleetNode(t *testing.T, name string, eval dse.PointEvaluator, walLog *wal.Log) *fleetNode {
+	t.Helper()
+	store := cache.New(256)
+	peers, err := cluster.NewPeers(cluster.Config{
+		Self:      cluster.Member{Name: name},
+		VNodes:    16,
+		Seed:      1,
+		RetryBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := dse.NewSweep(eval,
+		dse.WithCache(newClusterCache(store, peers, experiments.Options{})),
+		dse.WithWorkers(2), dse.WithEvaluatorID("test-eval"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := NewManager(ManagerConfig{
+		Engines: func(opts experiments.Options) (Engine, error) { return eng, nil },
+		Cache:   store,
+		Cluster: peers,
+		WAL:     walLog,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(mgr, nil))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = mgr.Shutdown(ctx)
+		srv.Close()
+	})
+	return &fleetNode{name: name, srv: srv, mgr: mgr, eval: eval, peers: peers, store: store}
+}
+
+// newFleet builds one node per name — every node running the same
+// deterministic evaluator under the same evaluator identity, so cache
+// fingerprints agree fleet-wide — then installs the full membership on
+// all of them.
+func newFleet(t *testing.T, names []string, delay time.Duration) []*fleetNode {
+	t.Helper()
+	nodes := make([]*fleetNode, 0, len(names))
+	for _, name := range names {
+		nodes = append(nodes, newFleetNode(t, name, &slowEval{delay: delay}, nil))
+	}
+	installMembership(nodes...)
+	return nodes
+}
+
+// installMembership points every node at the full fleet roster.
+func installMembership(nodes ...*fleetNode) {
+	members := make([]cluster.Member, 0, len(nodes))
+	for _, n := range nodes {
+		members = append(members, n.member())
+	}
+	for _, n := range nodes {
+		n.peers.SetMembers(members)
+	}
+}
+
+// fleetSweep is the shared acceptance scenario: an explicit 12-point
+// grid, so every test (and the single-node reference) enumerates the
+// identical space.
+const fleetSweep = `{"space":{"architectures":["baseline"],"bits":[4,6,8],"noise_steps":4}}`
+
+const fleetSweepPoints = 12
+
+func submitSweep(t *testing.T, base string) JobStatus {
+	t.Helper()
+	resp := postJSON(t, base+"/v1/sweeps", fleetSweep)
+	if resp.StatusCode != http.StatusAccepted {
+		body := new(bytes.Buffer)
+		body.ReadFrom(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	return decodeStatus(t, resp)
+}
+
+func clusterStatusJSON(t *testing.T, base string) ClusterStatusJSON {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/cluster status %d", resp.StatusCode)
+	}
+	var st ClusterStatusJSON
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestClusterAcceptanceExactlyOnce is the fleet acceptance gate: the
+// same sweep submitted to two different nodes of a three-node fleet
+// completes on both with identical result streams, while the fleet as a
+// whole evaluates each design point exactly once — the second node's
+// run is served entirely from local warmth and peer fetches.
+func TestClusterAcceptanceExactlyOnce(t *testing.T) {
+	nodes := newFleet(t, []string{"node-a", "node-b", "node-c"}, 0)
+	a, b := nodes[0], nodes[1]
+
+	// Reference: the identical sweep on a plain single-node server —
+	// fleet mode must not change a single result bit.
+	refSrv, _, _ := newTestServer(t, 0, ManagerConfig{})
+	refStatus := submitSweep(t, refSrv.URL)
+	if !strings.HasPrefix(refStatus.ID, "sweep-") || strings.Count(refStatus.ID, "-") != 1 {
+		t.Fatalf("single-node job ID %q grew cluster structure", refStatus.ID)
+	}
+	refDone := waitTerminal(t, refSrv.URL, refStatus.ID)
+	if refDone.State != string(StateCompleted) {
+		t.Fatalf("reference state %q", refDone.State)
+	}
+	refRows := fetchNDJSON(t, refSrv.URL, "/v1/sweeps/"+refStatus.ID)
+
+	stA := submitSweep(t, a.srv.URL)
+	if want := "sweep-node-a-1"; stA.ID != want {
+		t.Fatalf("fleet job ID %q, want %q", stA.ID, want)
+	}
+	doneA := waitTerminal(t, a.srv.URL, stA.ID)
+	if doneA.State != string(StateCompleted) || doneA.Result == nil || doneA.Result.Partial {
+		t.Fatalf("node-a sweep: %+v", doneA)
+	}
+	rowsA := fetchNDJSON(t, a.srv.URL, "/v1/sweeps/"+stA.ID)
+	if !bytes.Equal(rowsA, refRows) {
+		t.Fatalf("fleet results differ from single-node reference:\nfleet:\n%s\nreference:\n%s", rowsA, refRows)
+	}
+
+	stB := submitSweep(t, b.srv.URL)
+	doneB := waitTerminal(t, b.srv.URL, stB.ID)
+	if doneB.State != string(StateCompleted) || doneB.Result == nil || doneB.Result.Partial {
+		t.Fatalf("node-b sweep: %+v", doneB)
+	}
+	rowsB := fetchNDJSON(t, b.srv.URL, "/v1/sweeps/"+stB.ID)
+	if !bytes.Equal(rowsB, rowsA) {
+		t.Fatalf("node-b results differ from node-a's:\nb:\n%s\na:\n%s", rowsB, rowsA)
+	}
+
+	// Exactly once, pinned two independent ways: the engines' own
+	// evaluation counters and the fake evaluator's call counts.
+	var evaluated, calls, hits, misses, fills, errors int64
+	for _, n := range nodes {
+		evaluated += n.mgr.Counters().EngineEvaluated
+		calls += n.eval.(*slowEval).calls.Load()
+		st := n.peers.Status()
+		hits += st.Hits
+		misses += st.Misses
+		fills += st.Fills
+		errors += st.Errors
+	}
+	if evaluated != fleetSweepPoints {
+		t.Fatalf("fleet evaluated %d points, want exactly %d", evaluated, fleetSweepPoints)
+	}
+	if calls != fleetSweepPoints {
+		t.Fatalf("fleet evaluator calls %d, want exactly %d", calls, fleetSweepPoints)
+	}
+	if errors != 0 {
+		t.Fatalf("healthy fleet counted %d peer errors", errors)
+	}
+	// Every successful fetch someone counted as hit or miss was served
+	// by an owner counting a fill.
+	if fills != hits+misses {
+		t.Fatalf("peer accounting drifted: %d fills vs %d hits + %d misses", fills, hits, misses)
+	}
+	if fills == 0 {
+		t.Fatal("no peer traffic at all: the ring routed nothing remotely")
+	}
+
+	// The cluster surfaces agree on every node: /v1/cluster and the
+	// efficsense_cluster_* series see a three-member ring.
+	for _, n := range nodes {
+		cs := clusterStatusJSON(t, n.srv.URL)
+		if cs.RingSize != 3 || len(cs.Members) != 3 || cs.Self != n.name {
+			t.Fatalf("%s /v1/cluster = %+v", n.name, cs)
+		}
+		metrics := fetchMetrics(t, n.srv.URL)
+		if v := metricValue(t, metrics, "efficsense_cluster_ring_size"); v != 3 {
+			t.Fatalf("%s ring_size metric = %g", n.name, v)
+		}
+		if v := metricValue(t, metrics, "efficsense_cluster_ring_vnodes"); v != 16 {
+			t.Fatalf("%s ring_vnodes metric = %g", n.name, v)
+		}
+	}
+}
+
+// TestClusterSingleNodeUnchanged pins the bit-identity contract from
+// the other side: without fleet mode the cluster surfaces simply do not
+// exist — no /v1/cluster, no peer endpoint, no cluster metrics, plain
+// job IDs.
+func TestClusterSingleNodeUnchanged(t *testing.T) {
+	srv, _, _ := newTestServer(t, 0, ManagerConfig{})
+	resp, err := http.Get(srv.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/cluster without fleet mode: status %d, want 404", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+cluster.PeerPath, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("peer endpoint without fleet mode: status %d, want 404", resp.StatusCode)
+	}
+	if metrics := fetchMetrics(t, srv.URL); strings.Contains(metrics, "efficsense_cluster_") {
+		t.Fatal("cluster series rendered without fleet mode")
+	}
+}
+
+// TestClusterStickyRouting: a job lives on the node that accepted it;
+// any other member answers requests for it with a 307 pointing home.
+func TestClusterStickyRouting(t *testing.T) {
+	nodes := newFleet(t, []string{"node-a", "node-b"}, 0)
+	a, b := nodes[0], nodes[1]
+	st := submitSweep(t, a.srv.URL)
+	waitTerminal(t, a.srv.URL, st.ID)
+
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	resp, err := noFollow.Get(b.srv.URL + "/v1/sweeps/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("other node answered %d, want 307", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	if want := a.srv.URL + "/v1/sweeps/" + st.ID; loc != want {
+		t.Fatalf("Location = %q, want %q", loc, want)
+	}
+
+	// A default client follows the redirect to the accepting node.
+	resp, err = http.Get(b.srv.URL + "/v1/sweeps/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeStatus(t, resp)
+	if got.ID != st.ID || got.State != string(StateCompleted) {
+		t.Fatalf("followed redirect got %+v", got)
+	}
+
+	// The results stream redirects the same way (SSE and NDJSON attach
+	// to the accepting node's job state).
+	resp, err = noFollow.Get(b.srv.URL + "/v1/sweeps/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("results on other node answered %d, want 307", resp.StatusCode)
+	}
+
+	// IDs naming this node, an unknown member, or nothing at all still
+	// 404 — no redirect loops, no open redirect.
+	for _, id := range []string{"sweep-node-b-99", "sweep-ghost-1", "sweep-7", "bogus"} {
+		resp, err := noFollow.Get(b.srv.URL + "/v1/sweeps/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s: status %d, want 404", id, resp.StatusCode)
+		}
+	}
+}
+
+func TestJobNode(t *testing.T) {
+	cases := map[string]string{
+		"sweep-node-a-1":  "node-a",
+		"search-node-b-7": "node-b",
+		"sweep-7":         "",
+		"search-9":        "",
+		"sweep-node-a-x":  "",
+		"sweep-":          "",
+		"evaluate-a-1":    "",
+		"":                "",
+	}
+	for id, want := range cases {
+		if got := jobNode(id); got != want {
+			t.Errorf("jobNode(%q) = %q, want %q", id, got, want)
+		}
+	}
+}

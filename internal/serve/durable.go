@@ -33,9 +33,10 @@ import (
 
 // WAL record kinds (the wal.Record Kind discriminator).
 const (
-	walKindJob   = "job"
-	walKindRow   = "row"
-	walKindState = "state"
+	walKindJob    = "job"
+	walKindRow    = "row"
+	walKindState  = "state"
+	walKindTenant = "tenant"
 )
 
 // walPoint is the journal form of a core.DesignPoint.
@@ -205,6 +206,41 @@ func (m *Manager) journalFinish(job *Job) {
 	}
 }
 
+// walBucket is the journal form of one token-bucket level.
+type walBucket struct {
+	Tokens float64   `json:"tokens"`
+	Last   time.Time `json:"last"`
+}
+
+// walTenantRecord journals a tenant's bucket levels after a token is
+// spent. Last-record-wins on recovery, so the steady state is one live
+// record per rate-limited tenant.
+type walTenantRecord struct {
+	Tenant string    `json:"tenant"`
+	Submit walBucket `json:"submit"`
+	Eval   walBucket `json:"eval"`
+}
+
+// journalTenant appends the tenant's current bucket levels (no fsync:
+// losing the very last spend costs one token, while fsyncing every
+// admission would put a disk flush on the request path). Without this
+// record a restart would refill every bucket to burst — a crash-looping
+// client could launder its own rate limit through SIGKILL. Callers hold
+// m.mu.
+func (m *Manager) journalTenant(ts *tenantState) {
+	if m.cfg.WAL == nil || (ts.limits.SubmitRate <= 0 && ts.limits.EvalRate <= 0) {
+		return
+	}
+	rec := walTenantRecord{
+		Tenant: ts.name,
+		Submit: walBucket{Tokens: ts.submit.tokens, Last: ts.submit.last},
+		Eval:   walBucket{Tokens: ts.eval.tokens, Last: ts.eval.last},
+	}
+	if err := m.cfg.WAL.Append(walKindTenant, rec); err != nil {
+		m.walWarn("wal: journaling tenant buckets", err, slog.String("tenant", ts.name))
+	}
+}
+
 // compactWAL rewrites the journal as a snapshot of the still-tracked
 // jobs — the clean-shutdown snapshot+truncate. Rows are reconstructed
 // from each job's result cloud (points are unique within a space, so a
@@ -279,6 +315,31 @@ func (m *Manager) compactWAL() error {
 			return err
 		}
 	}
+	// One tenant record each, so restored quota state survives the
+	// snapshot+truncate too. Deterministic order: by tenant name.
+	m.mu.Lock()
+	tenantRecs := make([]walTenantRecord, 0, len(m.tenants))
+	for _, ts := range m.tenants {
+		if ts.limits.SubmitRate <= 0 && ts.limits.EvalRate <= 0 {
+			continue
+		}
+		tenantRecs = append(tenantRecs, walTenantRecord{
+			Tenant: ts.name,
+			Submit: walBucket{Tokens: ts.submit.tokens, Last: ts.submit.last},
+			Eval:   walBucket{Tokens: ts.eval.tokens, Last: ts.eval.last},
+		})
+	}
+	m.mu.Unlock()
+	for i := 1; i < len(tenantRecs); i++ {
+		for k := i; k > 0 && tenantRecs[k].Tenant < tenantRecs[k-1].Tenant; k-- {
+			tenantRecs[k], tenantRecs[k-1] = tenantRecs[k-1], tenantRecs[k]
+		}
+	}
+	for _, tr := range tenantRecs {
+		if err := add(walKindTenant, tr); err != nil {
+			return err
+		}
+	}
 	return m.cfg.WAL.Compact(records)
 }
 
@@ -300,6 +361,7 @@ func (m *Manager) Recover(records []wal.Record) error {
 	}
 	byID := make(map[string]*jobEntry)
 	var order []string
+	tenantRecs := make(map[string]walTenantRecord)
 	for _, rec := range records {
 		switch rec.Kind {
 		case walKindJob:
@@ -333,11 +395,25 @@ func (m *Manager) Recover(records []wal.Record) error {
 				st := sr
 				e.st = &st
 			}
+		case walKindTenant:
+			var tr walTenantRecord
+			if err := json.Unmarshal(rec.Data, &tr); err != nil || tr.Tenant == "" {
+				m.walWarn("wal: skipping malformed tenant record", errOrDefault(err))
+				continue
+			}
+			tenantRecs[tr.Tenant] = tr // last record wins
 		default:
 			m.walWarn("wal: skipping record of unknown kind",
 				fmt.Errorf("kind %q (written by a newer version?)", rec.Kind))
 		}
 	}
+	m.mu.Lock()
+	for name, tr := range tenantRecs {
+		ts := m.tenantLocked(name)
+		ts.submit.restore(tr.Submit.Tokens, tr.Submit.Last)
+		ts.eval.restore(tr.Eval.Tokens, tr.Eval.Last)
+	}
+	m.mu.Unlock()
 	for _, id := range order {
 		e := byID[id]
 		m.bumpSeq(id)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"efficsense/internal/cache"
+	"efficsense/internal/cluster"
 	"efficsense/internal/core"
 	"efficsense/internal/dse"
 	"efficsense/internal/experiments"
@@ -118,6 +119,13 @@ type ManagerConfig struct {
 	// the pre-tenancy contract: one default tenant, no rate limits, no
 	// queueing.
 	Tenancy TenantPolicy
+	// Cluster, when set, puts the manager in fleet mode: job IDs embed
+	// this node's name so any member can redirect a request to the job's
+	// accepting node (sticky routing), /v1/cluster and the
+	// efficsense_cluster_* series go live, and the peer-protocol
+	// endpoint serves the keyspace segment this node owns. Pass the same
+	// client given to SuiteEngines.UseCluster.
+	Cluster *cluster.Peers
 	// WAL, when set, makes jobs durable: specs and completed result rows
 	// are journaled (fsync on job-state transitions), Recover replays
 	// terminal jobs as history and resumes in-flight sweeps from their
@@ -288,6 +296,19 @@ type Job struct {
 	engine          Engine
 }
 
+// jobID mints the next job identifier under m.mu. Single-node IDs stay
+// "<kind>-<seq>", bit-identical to the pre-fleet contract; in fleet
+// mode the accepting node's name rides in the middle
+// ("<kind>-<node>-<seq>") so every member can route a request for the
+// job back to the node running it. Recovery's bumpSeq parses the suffix
+// after the last '-', which both shapes satisfy.
+func (m *Manager) jobID(kind string) string {
+	if m.cfg.Cluster != nil {
+		return fmt.Sprintf("%s-%s-%d", kind, m.cfg.Cluster.Self().Name, m.seq)
+	}
+	return fmt.Sprintf("%s-%d", kind, m.seq)
+}
+
 func (m *Manager) newJob(opts experiments.Options, space dse.Space, points []core.DesignPoint) *Job {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
@@ -349,7 +370,7 @@ func (m *Manager) Submit(ctx context.Context, req SweepRequest) (*Job, error) {
 	}
 	m.seq++
 	job := m.newJob(opts, space, points)
-	job.ID = fmt.Sprintf("sweep-%d", m.seq)
+	job.ID = m.jobID("sweep")
 	job.requestID = obs.RequestID(ctx)
 	job.tenant = tenant
 	m.jobs[job.ID] = job

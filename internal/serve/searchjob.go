@@ -85,7 +85,7 @@ func (m *Manager) SubmitSearch(ctx context.Context, req SearchRequest) (*Job, er
 	m.seq++
 	job := m.newJob(opts, space, nil)
 	job.kind = jobKindSearch
-	job.ID = fmt.Sprintf("search-%d", m.seq)
+	job.ID = m.jobID("search")
 	job.requestID = obs.RequestID(ctx)
 	job.tenant = tenant
 	job.spec = spec

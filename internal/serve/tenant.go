@@ -191,6 +191,18 @@ func (b *bucket) take(now time.Time) time.Duration {
 	return time.Duration(need / b.rate * float64(time.Second))
 }
 
+// restore reinstates a journaled level: tokens clamp into [0, burst]
+// (the policy may have changed between runs) and last feeds the next
+// refill, so elapsed downtime still accrues tokens exactly as uptime
+// would. A bucket without a rate has nothing to restore.
+func (b *bucket) restore(tokens float64, last time.Time) {
+	if b.rate <= 0 {
+		return
+	}
+	b.tokens = math.Min(b.burst, math.Max(0, tokens))
+	b.last = last
+}
+
 // tenantState is the manager's per-tenant accounting and scheduling
 // state. All fields are guarded by the manager's mutex.
 type tenantState struct {
@@ -247,6 +259,10 @@ func (m *Manager) admitJobLocked(ts *tenantState, now time.Time) error {
 			After: wait,
 		}
 	}
+	// The token is spent even if the quota check below rejects, so the
+	// bucket level journals here — quota persistence must survive a
+	// SIGKILL, or a crash-looping client resets its own rate limit.
+	m.journalTenant(ts)
 	if ts.running >= ts.limits.MaxConcurrentJobs || m.runningJobs >= m.cfg.MaxConcurrentJobs {
 		// The job cannot start now; it must queue — if the tenant still
 		// has queue room.
@@ -337,6 +353,7 @@ func (m *Manager) admitEval(ctx context.Context, points int) error {
 			After: wait,
 		}
 	}
+	m.journalTenant(ts)
 	ts.evaluations += int64(points)
 	return nil
 }
